@@ -1,0 +1,304 @@
+//! Literal Possible Reverse Engineerings (Definitions 5 and 6).
+//!
+//! Everywhere else in this reproduction, policy-aware sender k-anonymity
+//! is decided by the *group-size shortcut*: every cloak group must hold at
+//! least k users. This module implements the paper's definitions
+//! **literally** — a PRE is a function from observed anonymized requests
+//! to valid service requests consistent with some policy in the candidate
+//! family, and k-anonymity demands k PREs whose chosen senders are
+//! pairwise distinct at every request — and the tests prove the shortcut
+//! equivalent to the literal definition on exhaustively checked instances.
+//!
+//! The subtlety the shortcut hides: a policy is a *deterministic*
+//! procedure (Definition 4), so distinct observed requests can never
+//! reverse-engineer to the *same* service request. Within one
+//! (cloak, parameters) class a PRE must therefore assign pairwise
+//! *distinct* senders (an injective choice from the cloak's group), and
+//! the k PREs must additionally disagree pairwise at every request. Both
+//! constraints are enforced here.
+
+use lbs_model::{AnonymizedRequest, BulkPolicy, LocationDb, RequestId, ServiceRequest, UserId};
+use std::collections::HashMap;
+
+/// One possible reverse engineering: a choice of service request (here:
+/// sender, since location and parameters are forced) per observed
+/// anonymized request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pre {
+    assignment: HashMap<RequestId, UserId>,
+}
+
+impl Pre {
+    /// The sender this PRE assigns to `rid`.
+    pub fn sender_of(&self, rid: RequestId) -> Option<UserId> {
+        self.assignment.get(&rid).copied()
+    }
+
+    /// Materializes the full service request this PRE claims generated
+    /// `ar` (Definition 5's `π(AR)`).
+    pub fn service_request(
+        &self,
+        ar: &AnonymizedRequest,
+        db: &LocationDb,
+    ) -> Option<ServiceRequest> {
+        let user = self.sender_of(ar.rid)?;
+        let location = db.location(user)?;
+        Some(ServiceRequest::new(user, location, ar.params.clone()))
+    }
+}
+
+/// Enumerates **all** PREs of `observed` w.r.t. `db` and the singleton
+/// policy family `{policy}` (the policy-aware attacker's knowledge).
+///
+/// Requests are grouped by (cloak, parameters); within a class the
+/// assignment must be injective into the cloak's sender group. The
+/// product across classes is capped at ~200k PREs — this is a
+/// specification-grade oracle for tests, not a production path.
+pub fn enumerate_policy_aware_pres(
+    observed: &[AnonymizedRequest],
+    db: &LocationDb,
+    policy: &BulkPolicy,
+) -> Vec<Pre> {
+    // Class the observations.
+    let mut classes: HashMap<(lbs_geom::Region, lbs_model::RequestParams), Vec<RequestId>> =
+        HashMap::new();
+    for ar in observed {
+        classes.entry((ar.region, ar.params.clone())).or_default().push(ar.rid);
+    }
+
+    // Candidates per class: the policy's group for that cloak, restricted
+    // to users present in the snapshot (validity w.r.t. D).
+    let mut per_class: Vec<(Vec<RequestId>, Vec<UserId>)> = Vec::new();
+    for ((region, _), rids) in classes {
+        let group: Vec<UserId> = policy
+            .iter()
+            .filter(|&(user, r)| *r == region && db.contains(user))
+            .map(|(user, _)| user)
+            .collect();
+        per_class.push((rids, group));
+    }
+
+    // Injective assignments per class, then the cross product.
+    let mut pres = vec![Pre { assignment: HashMap::new() }];
+    for (rids, group) in per_class {
+        let class_assignments = injective_assignments(&rids, &group);
+        if class_assignments.is_empty() {
+            return Vec::new(); // some request has no consistent sender
+        }
+        let mut next = Vec::with_capacity(pres.len() * class_assignments.len());
+        for base in &pres {
+            for extension in &class_assignments {
+                let mut merged = base.clone();
+                merged.assignment.extend(extension.iter().map(|(&r, &u)| (r, u)));
+                next.push(merged);
+            }
+        }
+        assert!(next.len() <= 200_000, "PRE enumeration too large; shrink the instance");
+        pres = next;
+    }
+    pres
+}
+
+/// All injective maps from `rids` into `group`.
+fn injective_assignments(
+    rids: &[RequestId],
+    group: &[UserId],
+) -> Vec<HashMap<RequestId, UserId>> {
+    fn go(
+        rids: &[RequestId],
+        group: &[UserId],
+        used: &mut Vec<bool>,
+        current: &mut HashMap<RequestId, UserId>,
+        out: &mut Vec<HashMap<RequestId, UserId>>,
+    ) {
+        let Some((&rid, rest)) = rids.split_first() else {
+            out.push(current.clone());
+            return;
+        };
+        for (i, &user) in group.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            used[i] = true;
+            current.insert(rid, user);
+            go(rest, group, used, current, out);
+            current.remove(&rid);
+            used[i] = false;
+        }
+    }
+    let mut out = Vec::new();
+    go(rids, group, &mut vec![false; group.len()], &mut HashMap::new(), &mut out);
+    out
+}
+
+/// Definition 6, literally: do there exist k PREs `π₁..π_k` such that for
+/// every observed request the assigned senders are pairwise distinct?
+///
+/// Exponential search over the enumerated PREs with early pruning;
+/// test-oracle only.
+pub fn literal_k_anonymity(
+    observed: &[AnonymizedRequest],
+    db: &LocationDb,
+    policy: &BulkPolicy,
+    k: usize,
+) -> bool {
+    if observed.is_empty() || k <= 1 {
+        return !enumerate_policy_aware_pres(observed, db, policy).is_empty() || observed.is_empty();
+    }
+    let pres = enumerate_policy_aware_pres(observed, db, policy);
+    let rids: Vec<RequestId> = observed.iter().map(|ar| ar.rid).collect();
+
+    fn compatible(a: &Pre, b: &Pre, rids: &[RequestId]) -> bool {
+        rids.iter().all(|&rid| a.sender_of(rid) != b.sender_of(rid))
+    }
+
+    fn search(
+        pres: &[Pre],
+        rids: &[RequestId],
+        chosen: &mut Vec<usize>,
+        start: usize,
+        k: usize,
+    ) -> bool {
+        if chosen.len() == k {
+            return true;
+        }
+        for i in start..pres.len() {
+            if chosen.iter().all(|&j| compatible(&pres[i], &pres[j], rids)) {
+                chosen.push(i);
+                if search(pres, rids, chosen, i + 1, k) {
+                    return true;
+                }
+                chosen.pop();
+            }
+        }
+        false
+    }
+
+    search(&pres, &rids, &mut Vec::new(), 0, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbs_geom::{Point, Rect, Region};
+    use lbs_model::RequestParams;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn params(v: &str) -> RequestParams {
+        RequestParams::from_pairs([("poi", v)])
+    }
+
+    fn request(rid: u64, region: Region, v: &str) -> AnonymizedRequest {
+        AnonymizedRequest::new(RequestId(rid), region, params(v))
+    }
+
+    #[test]
+    fn pres_are_injective_within_a_class() {
+        // Group {u0, u1} on one cloak; two identical-V requests observed.
+        let db = LocationDb::from_rows([
+            (UserId(0), Point::new(0, 0)),
+            (UserId(1), Point::new(1, 1)),
+        ])
+        .unwrap();
+        let cloak: Region = Rect::new(0, 0, 2, 2).into();
+        let mut policy = BulkPolicy::new("p");
+        policy.assign(UserId(0), cloak);
+        policy.assign(UserId(1), cloak);
+        let observed = vec![request(1, cloak, "a"), request(2, cloak, "a")];
+        let pres = enumerate_policy_aware_pres(&observed, &db, &policy);
+        // Exactly the two injective assignments (u0,u1) and (u1,u0).
+        assert_eq!(pres.len(), 2);
+        for pre in &pres {
+            assert_ne!(pre.sender_of(RequestId(1)), pre.sender_of(RequestId(2)));
+            let sr = pre.service_request(&observed[0], &db).unwrap();
+            assert!(sr.is_valid(&db));
+            assert!(observed[0].masks(&sr), "PRE output masks the observation");
+        }
+        // With both requests pinned to complementary senders, no two PREs
+        // disagree everywhere twice over: 2-anonymity still holds
+        // (π1=(u0,u1), π2=(u1,u0) are pairwise distinct at each request).
+        assert!(literal_k_anonymity(&observed, &db, &policy, 2));
+        assert!(!literal_k_anonymity(&observed, &db, &policy, 3));
+    }
+
+    #[test]
+    fn literal_definition_matches_group_size_shortcut() {
+        // Exhaustive cross-validation on random small instances: the
+        // literal Definition 6 agrees with "every observed cloak's group
+        // has >= k members".
+        let mut rng = StdRng::seed_from_u64(0xDEF6);
+        for trial in 0..40 {
+            let n = rng.gen_range(2..=6);
+            let db = LocationDb::from_rows((0..n).map(|i| {
+                (UserId(i as u64), Point::new(rng.gen_range(0..8), rng.gen_range(0..8)))
+            }))
+            .unwrap();
+            // Random policy: split users across 1-2 cloaks (not necessarily
+            // anonymous!).
+            let west: Region = Rect::new(0, 0, 8, 8).into();
+            let east: Region = Rect::new(0, 0, 16, 16).into();
+            let mut policy = BulkPolicy::new("random");
+            for user in db.users() {
+                policy.assign(user, if rng.gen_bool(0.5) { west } else { east });
+            }
+            // A random subset of users sends one same-V request each.
+            let mut observed = Vec::new();
+            let mut rid = 0u64;
+            let mut observed_regions = Vec::new();
+            for (user, _) in db.iter() {
+                if rng.gen_bool(0.6) {
+                    let cloak = *policy.cloak_of(user).unwrap();
+                    observed.push(request(rid, cloak, "x"));
+                    observed_regions.push(cloak);
+                    rid += 1;
+                }
+            }
+            for k in 1..=4 {
+                let literal = literal_k_anonymity(&observed, &db, &policy, k);
+                // Shortcut: every *observed* cloak's group must have >= k
+                // members (unobserved cloaks can't breach anything).
+                let groups = policy.groups();
+                let shortcut = observed_regions
+                    .iter()
+                    .all(|r| groups.get(r).is_some_and(|g| g.len() >= k));
+                let shortcut = shortcut || observed.is_empty();
+                assert_eq!(
+                    literal, shortcut,
+                    "trial {trial} k={k}: literal {literal} != shortcut {shortcut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn example_1_has_a_unique_pre() {
+        // Carol's singleton group: exactly one PRE, so 2-anonymity fails
+        // by the literal definition too.
+        let db = LocationDb::from_rows([
+            (UserId(2), Point::new(1, 3)),
+            (UserId(0), Point::new(1, 1)),
+        ])
+        .unwrap();
+        let r3: Region = Rect::new(0, 2, 2, 4).into();
+        let mut policy = BulkPolicy::new("example1");
+        policy.assign(UserId(2), r3);
+        policy.assign(UserId(0), Rect::new(0, 0, 2, 2).into());
+        let observed = vec![request(169, r3, "rest")];
+        let pres = enumerate_policy_aware_pres(&observed, &db, &policy);
+        assert_eq!(pres.len(), 1);
+        assert_eq!(pres[0].sender_of(RequestId(169)), Some(UserId(2)));
+        assert!(!literal_k_anonymity(&observed, &db, &policy, 2));
+    }
+
+    #[test]
+    fn unsatisfiable_observations_have_no_pre() {
+        // An observed cloak no user maps to: zero PREs.
+        let db = LocationDb::from_rows([(UserId(0), Point::new(0, 0))]).unwrap();
+        let mut policy = BulkPolicy::new("p");
+        policy.assign(UserId(0), Rect::new(0, 0, 2, 2).into());
+        let phantom: Region = Rect::new(8, 8, 12, 12).into();
+        let observed = vec![request(1, phantom, "x")];
+        assert!(enumerate_policy_aware_pres(&observed, &db, &policy).is_empty());
+        assert!(!literal_k_anonymity(&observed, &db, &policy, 2));
+    }
+}

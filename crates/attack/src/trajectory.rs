@@ -1,0 +1,145 @@
+//! Trajectory-aware attacks: the intersection attack the paper scopes out
+//! as future work ("defending against trajectory-aware attackers … where
+//! the attacker has knowledge of when multiple requests have originated
+//! from the same (a priori unknown) user", Section I).
+//!
+//! Per-snapshot policy-aware k-anonymity does **not** compose over time:
+//! if the attacker can link requests from the same pseudonymous sender
+//! across snapshots (session continuity at the LBS, recurring request
+//! parameters, …), the candidate-sender sets of the linked requests can
+//! be intersected. Cloak groups churn as users move, so the intersection
+//! shrinks — often to a single user. [`TrajectoryAttacker`] implements
+//! exactly that attack; `lbs-core`'s `StickyAnonymizer` implements the
+//! group-stability countermeasure and the integration tests show the
+//! trade (intersection stays ≥ k, cloaks grow as cohorts disperse).
+
+use crate::PolicyAwareAttacker;
+use lbs_geom::Region;
+use lbs_model::{BulkPolicy, LocationDb, UserId};
+
+/// One observed epoch: the snapshot, the policy in force (known to the
+/// policy-aware attacker), and the cloak of the linked request.
+#[derive(Debug, Clone)]
+pub struct LinkedObservation {
+    /// The location database at this snapshot.
+    pub db: LocationDb,
+    /// The CSP's (known) policy for this snapshot.
+    pub policy: BulkPolicy,
+    /// The cloak of the linked sender's request in this snapshot.
+    pub cloak: Region,
+}
+
+/// A policy-aware attacker that additionally links requests across
+/// snapshots to the same unknown sender.
+#[derive(Debug, Clone, Default)]
+pub struct TrajectoryAttacker;
+
+impl TrajectoryAttacker {
+    /// Creates the attacker.
+    pub fn new() -> Self {
+        TrajectoryAttacker
+    }
+
+    /// The candidate senders consistent with *all* linked observations:
+    /// the intersection of the per-snapshot policy-aware candidate sets.
+    pub fn possible_senders(&self, observations: &[LinkedObservation]) -> Vec<UserId> {
+        let mut candidates: Option<Vec<UserId>> = None;
+        for obs in observations {
+            let epoch = PolicyAwareAttacker::new(obs.policy.clone())
+                .possible_senders_of_region(&obs.db, &obs.cloak);
+            candidates = Some(match candidates {
+                None => epoch,
+                Some(prev) => prev.into_iter().filter(|u| epoch.contains(u)).collect(),
+            });
+        }
+        candidates.unwrap_or_default()
+    }
+
+    /// Whether linking the observations breaches sender k-anonymity even
+    /// though each epoch alone may satisfy it.
+    pub fn breaches(&self, observations: &[LinkedObservation], k: usize) -> bool {
+        !observations.is_empty() && self.possible_senders(observations).len() < k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbs_geom::{Point, Rect};
+
+    /// Two snapshots, k = 2. Alice shares her cloak with Bob at t0 and
+    /// with Carol at t1 (Bob walked away, Carol walked in). Each snapshot
+    /// is policy-aware 2-anonymous; the intersection is {Alice}.
+    #[test]
+    fn intersection_attack_defeats_per_snapshot_anonymity() {
+        let k = 2;
+        let west: Region = Rect::new(0, 0, 4, 8).into();
+        let east: Region = Rect::new(4, 0, 8, 8).into();
+
+        // t0: Alice & Bob in the west, Carol & Dave in the east.
+        let db0 = LocationDb::from_rows([
+            (UserId(0), Point::new(1, 1)), // Alice
+            (UserId(1), Point::new(2, 2)), // Bob
+            (UserId(2), Point::new(6, 6)), // Carol
+            (UserId(3), Point::new(7, 7)), // Dave
+        ])
+        .unwrap();
+        let mut p0 = BulkPolicy::new("t0");
+        p0.assign(UserId(0), west);
+        p0.assign(UserId(1), west);
+        p0.assign(UserId(2), east);
+        p0.assign(UserId(3), east);
+        assert!(p0.min_group_size().unwrap() >= k, "t0 is 2-anonymous");
+
+        // t1: Bob and Carol swapped sides.
+        let db1 = LocationDb::from_rows([
+            (UserId(0), Point::new(1, 2)),
+            (UserId(1), Point::new(6, 2)),
+            (UserId(2), Point::new(2, 6)),
+            (UserId(3), Point::new(7, 6)),
+        ])
+        .unwrap();
+        let mut p1 = BulkPolicy::new("t1");
+        p1.assign(UserId(0), west);
+        p1.assign(UserId(2), west);
+        p1.assign(UserId(1), east);
+        p1.assign(UserId(3), east);
+        assert!(p1.min_group_size().unwrap() >= k, "t1 is 2-anonymous");
+
+        // Alice sent linked requests from the west cloak in both epochs.
+        let observations = vec![
+            LinkedObservation { db: db0, policy: p0, cloak: west },
+            LinkedObservation { db: db1, policy: p1, cloak: west },
+        ];
+        let attacker = TrajectoryAttacker::new();
+        assert_eq!(attacker.possible_senders(&observations), vec![UserId(0)]);
+        assert!(attacker.breaches(&observations, k), "Alice identified across epochs");
+    }
+
+    #[test]
+    fn stable_groups_resist_the_intersection() {
+        // When the same cohort shares the cloak in both epochs, the
+        // intersection never shrinks below the cohort.
+        let cloak: Region = Rect::new(0, 0, 8, 8).into();
+        let db = LocationDb::from_rows([
+            (UserId(0), Point::new(1, 1)),
+            (UserId(1), Point::new(2, 2)),
+        ])
+        .unwrap();
+        let mut policy = BulkPolicy::new("stable");
+        policy.assign(UserId(0), cloak);
+        policy.assign(UserId(1), cloak);
+        let obs = LinkedObservation { db, policy, cloak };
+        let observations = vec![obs.clone(), obs.clone(), obs];
+        let attacker = TrajectoryAttacker::new();
+        assert_eq!(attacker.possible_senders(&observations).len(), 2);
+        assert!(!attacker.breaches(&observations, 2));
+    }
+
+    #[test]
+    fn no_observations_no_candidates() {
+        let attacker = TrajectoryAttacker::new();
+        assert!(attacker.possible_senders(&[]).is_empty());
+        assert!(!attacker.breaches(&[], 2));
+    }
+}

@@ -1,0 +1,201 @@
+//! k-inside cloaking over quad and binary trees (PUQ and PUB).
+
+use lbs_geom::{Rect, Region};
+use lbs_model::{CloakingPolicy, LocationDb, UserId};
+use lbs_tree::{NodeId, SpatialTree, TreeConfig, TreeKind};
+
+/// Shared k-inside machinery: walk up from the requester's leaf to the
+/// first node whose quadrant holds at least k users.
+///
+/// With the lazy materialization rule "split while `d(m) ≥ k`" (and unit
+/// minimum side), every materialized leaf holds fewer than k users unless
+/// capped by granularity, so the first ancestor with `d(m) ≥ k` is exactly
+/// the *tightest* tree cloak containing the requester and k−1 others.
+fn k_inside_cloak(tree: &SpatialTree, k: usize, user: UserId) -> Option<Region> {
+    let leaf = tree.leaf_of_user(user)?;
+    tree.path_to_root(leaf)
+        .into_iter()
+        .find(|&id| tree.count(id) >= k)
+        .map(|id| tree.node(id).rect.into())
+}
+
+/// PUQ: the policy-unaware quad-tree k-inside policy of Gruteser–Grunwald
+/// \[16\] — "the smallest quadrant that contains the requesting location and
+/// at least k−1 other locations".
+#[derive(Debug, Clone)]
+pub struct PolicyUnawareQuad {
+    tree: SpatialTree,
+    k: usize,
+}
+
+impl PolicyUnawareQuad {
+    /// Builds the quad tree over `db` on the square power-of-two `map`.
+    ///
+    /// # Errors
+    /// Propagates tree-construction failures.
+    pub fn build(db: &LocationDb, map: Rect, k: usize) -> Result<Self, String> {
+        if k == 0 {
+            return Err("k must be at least 1".into());
+        }
+        let tree = SpatialTree::build(db, TreeConfig::lazy(TreeKind::Quad, map, k))?;
+        Ok(PolicyUnawareQuad { tree, k })
+    }
+
+    /// The underlying quad tree.
+    pub fn tree(&self) -> &SpatialTree {
+        &self.tree
+    }
+
+    /// The tree node used as `user`'s cloak (for attack analysis).
+    pub fn cloak_node(&self, user: UserId) -> Option<NodeId> {
+        let leaf = self.tree.leaf_of_user(user)?;
+        self.tree
+            .path_to_root(leaf)
+            .into_iter()
+            .find(|&id| self.tree.count(id) >= self.k)
+    }
+}
+
+impl CloakingPolicy for PolicyUnawareQuad {
+    fn name(&self) -> &str {
+        "k-inside-quad (PUQ)"
+    }
+
+    fn cloak(&self, _db: &LocationDb, user: UserId) -> Option<Region> {
+        k_inside_cloak(&self.tree, self.k, user)
+    }
+}
+
+/// PUB: the optimum policy-unaware binary-tree policy — the PUQ rule over
+/// quadrants *and* (fixed vertical) semi-quadrants, the paper's
+/// same-cloak-family baseline for Figure 5(a).
+#[derive(Debug, Clone)]
+pub struct PolicyUnawareBinary {
+    tree: SpatialTree,
+    k: usize,
+}
+
+impl PolicyUnawareBinary {
+    /// Builds the binary tree over `db` on the square power-of-two `map`.
+    ///
+    /// # Errors
+    /// Propagates tree-construction failures.
+    pub fn build(db: &LocationDb, map: Rect, k: usize) -> Result<Self, String> {
+        if k == 0 {
+            return Err("k must be at least 1".into());
+        }
+        let tree = SpatialTree::build(db, TreeConfig::lazy(TreeKind::Binary, map, k))?;
+        Ok(PolicyUnawareBinary { tree, k })
+    }
+
+    /// The underlying binary tree.
+    pub fn tree(&self) -> &SpatialTree {
+        &self.tree
+    }
+}
+
+impl CloakingPolicy for PolicyUnawareBinary {
+    fn name(&self) -> &str {
+        "k-inside-binary (PUB)"
+    }
+
+    fn cloak(&self, _db: &LocationDb, user: UserId) -> Option<Region> {
+        k_inside_cloak(&self.tree, self.k, user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbs_geom::Point;
+
+    fn table1() -> LocationDb {
+        LocationDb::from_rows(
+            [(1, 1), (1, 2), (1, 3), (3, 1), (3, 3)]
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn puq_cloaks_are_tightest_quadrants_with_k_users() {
+        let db = table1();
+        let puq = PolicyUnawareQuad::build(&db, Rect::square(0, 0, 4), 2).unwrap();
+        let bulk = puq.materialize(&db);
+        assert_eq!(bulk.len(), 5, "every user gets a cloak");
+        for (user, point) in db.iter() {
+            let region = bulk.cloak_of(user).unwrap();
+            assert!(region.contains(&point), "masking");
+            let inside = db.users_in(region);
+            assert!(inside.len() >= 2, "k-inside: {user} cloak holds {}", inside.len());
+        }
+        // B(1,2) and C(1,3) share the NW quadrant [0,2)x[2,4): that is
+        // their tightest 2-populated quadrant.
+        let b = bulk.cloak_of(UserId(1)).unwrap();
+        assert_eq!(*b.rect().unwrap(), Rect::new(0, 2, 2, 4));
+        // A(1,1) is alone in SW; its cloak must widen to the root.
+        let a = bulk.cloak_of(UserId(0)).unwrap();
+        assert_eq!(*a.rect().unwrap(), Rect::square(0, 0, 4));
+    }
+
+    #[test]
+    fn puq_is_not_policy_aware_anonymous_on_outlier_instances() {
+        // A is alone in the NW quadrant; B and C huddle in SW and receive
+        // the tight SW cloak. A's tightest 2-populated quadrant is the
+        // root, so the root's cloak *group* is the singleton {A}: a
+        // policy-aware attacker observing a root-cloaked request
+        // identifies A (the Example 1 phenomenon for plain k-inside).
+        let db = LocationDb::from_rows([
+            (UserId(0), Point::new(1, 3)), // A, alone in NW
+            (UserId(1), Point::new(0, 0)), // B
+            (UserId(2), Point::new(1, 1)), // C
+        ])
+        .unwrap();
+        let puq = PolicyUnawareQuad::build(&db, Rect::square(0, 0, 4), 2).unwrap();
+        let bulk = puq.materialize(&db);
+        // Every cloak is 2-inside (policy-unaware 2-anonymity holds)…
+        for user in db.users() {
+            assert!(db.users_in(bulk.cloak_of(user).unwrap()).len() >= 2);
+        }
+        // …but the group structure betrays A.
+        let groups = bulk.groups();
+        let a_group = groups
+            .values()
+            .find(|members| members.contains(&UserId(0)))
+            .unwrap();
+        assert_eq!(a_group, &vec![UserId(0)], "policy-aware attacker identifies A");
+    }
+
+    #[test]
+    fn pub_cloaks_never_larger_than_puq() {
+        // Binary trees interleave semi-quadrants between quadrant levels,
+        // so the tightest binary node is never larger than the tightest
+        // quad node.
+        let db = table1();
+        let map = Rect::square(0, 0, 4);
+        let puq = PolicyUnawareQuad::build(&db, map, 2).unwrap().materialize(&db);
+        let pub_ = PolicyUnawareBinary::build(&db, map, 2).unwrap().materialize(&db);
+        for user in db.users() {
+            let q = puq.cloak_of(user).unwrap().rect().unwrap().area();
+            let b = pub_.cloak_of(user).unwrap().rect().unwrap().area();
+            assert!(b <= q, "{user}: binary {b} > quad {q}");
+        }
+    }
+
+    #[test]
+    fn too_small_population_yields_no_cloak() {
+        let db = LocationDb::from_rows([(UserId(0), Point::new(1, 1))]).unwrap();
+        let puq = PolicyUnawareQuad::build(&db, Rect::square(0, 0, 4), 2).unwrap();
+        assert!(puq.cloak(&db, UserId(0)).is_none());
+        assert!(puq.cloak(&db, UserId(7)).is_none(), "unknown user");
+    }
+
+    #[test]
+    fn k_zero_rejected() {
+        let db = table1();
+        assert!(PolicyUnawareQuad::build(&db, Rect::square(0, 0, 4), 0).is_err());
+        assert!(PolicyUnawareBinary::build(&db, Rect::square(0, 0, 4), 0).is_err());
+    }
+}

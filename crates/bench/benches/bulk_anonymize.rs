@@ -1,0 +1,39 @@
+//! Figure 4(a)/4(b) microbenchmark: bulk anonymization time as |D| and k
+//! scale. The full paper-scale sweep lives in the `experiments` binary;
+//! Criterion here gives statistically sound per-configuration timings at
+//! sizes that keep a full `cargo bench` run tractable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbs_bench::MasterWorkload;
+use lbs_core::Anonymizer;
+
+fn bulk_vs_d(c: &mut Criterion) {
+    let workload = MasterWorkload::generate(true);
+    let map = workload.config().map();
+    let mut group = c.benchmark_group("bulk_anonymize_vs_D");
+    group.sample_size(10);
+    for n in [10_000usize, 25_000, 50_000, 100_000] {
+        let db = workload.sample(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| Anonymizer::build(db, map, 50).unwrap().cost())
+        });
+    }
+    group.finish();
+}
+
+fn bulk_vs_k(c: &mut Criterion) {
+    let workload = MasterWorkload::generate(true);
+    let map = workload.config().map();
+    let db = workload.sample(50_000);
+    let mut group = c.benchmark_group("bulk_anonymize_vs_k");
+    group.sample_size(10);
+    for k in [10usize, 25, 50, 100, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| Anonymizer::build(&db, map, k).unwrap().cost())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bulk_vs_d, bulk_vs_k);
+criterion_main!(benches);

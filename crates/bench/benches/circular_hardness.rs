@@ -1,0 +1,42 @@
+//! Theorem 1 ablation: optimal policy-aware anonymization with circular
+//! cloaks is NP-complete — the exact set-partition solver's running time
+//! explodes with |D| while the greedy heuristic stays polynomial. This is
+//! the executable counterpart of the paper's hardness result, motivating
+//! the quad-tree restriction that makes Theorem 2's PTIME algorithm
+//! possible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbs_baselines::{greedy_circular_policy, optimal_circular_policy};
+use lbs_geom::Point;
+use lbs_model::{LocationDb, UserId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn instance(n: usize, seed: u64) -> (LocationDb, Vec<Point>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = LocationDb::from_rows((0..n).map(|i| {
+        (UserId(i as u64), Point::new(rng.gen_range(0..1_000), rng.gen_range(0..1_000)))
+    }))
+    .unwrap();
+    let centers = (0..4)
+        .map(|_| Point::new(rng.gen_range(0..1_000), rng.gen_range(0..1_000)))
+        .collect();
+    (db, centers)
+}
+
+fn hardness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circular_thm1");
+    group.sample_size(10);
+    for n in [6usize, 8, 10, 12] {
+        let (db, centers) = instance(n, 42);
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            b.iter(|| optimal_circular_policy(&db, &centers, 2).unwrap().cost)
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| greedy_circular_policy(&db, &centers, 2).unwrap().cost)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, hardness);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 5(b) microbenchmark: incremental maintenance of the optimum
+//! configuration matrix vs bulk recomputation, as the mover fraction
+//! grows. The paper's crossover sits near 5% movers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbs_bench::MasterWorkload;
+use lbs_core::{Anonymizer, IncrementalAnonymizer};
+use lbs_tree::{TreeConfig, TreeKind};
+use lbs_workload::random_moves;
+
+fn incremental_vs_bulk(c: &mut Criterion) {
+    let workload = MasterWorkload::generate(true);
+    let map = workload.config().map();
+    let db = workload.sample(50_000);
+    let k = 50;
+    let config = TreeConfig::lazy(TreeKind::Binary, map, k);
+
+    let mut group = c.benchmark_group("maintenance_50k");
+    group.sample_size(10);
+    for pct in [0.5f64, 2.0, 5.0, 10.0] {
+        let moves = random_moves(&db, &map, pct / 100.0, 200.0, pct as u64 + 1);
+        group.bench_with_input(
+            BenchmarkId::new("incremental", format!("{pct}pct")),
+            &moves,
+            |b, moves| {
+                // Setup (building the engine) excluded via iter_batched.
+                b.iter_batched(
+                    || IncrementalAnonymizer::new(&db, config, k).unwrap(),
+                    |mut engine| engine.apply_moves(moves).unwrap().rows_recomputed,
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bulk_rebuild", format!("{pct}pct")),
+            &moves,
+            |b, moves| {
+                let mut moved = db.clone();
+                moved.apply_moves(moves).unwrap();
+                b.iter(|| Anonymizer::build(&moved, map, k).unwrap().cost())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, incremental_vs_bulk);
+criterion_main!(benches);

@@ -1,0 +1,645 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (Section VI) plus the worked examples and the Theorem-1
+//! hardness ablation.
+//!
+//! ```text
+//! cargo run --release -p lbs-bench --bin experiments -- <experiment> [--quick]
+//!
+//! experiments:
+//!   table1   Table I / Examples 1-8: the worked 5-user instance
+//!   fig2     population density grid of the synthetic Bay Area
+//!   fig3     tree structure on the 1M sample, k=50
+//!   fig4a    bulk anonymization time vs |D| and #servers, k=50
+//!   fig4b    bulk anonymization time vs k, |D|=1M
+//!   fig5a    average cloak area: Casper vs PUB vs PUQ vs policy-aware
+//!   fig5b    incremental maintenance vs bulk recomputation, 1M, k=50
+//!   vid      Section VI-D: cost divergence vs #jurisdictions
+//!   lookup   Section VII: per-request cloak lookup latency
+//!   thm1     Theorem 1: exact vs greedy circular anonymization
+//!   query    extension: cloaked-NN candidate sets vs k (utility, §IV/§VII)
+//!   ablation extension: Lemma-5 bound, tree materialization, trajectory defence
+//!   all      everything above
+//! ```
+//!
+//! `--quick` runs the same sweeps on a 100k-user master for smoke testing.
+
+use lbs_attack::{audit_policy, PolicyAwareAttacker, PolicyUnawareAttacker};
+use lbs_baselines::{
+    greedy_circular_policy, optimal_circular_policy, Casper, PolicyUnawareBinary,
+    PolicyUnawareQuad,
+};
+use lbs_bench::{secs, timed, MasterWorkload, Table};
+use lbs_core::{verify_policy_aware, Anonymizer, IncrementalAnonymizer};
+use lbs_geom::{Point, Rect, Region};
+use lbs_model::{CloakingPolicy, LocationDb, UserId};
+use lbs_parallel::anonymize_partitioned;
+use lbs_tree::{leaf_csv, SpatialTree, TreeConfig, TreeKind, TreeStats};
+use lbs_workload::{density_grid, random_moves};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_default();
+    let known = [
+        "table1", "fig2", "fig3", "fig4a", "fig4b", "fig5a", "fig5b", "vid", "lookup", "thm1",
+        "query", "ablation", "all",
+    ];
+    if !known.contains(&which.as_str()) {
+        eprintln!("usage: experiments <{}> [--quick]", known.join("|"));
+        std::process::exit(2);
+    }
+
+    // table1 and thm1 need no master workload.
+    if which == "table1" {
+        return table1();
+    }
+    if which == "thm1" {
+        return thm1();
+    }
+
+    eprintln!("generating master workload (quick={quick})…");
+    let (workload, gen_time) = timed(|| MasterWorkload::generate(quick));
+    eprintln!("master: {} users in {}s", workload.master().len(), secs(gen_time));
+
+    match which.as_str() {
+        "fig2" => fig2(&workload),
+        "fig3" => fig3(&workload),
+        "fig4a" => fig4a(&workload),
+        "fig4b" => fig4b(&workload),
+        "fig5a" => fig5a(&workload),
+        "fig5b" => fig5b(&workload),
+        "vid" => vid(&workload),
+        "lookup" => lookup(&workload),
+        "query" => query_utility(&workload),
+        "ablation" => ablation(&workload),
+        "all" => {
+            table1();
+            fig2(&workload);
+            fig3(&workload);
+            fig4a(&workload);
+            fig4b(&workload);
+            fig5a(&workload);
+            fig5b(&workload);
+            vid(&workload);
+            lookup(&workload);
+            thm1();
+            query_utility(&workload);
+            ablation(&workload);
+        }
+        _ => unreachable!("validated above"),
+    }
+}
+
+/// Table I / Figure 1 / Examples 1–8: the five-user worked instance.
+fn table1() {
+    println!("== table1: the paper's worked example (Table I, Examples 1-8) ==\n");
+    // Half-open adaptation of Table I: A, B tight in the SW corner, C alone
+    // in NW, S and T in the east.
+    let db = LocationDb::from_rows([
+        (UserId(0), Point::new(0, 0)), // Alice
+        (UserId(1), Point::new(0, 1)), // Bob
+        (UserId(2), Point::new(0, 3)), // Carol
+        (UserId(3), Point::new(2, 0)), // Sam
+        (UserId(4), Point::new(3, 3)), // Tom
+    ])
+    .unwrap();
+    let names = ["Alice", "Bob", "Carol", "Sam", "Tom"];
+    let map = Rect::square(0, 0, 4);
+    let k = 2;
+
+    println!("-- the 2-inside policy (Casper prototype) --");
+    let casper = Casper::build(&db, map, k).unwrap().materialize(&db);
+    let mut t = Table::new(&["user", "cloak", "users inside", "policy-aware candidates"]);
+    let unaware = PolicyUnawareAttacker::new();
+    let aware = PolicyAwareAttacker::new(casper.clone());
+    for (i, user) in db.users().enumerate() {
+        let cloak: Region = *casper.cloak_of(user).unwrap();
+        t.row(vec![
+            names[i].into(),
+            cloak.to_string(),
+            unaware.possible_senders_of_region(&db, &cloak).len().to_string(),
+            aware.possible_senders_of_region(&db, &cloak).len().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    let breaches = audit_policy(&casper, &db, k);
+    for b in &breaches {
+        let who: Vec<&str> = b.candidates.iter().map(|u| names[u.0 as usize]).collect();
+        println!(
+            "BREACH (Example 1): cloak {} identifies {} to a policy-aware attacker!",
+            b.region,
+            who.join(", ")
+        );
+    }
+    assert!(!breaches.is_empty(), "the k-inside policy must exhibit the Example 1 breach");
+
+    println!("\n-- optimal policy-aware 2-anonymous policy (Bulk_dp) --");
+    let engine = Anonymizer::build(&db, map, k).unwrap();
+    let policy = engine.policy();
+    let mut t = Table::new(&["user", "cloak", "group size"]);
+    let groups = policy.groups();
+    for (i, user) in db.users().enumerate() {
+        let cloak = policy.cloak_of(user).unwrap();
+        t.row(vec![
+            names[i].into(),
+            cloak.to_string(),
+            groups[cloak].len().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    assert!(verify_policy_aware(policy, &db, k).is_ok());
+    assert!(audit_policy(policy, &db, k).is_empty());
+    println!(
+        "optimal policy-aware cost = {} m^2 (2-inside cost = {} m^2): no breach, \
+         utility traded for the stronger guarantee.\n",
+        engine.cost(),
+        casper.cost_exact().unwrap(),
+    );
+}
+
+/// Figure 2: population density of the synthetic Bay Area.
+fn fig2(w: &MasterWorkload) {
+    println!("== fig2: population density (synthetic Bay Area master set) ==\n");
+    let cells = 24;
+    let grid = density_grid(w.master(), &w.config().map(), cells);
+    let max = grid.iter().flatten().copied().max().unwrap_or(1).max(1);
+    println!("{} users over a {} m square; {cells}x{cells} grid, peak cell = {max} users",
+        w.master().len(), w.config().map_side);
+    println!("(ASCII shade: ' ' empty, '.' <1% of peak, ':' <5%, '+' <20%, '#' <60%, '@' rest)\n");
+    for row in grid.iter().rev() {
+        let line: String = row
+            .iter()
+            .map(|&c| {
+                let f = c as f64 / max as f64;
+                if c == 0 {
+                    ' '
+                } else if f < 0.01 {
+                    '.'
+                } else if f < 0.05 {
+                    ':'
+                } else if f < 0.20 {
+                    '+'
+                } else if f < 0.60 {
+                    '#'
+                } else {
+                    '@'
+                }
+            })
+            .collect();
+        println!("  |{line}|");
+    }
+    println!("\ncsv (row-major, south row first):");
+    for row in &grid {
+        println!(
+            "{}",
+            row.iter().map(usize::to_string).collect::<Vec<_>>().join(",")
+        );
+    }
+    println!();
+}
+
+/// Figure 3: shape of the (lazily materialized) binary tree on 1M users.
+fn fig3(w: &MasterWorkload) {
+    println!("== fig3: tree structure built on the 1M sample, k=50 ==\n");
+    let k = 50;
+    for n in [w.scale(1_000_000), w.scale(1_750_000)] {
+        let db = w.sample(n);
+        let (tree, t) = timed(|| {
+            SpatialTree::build(&db, TreeConfig::lazy(TreeKind::Binary, w.config().map(), k))
+                .unwrap()
+        });
+        let stats = TreeStats::compute(&tree);
+        println!("|D| = {n} (built in {}s)", secs(t));
+        println!("{stats}");
+        println!(
+            "paper's observations: max height <= 20 at 1M, < 25 at 1.75M; no leaf over k=50 \
+             users.\nmeasured: max depth = {}, max leaf = {}\n",
+            stats.max_depth, stats.max_leaf_count
+        );
+        let csv = leaf_csv(&tree);
+        println!("(leaf rect CSV available: {} rows; first 3:)", csv.lines().count() - 1);
+        for line in csv.lines().take(4) {
+            println!("  {line}");
+        }
+        println!();
+    }
+}
+
+/// Figure 4(a): bulk anonymization time vs |D|, one column per #servers.
+fn fig4a(w: &MasterWorkload) {
+    println!("== fig4a: bulk anonymization time (s) vs |D|, k=50 ==\n");
+    let k = 50;
+    let sizes = [100_000, 250_000, 500_000, 1_000_000, 1_750_000];
+    let servers = [1usize, 2, 4, 8, 16, 32];
+    let mut t = Table::new(&["|D|", "1", "2", "4", "8", "16", "32"]);
+    for paper_n in sizes {
+        let n = w.scale(paper_n);
+        let db = w.sample(n);
+        let mut cells = vec![n.to_string()];
+        for &s in &servers {
+            let (outcome, _) = timed(|| anonymize_partitioned(&db, w.config().map(), k, s));
+            let outcome = outcome.expect("partitioned anonymization");
+            cells.push(secs(outcome.simulated_wall_time()));
+        }
+        t.row(cells);
+    }
+    println!("{}", t.render());
+    println!(
+        "(simulated parallel wall time = partitioning + slowest server; servers share \
+         nothing, see DESIGN.md §5)\n"
+    );
+}
+
+/// Figure 4(b): bulk anonymization time vs k at |D| = 1M.
+fn fig4b(w: &MasterWorkload) {
+    println!("== fig4b: bulk anonymization time vs k, |D| = 1M ==\n");
+    let n = w.scale(1_000_000);
+    let db = w.sample(n);
+    let mut t = Table::new(&["k", "time(s)", "cost(km^2 total)"]);
+    for k in [10, 25, 50, 100, 150, 200, 250] {
+        let (engine, elapsed) = timed(|| Anonymizer::build(&db, w.config().map(), k).unwrap());
+        t.row(vec![
+            k.to_string(),
+            secs(elapsed),
+            format!("{:.1}", engine.cost() as f64 / 1e6),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(paper: quasi-linear — really sub-linear — growth in k)\n");
+}
+
+/// Figure 5(a): average cloak area of Casper / PUB / PUQ / policy-aware.
+fn fig5a(w: &MasterWorkload) {
+    println!("== fig5a: average cloak area (m^2) per policy, k=50 ==\n");
+    let k = 50;
+    let sizes = [100_000, 250_000, 500_000, 1_000_000];
+    let map = w.config().map();
+    let mut t = Table::new(&[
+        "|D|",
+        "casper",
+        "PUB",
+        "PUQ",
+        "PA-binary",
+        "PA-quad",
+        "PAb/casper",
+        "PAq/PUQ",
+    ]);
+    for paper_n in sizes {
+        let n = w.scale(paper_n);
+        let db = w.sample(n);
+        let casper = Casper::build(&db, map, k).unwrap().materialize(&db);
+        let pub_ = PolicyUnawareBinary::build(&db, map, k).unwrap().materialize(&db);
+        let puq = PolicyUnawareQuad::build(&db, map, k).unwrap().materialize(&db);
+        let pa = Anonymizer::build(&db, map, k).unwrap();
+        // The quad-restricted policy-aware optimum: the setting of the
+        // paper's remark "nearly identical to the policy-unaware
+        // quad-tree".
+        let pa_quad = Anonymizer::build_with_config(
+            &db,
+            TreeConfig::lazy(TreeKind::Quad, map, k),
+            k,
+        )
+        .unwrap();
+        let (c, b, q, p, pq) = (
+            casper.avg_area_f64(),
+            pub_.avg_area_f64(),
+            puq.avg_area_f64(),
+            pa.avg_cloak_area(),
+            pa_quad.avg_cloak_area(),
+        );
+        t.row(vec![
+            n.to_string(),
+            format!("{c:.0}"),
+            format!("{b:.0}"),
+            format!("{q:.0}"),
+            format!("{p:.0}"),
+            format!("{pq:.0}"),
+            format!("{:.2}", p / c),
+            format!("{:.2}", pq / q),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "(paper: Casper cheapest; policy-aware ~= PUQ — compare PA-quad vs PUQ — and at \
+         most 1.7x Casper; our production PA-binary runs over the richer semi-quadrant \
+         family and lands below PUQ)\n"
+    );
+}
+
+/// Figure 5(b): incremental maintenance vs bulk recomputation at 1M, k=50.
+fn fig5b(w: &MasterWorkload) {
+    println!("== fig5b: incremental maintenance vs bulk recomputation, 1M, k=50 ==\n");
+    let k = 50;
+    let n = w.scale(1_000_000);
+    let db = w.sample(n);
+    let map = w.config().map();
+    let config = TreeConfig::lazy(TreeKind::Binary, map, k);
+    let mut t = Table::new(&["movers(%)", "incremental(s)", "bulk(s)", "rows recomputed", "rows reused"]);
+    for pct in [0.5, 1.0, 2.0, 5.0, 10.0] {
+        let moves = random_moves(&db, &map, pct / 100.0, 200.0, 0xF16 + pct as u64);
+        // Incremental: maintain tree + matrix.
+        let mut inc = IncrementalAnonymizer::new(&db, config, k).unwrap();
+        let (report, inc_time) = timed(|| inc.apply_moves(&moves).unwrap());
+        // Bulk: rebuild everything on the moved snapshot.
+        let mut moved = db.clone();
+        moved.apply_moves(&moves).unwrap();
+        let (_, bulk_time) = timed(|| Anonymizer::build(&moved, map, k).unwrap());
+        assert_eq!(
+            inc.optimal_cost().unwrap(),
+            Anonymizer::build(&moved, map, k).unwrap().cost(),
+            "incremental must agree with bulk"
+        );
+        t.row(vec![
+            format!("{pct:.1}"),
+            secs(inc_time),
+            secs(bulk_time),
+            report.rows_recomputed.to_string(),
+            report.rows_reused.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(paper: incremental wins below ~5% movers, converges to bulk above)\n");
+}
+
+/// Section VI-D: cost divergence vs number of jurisdictions.
+fn vid(w: &MasterWorkload) {
+    println!("== vid (Section VI-D): utility loss vs #jurisdictions, 1M, k=50 ==\n");
+    let k = 50;
+    let n = w.scale(1_000_000);
+    let db = w.sample(n);
+    let map = w.config().map();
+    let optimal = Anonymizer::build(&db, map, k).unwrap().cost();
+    let mut t = Table::new(&["jurisdictions", "achieved", "cost", "divergence(%)"]);
+    for requested in [1usize, 4, 16, 64, 256, 1024, 2048, 4096] {
+        let outcome = anonymize_partitioned(&db, map, k, requested).unwrap();
+        t.row(vec![
+            requested.to_string(),
+            outcome.servers.len().to_string(),
+            outcome.total_cost.to_string(),
+            format!("{:.4}", 100.0 * outcome.divergence_from(optimal)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(paper: identical cost up to ~2k jurisdictions, < 1% through 4096)\n");
+}
+
+/// Section VII: per-request cloak lookup latency.
+fn lookup(w: &MasterWorkload) {
+    println!("== lookup (Section VII): per-request cloak lookup latency ==\n");
+    let k = 50;
+    let n = w.scale(1_000_000);
+    let db = w.sample(n);
+    let engine = Anonymizer::build(&db, w.config().map(), k).unwrap();
+    let users: Vec<UserId> = db.users().collect();
+    let reps = 1_000_000usize;
+    let (hits, elapsed) = timed(|| {
+        let mut hits = 0usize;
+        for i in 0..reps {
+            let user = users[i % users.len()];
+            if engine.policy().cloak_of(user).is_some() {
+                hits += 1;
+            }
+        }
+        hits
+    });
+    assert_eq!(hits, reps);
+    println!(
+        "{reps} lookups in {}s -> {:.3} µs/lookup (paper reports 0.3-0.5 ms per \
+         cloak lookup on 2005-era hardware)\n",
+        secs(elapsed),
+        elapsed.as_secs_f64() * 1e6 / reps as f64
+    );
+}
+
+/// Extension: the paper's utility motivation made concrete — cloaked
+/// nearest-neighbor candidate-set sizes as k grows, policy-aware optimum
+/// vs Casper (Sections IV cost model and VII query serving).
+fn query_utility(w: &MasterWorkload) {
+    println!("== query (extension): cloaked-NN candidate sets vs k ==\n");
+    use lbs_model::{AnonymizedRequest, RequestId, RequestParams};
+    use lbs_query::{CloakedLbs, Poi, PoiId, PoiStore};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    let n = w.scale(250_000);
+    let db = w.sample(n);
+    let map = w.config().map();
+    let mut rng = StdRng::seed_from_u64(0x901);
+    let pois: Vec<Poi> = (0..10_000)
+        .map(|i| Poi {
+            id: PoiId(i as u64),
+            location: Point::new(rng.gen_range(map.x0..map.x1), rng.gen_range(map.y0..map.y1)),
+            category: "rest".into(),
+        })
+        .collect();
+    let store = PoiStore::build(map, 1 << 11, pois).unwrap();
+    let probes: Vec<UserId> = db.users().take(300).collect();
+
+    let mut t = Table::new(&[
+        "k",
+        "PA avg cloak(m^2)",
+        "PA candidates",
+        "casper avg cloak(m^2)",
+        "casper candidates",
+    ]);
+    for k in [10usize, 50, 100, 200] {
+        let pa = Anonymizer::build(&db, map, k).unwrap();
+        let casper = Casper::build(&db, map, k).unwrap().materialize(&db);
+        let mut counts = [0usize; 2];
+        for (which, policy) in [pa.policy(), &casper].into_iter().enumerate() {
+            let mut lbs = CloakedLbs::new(store.clone());
+            for &user in &probes {
+                let cloak = *policy.cloak_of(user).unwrap();
+                let ar = AnonymizedRequest::new(
+                    RequestId(0),
+                    cloak,
+                    RequestParams::from_pairs([("poi", "rest")]),
+                );
+                counts[which] +=
+                    lbs.nearest_for(&ar, db.location(user).unwrap()).candidates_fetched;
+            }
+        }
+        t.row(vec![
+            k.to_string(),
+            format!("{:.0}", pa.avg_cloak_area()),
+            format!("{:.1}", counts[0] as f64 / probes.len() as f64),
+            format!("{:.0}", casper.avg_area_f64()),
+            format!("{:.1}", counts[1] as f64 / probes.len() as f64),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "(the paper's cost model: smaller cloaks -> fewer candidates for the LBS to ship \
+         and the client to filter; policy-aware stays within ~2x of Casper here too)\n"
+    );
+}
+
+/// Extension: ablations over the design choices DESIGN.md calls out —
+/// the Lemma-5 pass-up bound, lazy vs eager materialization, and the
+/// sticky-cohort trajectory defence.
+fn ablation(w: &MasterWorkload) {
+    use lbs_core::{bulk_dp_fast_with_options, StickyAnonymizer};
+    use lbs_tree::TreeStats;
+
+    println!("== ablation (extension) ==\n");
+
+    // (a) Lemma-5 bound: identical optimum, very different running time.
+    println!("-- (a) Lemma-5 pass-up bound: DP time with/without, k=50 --");
+    let k = 50;
+    let mut t = Table::new(&["|D|", "with Lemma 5 (s)", "without (s)", "same cost"]);
+    for paper_n in [10_000usize, 25_000, 50_000] {
+        let db = w.sample(paper_n); // sample() caps at the master size
+
+        let tree = SpatialTree::build(&db, TreeConfig::lazy(TreeKind::Binary, w.config().map(), k))
+            .unwrap();
+        let (with, t_with) =
+            timed(|| bulk_dp_fast_with_options(&tree, k, true).unwrap().optimal_cost(&tree));
+        let (without, t_without) =
+            timed(|| bulk_dp_fast_with_options(&tree, k, false).unwrap().optimal_cost(&tree));
+        t.row(vec![
+            db.len().to_string(),
+            secs(t_with),
+            secs(t_without),
+            (with.ok() == without.ok()).to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // (b) Lazy vs eager materialization: tree size and DP time.
+    println!("-- (b) lazy vs eager tree materialization, 50k users, k=50 --");
+    let db = w.sample(w.scale(875_000).min(50_000));
+    let mut t = Table::new(&["materialization", "nodes", "max depth", "build+DP (s)", "cost"]);
+    for (name, cfg) in [
+        ("lazy (split while d>=k)", TreeConfig::lazy(TreeKind::Binary, w.config().map(), k)),
+        ("eager depth 16", TreeConfig::eager(TreeKind::Binary, w.config().map(), 16)),
+    ] {
+        let ((tree, cost), elapsed) = timed(|| {
+            let tree = SpatialTree::build(&db, cfg).unwrap();
+            let cost = lbs_core::bulk_dp_fast(&tree, k).unwrap().optimal_cost(&tree).unwrap();
+            (tree, cost)
+        });
+        let stats = TreeStats::compute(&tree);
+        t.row(vec![
+            name.into(),
+            stats.nodes.to_string(),
+            stats.max_depth.to_string(),
+            secs(elapsed),
+            cost.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "(eager trees materialize empty regions for nothing: more nodes, more time, \
+         a marginal cost win only where the depth cap differs)\n"
+    );
+
+    // (b2) Semi-quadrant orientation: the paper's "ideally one would
+    // choose dynamically" remark, measured.
+    println!("-- (b2) semi-quadrant orientation (paper: fixed vertical), 50k users --");
+    let mut t = Table::new(&["orientation", "cost", "avg cloak (m^2)", "vs fixed"]);
+    let mut fixed_cost = 0u128;
+    for (name, orientation) in [
+        ("fixed vertical (paper)", lbs_tree::Orientation::FixedVertical),
+        ("balanced (dynamic)", lbs_tree::Orientation::Balanced),
+    ] {
+        let cfg = TreeConfig::lazy(TreeKind::Binary, w.config().map(), k)
+            .with_orientation(orientation);
+        let tree = SpatialTree::build(&db, cfg).unwrap();
+        let cost = lbs_core::bulk_dp_fast(&tree, k).unwrap().optimal_cost(&tree).unwrap();
+        if fixed_cost == 0 {
+            fixed_cost = cost;
+        }
+        t.row(vec![
+            name.into(),
+            cost.to_string(),
+            format!("{:.0}", cost as f64 / db.len() as f64),
+            format!("{:.3}", cost as f64 / fixed_cost as f64),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "(measured finding: population-balanced orientation does NOT beat the paper's \
+         fixed-vertical choice — the DP already optimizes over whatever tree it gets, \
+         and balance is the wrong objective for area cost; the paper's 'for simplicity' \
+         shortcut costs nothing)\n"
+    );
+
+    // (c) Trajectory defence: intersection-attack candidates over epochs.
+    println!("-- (c) sticky cohorts vs per-snapshot optimum under linking --");
+    use lbs_attack::{LinkedObservation, TrajectoryAttacker};
+    let n = w.scale(50_000).clamp(2_000, 20_000);
+    let mut db = w.sample(n);
+    let map = w.config().map();
+    let victim = db.users().next().unwrap();
+    let sticky = StickyAnonymizer::new(&db, map, k).unwrap();
+    let attacker = TrajectoryAttacker::new();
+    let (mut opt_obs, mut stk_obs) = (Vec::new(), Vec::new());
+    let mut t = Table::new(&[
+        "epoch",
+        "optimal candidates",
+        "sticky candidates",
+        "optimal cost",
+        "sticky cost",
+    ]);
+    for epoch in 0..5u64 {
+        if epoch > 0 {
+            let moves = random_moves(&db, &map, 0.5, 3_000.0, epoch);
+            db.apply_moves(&moves).unwrap();
+        }
+        let optimal = Anonymizer::build(&db, map, k).unwrap().policy().clone();
+        opt_obs.push(LinkedObservation {
+            db: db.clone(),
+            policy: optimal.clone(),
+            cloak: *optimal.cloak_of(victim).unwrap(),
+        });
+        let stable = sticky.policy_for(&db).unwrap();
+        stk_obs.push(LinkedObservation {
+            db: db.clone(),
+            policy: stable.clone(),
+            cloak: *stable.cloak_of(victim).unwrap(),
+        });
+        t.row(vec![
+            epoch.to_string(),
+            attacker.possible_senders(&opt_obs).len().to_string(),
+            attacker.possible_senders(&stk_obs).len().to_string(),
+            optimal.cost_exact().unwrap().to_string(),
+            stable.cost_exact().unwrap().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "(per-snapshot optimality leaks under linking — the future work the paper names; \
+         cohort stability restores >= k at growing cloak cost)\n"
+    );
+}
+
+/// Theorem 1: the circular-cloak problem is NP-complete — exact solver
+/// blows up exponentially while the greedy heuristic stays flat.
+fn thm1() {
+    println!("== thm1: optimal policy-aware anonymization with circular cloaks ==\n");
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(0x7E01);
+    let k = 2;
+    let mut t = Table::new(&["n", "exact(s)", "greedy(s)", "greedy/exact cost"]);
+    for n in [4usize, 6, 8, 10, 12, 14] {
+        let db = LocationDb::from_rows((0..n).map(|i| {
+            (UserId(i as u64), Point::new(rng.gen_range(0..1000), rng.gen_range(0..1000)))
+        }))
+        .unwrap();
+        let centers: Vec<Point> = (0..4)
+            .map(|_| Point::new(rng.gen_range(0..1000), rng.gen_range(0..1000)))
+            .collect();
+        let (exact, exact_t) = timed(|| optimal_circular_policy(&db, &centers, k).unwrap());
+        let (greedy, greedy_t) = timed(|| greedy_circular_policy(&db, &centers, k).unwrap());
+        t.row(vec![
+            n.to_string(),
+            format!("{:.4}", exact_t.as_secs_f64()),
+            format!("{:.6}", greedy_t.as_secs_f64()),
+            format!("{:.3}", greedy.cost / exact.cost),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "(Theorem 1: the exact problem is NP-complete; the quad-tree restriction is what \
+         makes the paper's PTIME result possible)\n"
+    );
+}

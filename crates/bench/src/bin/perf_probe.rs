@@ -1,0 +1,19 @@
+//! Scratch performance probe (paper scale).
+use lbs_core::Anonymizer;
+use lbs_workload::{generate_master, sample, BayAreaConfig};
+use std::time::Instant;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
+    let k: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(50);
+    let cfg = BayAreaConfig::default();
+    let t0 = Instant::now();
+    let master = generate_master(&cfg);
+    eprintln!("master {} users in {:?}", master.len(), t0.elapsed());
+    let t0 = Instant::now();
+    let db = sample(&master, n, 1);
+    eprintln!("sample {} in {:?}", db.len(), t0.elapsed());
+    let t0 = Instant::now();
+    let engine = Anonymizer::build(&db, cfg.map(), k).unwrap();
+    eprintln!("anonymize n={n} k={k}: {:?} cost={} stats: {}", t0.elapsed(), engine.cost(), engine.tree_stats());
+}

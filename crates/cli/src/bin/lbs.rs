@@ -1,0 +1,23 @@
+//! Thin shell around `lbs_cli`: parse, run, report.
+
+use lbs_cli::{run, Args};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: lbs <gen|anonymize|audit|stats|compare|lookup> [--key value]...\n\
+                 see `cargo doc -p lbs-cli` for the full command reference"
+            );
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = run(&args, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,344 @@
+//! Subcommand implementations. Each writes human-readable output to the
+//! supplied writer so tests can capture it.
+
+use crate::{Args, ArgsError};
+use bytes::Bytes;
+use lbs_attack::audit_policy;
+use lbs_baselines::{Casper, PolicyUnawareBinary, PolicyUnawareQuad};
+use lbs_core::{verify_policy_aware, Anonymizer};
+use lbs_geom::Rect;
+use lbs_model::{
+    decode_policy, decode_snapshot, encode_policy, encode_snapshot, BulkPolicy, CloakingPolicy,
+    LocationDb, ModelError, UserId,
+};
+use lbs_parallel::anonymize_partitioned;
+use lbs_tree::{SpatialTree, TreeConfig, TreeKind, TreeStats};
+use lbs_workload::{generate_master, BayAreaConfig};
+use std::io::Write;
+
+/// CLI failure modes.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Args(ArgsError),
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// File I/O failure.
+    Io(std::io::Error),
+    /// Codec failure.
+    Codec(ModelError),
+    /// Anonymization failure.
+    Anonymize(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command {c:?}; try gen/anonymize/audit/stats/compare/lookup")
+            }
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Codec(e) => write!(f, "codec error: {e}"),
+            CliError::Anonymize(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgsError> for CliError {
+    fn from(e: ArgsError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<ModelError> for CliError {
+    fn from(e: ModelError) -> Self {
+        CliError::Codec(e)
+    }
+}
+
+/// Dispatches a parsed command, writing reports to `out`.
+///
+/// # Errors
+/// Every failure path is a typed [`CliError`]; nothing panics on bad
+/// user input.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    match args.command.as_str() {
+        "gen" => gen(args, out),
+        "anonymize" => anonymize(args, out),
+        "audit" => audit(args, out),
+        "stats" => stats(args, out),
+        "compare" => compare(args, out),
+        "lookup" => lookup(args, out),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn load_snapshot(path: &str) -> Result<LocationDb, CliError> {
+    let raw = std::fs::read(path)?;
+    Ok(decode_snapshot(Bytes::from(raw))?)
+}
+
+fn load_policy(path: &str) -> Result<BulkPolicy, CliError> {
+    let raw = std::fs::read(path)?;
+    Ok(decode_policy(Bytes::from(raw))?)
+}
+
+/// The square power-of-two map covering a snapshot (or the default
+/// Bay-Area map when the snapshot already fits it).
+fn map_for(db: &LocationDb) -> Rect {
+    let default = BayAreaConfig::default().map();
+    match db.bounding_rect() {
+        None => default,
+        Some(b) if default.contains_rect(&b) => default,
+        Some(b) => {
+            let extent = b.x1.max(b.y1).max(1);
+            let side = (extent as u64).next_power_of_two() as i64;
+            Rect::square(0, 0, side)
+        }
+    }
+}
+
+fn gen(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let users: usize = args.required_parse("users")?;
+    let seed: u64 = args.parse_or("seed", BayAreaConfig::default().seed)?;
+    let path = args.required("out")?;
+    let cfg = BayAreaConfig { seed, ..BayAreaConfig::scaled_to(users) };
+    let db = generate_master(&cfg);
+    std::fs::write(path, encode_snapshot(&db))?;
+    writeln!(out, "wrote {} users to {path} (map side {} m, seed {seed})", db.len(), cfg.map_side)?;
+    Ok(())
+}
+
+fn anonymize(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let db = load_snapshot(args.required("snapshot")?)?;
+    let k: usize = args.required_parse("k")?;
+    let servers: usize = args.parse_or("servers", 1)?;
+    let path = args.required("out")?;
+    let map = map_for(&db);
+
+    let (policy, cost) = if servers <= 1 {
+        let engine = Anonymizer::build(&db, map, k)
+            .map_err(|e| CliError::Anonymize(e.to_string()))?;
+        (engine.policy().clone(), engine.cost())
+    } else {
+        let outcome = anonymize_partitioned(&db, map, k, servers)
+            .map_err(|e| CliError::Anonymize(e.to_string()))?;
+        (outcome.policy, outcome.total_cost)
+    };
+    std::fs::write(path, encode_policy(&policy))?;
+    let stats = policy.stats();
+    writeln!(
+        out,
+        "anonymized {} users at k={k} ({} cloak groups, min group {}, cost {} m^2) -> {path}",
+        stats.users, stats.groups, stats.min_group, cost
+    )?;
+    Ok(())
+}
+
+fn audit(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let db = load_snapshot(args.required("snapshot")?)?;
+    let policy = load_policy(args.required("policy")?)?;
+    let k: usize = args.required_parse("k")?;
+    let breaches = audit_policy(&policy, &db, k);
+    match verify_policy_aware(&policy, &db, k) {
+        Ok(()) => writeln!(
+            out,
+            "OK: policy {:?} provides sender {k}-anonymity against policy-aware attackers \
+             ({} users, {} groups)",
+            policy.name(),
+            policy.len(),
+            policy.groups().len()
+        )?,
+        Err(violations) => {
+            writeln!(out, "FAIL: {} violations, {} breachable cloaks", violations.len(), breaches.len())?;
+            for b in breaches.iter().take(10) {
+                writeln!(out, "  cloak {} -> candidates {:?}", b.region, b.candidates)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn stats(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let db = load_snapshot(args.required("snapshot")?)?;
+    let k: usize = args.parse_or("k", 50)?;
+    let map = map_for(&db);
+    let tree = SpatialTree::build(&db, TreeConfig::lazy(TreeKind::Binary, map, k))
+        .map_err(CliError::Anonymize)?;
+    writeln!(out, "{} users on {map}; binary tree at k={k}:", db.len())?;
+    writeln!(out, "{}", TreeStats::compute(&tree))?;
+    Ok(())
+}
+
+fn compare(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let db = load_snapshot(args.required("snapshot")?)?;
+    let k: usize = args.required_parse("k")?;
+    let map = map_for(&db);
+    let rows: Vec<(&str, f64)> = vec![
+        (
+            "casper",
+            Casper::build(&db, map, k)
+                .map_err(CliError::Anonymize)?
+                .materialize(&db)
+                .avg_area_f64(),
+        ),
+        (
+            "pub",
+            PolicyUnawareBinary::build(&db, map, k)
+                .map_err(CliError::Anonymize)?
+                .materialize(&db)
+                .avg_area_f64(),
+        ),
+        (
+            "puq",
+            PolicyUnawareQuad::build(&db, map, k)
+                .map_err(CliError::Anonymize)?
+                .materialize(&db)
+                .avg_area_f64(),
+        ),
+        (
+            "policy-aware",
+            Anonymizer::build(&db, map, k)
+                .map_err(|e| CliError::Anonymize(e.to_string()))?
+                .avg_cloak_area(),
+        ),
+    ];
+    writeln!(out, "average cloak area at k={k} over {} users:", db.len())?;
+    for (name, area) in rows {
+        writeln!(out, "  {name:>13}: {area:>14.0} m^2")?;
+    }
+    Ok(())
+}
+
+fn lookup(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let policy = load_policy(args.required("policy")?)?;
+    let user = UserId(args.required_parse("user")?);
+    match policy.cloak_of(user) {
+        Some(region) => writeln!(out, "{user} -> {region}")?,
+        None => writeln!(out, "{user} has no cloak in this policy")?,
+    }
+    Ok(())
+}
+
+/// Test helper: run a command line against temp files.
+#[cfg(test)]
+fn run_line(line: &[&str]) -> Result<String, CliError> {
+    let args = Args::parse(line.iter().copied().map(String::from))?;
+    let mut out = Vec::new();
+    run(&args, &mut out)?;
+    Ok(String::from_utf8(out).expect("utf8 output"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!("lbs-cli-test-{tag}-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+        fn path(&self, name: &str) -> String {
+            self.0.join(name).to_string_lossy().into_owned()
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn full_workflow_gen_anonymize_audit_lookup() {
+        let dir = TempDir::new("workflow");
+        let snap = dir.path("snapshot.bin");
+        let pol = dir.path("policy.bin");
+
+        let msg = run_line(&["gen", "--users", "2000", "--seed", "3", "--out", &snap]).unwrap();
+        assert!(msg.contains("2000 users"), "{msg}");
+
+        let msg =
+            run_line(&["anonymize", "--snapshot", &snap, "--k", "10", "--out", &pol]).unwrap();
+        assert!(msg.contains("k=10"), "{msg}");
+
+        let msg = run_line(&["audit", "--snapshot", &snap, "--policy", &pol, "--k", "10"]).unwrap();
+        assert!(msg.starts_with("OK"), "{msg}");
+
+        // Auditing at a stricter level than the policy provides must fail.
+        let msg =
+            run_line(&["audit", "--snapshot", &snap, "--policy", &pol, "--k", "200"]).unwrap();
+        assert!(msg.starts_with("FAIL"), "{msg}");
+
+        let msg = run_line(&["lookup", "--policy", &pol, "--user", "0"]).unwrap();
+        assert!(msg.contains("u0 ->"), "{msg}");
+        let msg = run_line(&["lookup", "--policy", &pol, "--user", "999999"]).unwrap();
+        assert!(msg.contains("no cloak"), "{msg}");
+    }
+
+    #[test]
+    fn stats_and_compare_render() {
+        let dir = TempDir::new("stats");
+        let snap = dir.path("snapshot.bin");
+        run_line(&["gen", "--users", "1500", "--out", &snap]).unwrap();
+        let msg = run_line(&["stats", "--snapshot", &snap, "--k", "10"]).unwrap();
+        assert!(msg.contains("nodes="), "{msg}");
+        let msg = run_line(&["compare", "--snapshot", &snap, "--k", "10"]).unwrap();
+        assert!(msg.contains("policy-aware"), "{msg}");
+        assert!(msg.contains("casper"), "{msg}");
+    }
+
+    #[test]
+    fn parallel_anonymize_matches_verifier() {
+        let dir = TempDir::new("parallel");
+        let snap = dir.path("snapshot.bin");
+        let pol = dir.path("policy.bin");
+        run_line(&["gen", "--users", "3000", "--out", &snap]).unwrap();
+        run_line(&["anonymize", "--snapshot", &snap, "--k", "15", "--servers", "8", "--out", &pol])
+            .unwrap();
+        let msg = run_line(&["audit", "--snapshot", &snap, "--policy", &pol, "--k", "15"]).unwrap();
+        assert!(msg.starts_with("OK"), "{msg}");
+    }
+
+    #[test]
+    fn helpful_errors_for_bad_input() {
+        assert!(matches!(
+            run_line(&["transmogrify"]),
+            Err(CliError::UnknownCommand(_))
+        ));
+        assert!(matches!(run_line(&["anonymize"]), Err(CliError::Args(_))));
+        let err = run_line(&["stats", "--snapshot", "/nonexistent/x.bin"]).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+        // A snapshot file with garbage content is a codec error.
+        let dir = TempDir::new("garbage");
+        let bad = dir.path("bad.bin");
+        std::fs::write(&bad, b"not a snapshot").unwrap();
+        assert!(matches!(
+            run_line(&["stats", "--snapshot", &bad]),
+            Err(CliError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn anonymize_reports_infeasible_k() {
+        let dir = TempDir::new("infeasible");
+        let snap = dir.path("snapshot.bin");
+        let pol = dir.path("policy.bin");
+        run_line(&["gen", "--users", "50", "--out", &snap]).unwrap();
+        let err = run_line(&["anonymize", "--snapshot", &snap, "--k", "5000", "--out", &pol])
+            .unwrap_err();
+        assert!(matches!(err, CliError::Anonymize(_)), "{err:?}");
+    }
+}

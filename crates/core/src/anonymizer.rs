@@ -1,0 +1,164 @@
+//! High-level facade: build once per snapshot, serve per-request lookups.
+//!
+//! This is the CSP-side component of the privacy-conscious LBS model:
+//! bulk-anonymize a snapshot (sub-second for a million users in the
+//! paper's evaluation), then answer each incoming service request with a
+//! constant-time-ish policy lookup (0.3–0.5 ms reported in Section VII).
+
+use crate::{bulk_dp_fast, CoreError, DpMatrix};
+use lbs_geom::{Area, Rect};
+use lbs_model::{
+    AnonymizedRequest, BulkPolicy, CloakingPolicy, LocationDb, RequestId, ServiceRequest,
+};
+use lbs_tree::{SpatialTree, TreeConfig, TreeKind, TreeStats};
+
+/// An optimal policy-aware sender-k-anonymity engine for one snapshot.
+#[derive(Debug, Clone)]
+pub struct Anonymizer {
+    tree: SpatialTree,
+    matrix: DpMatrix,
+    policy: BulkPolicy,
+    cost: Area,
+    next_rid: u64,
+}
+
+impl Anonymizer {
+    /// Bulk-anonymizes `db` over a lazily materialized binary tree on
+    /// `map`, producing the optimal policy-aware k-anonymous policy.
+    ///
+    /// # Errors
+    /// Fails when the map is invalid, a user is off-map, `k = 0`, or fewer
+    /// than k users exist.
+    pub fn build(db: &LocationDb, map: Rect, k: usize) -> Result<Self, CoreError> {
+        let config = TreeConfig::lazy(TreeKind::Binary, map, k);
+        Self::build_with_config(db, config, k)
+    }
+
+    /// As [`Anonymizer::build`] with full control over tree kind and
+    /// materialization: binary trees run the Section-V optimized DP, quad
+    /// trees the 4-way variant of Theorem 2's setting.
+    ///
+    /// # Errors
+    /// See [`Anonymizer::build`].
+    pub fn build_with_config(
+        db: &LocationDb,
+        config: TreeConfig,
+        k: usize,
+    ) -> Result<Self, CoreError> {
+        let tree = SpatialTree::build(db, config).map_err(CoreError::Tree)?;
+        let matrix = match config.kind {
+            TreeKind::Binary => bulk_dp_fast(&tree, k)?,
+            TreeKind::Quad => crate::bulk_dp_fast_quad(&tree, k)?,
+        };
+        let cost = matrix.optimal_cost(&tree)?;
+        let policy = matrix.extract_policy(&tree)?;
+        Ok(Anonymizer { tree, matrix, policy, cost, next_rid: 0 })
+    }
+
+    /// Serves one service request: looks up the sender's cloak and emits an
+    /// anonymized request with a fresh request id. Returns `None` for
+    /// requests that are invalid w.r.t. the snapshot.
+    pub fn serve(&mut self, db: &LocationDb, sr: &ServiceRequest) -> Option<AnonymizedRequest> {
+        let rid = RequestId(self.next_rid);
+        let ar = self.policy.anonymize(db, sr, rid)?;
+        self.next_rid += 1;
+        Some(ar)
+    }
+
+    /// The optimal bulk policy.
+    pub fn policy(&self) -> &BulkPolicy {
+        &self.policy
+    }
+
+    /// `Cost(P, D)` of the optimal policy.
+    pub fn cost(&self) -> Area {
+        self.cost
+    }
+
+    /// Average cloak area per user.
+    pub fn avg_cloak_area(&self) -> f64 {
+        self.policy.avg_area_f64()
+    }
+
+    /// The underlying tree (for stats and experiment plumbing).
+    pub fn tree(&self) -> &SpatialTree {
+        &self.tree
+    }
+
+    /// The filled configuration matrix.
+    pub fn matrix(&self) -> &DpMatrix {
+        &self.matrix
+    }
+
+    /// Shape statistics of the materialized tree (Figure 3).
+    pub fn tree_stats(&self) -> TreeStats {
+        TreeStats::compute(&self.tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_policy_aware;
+    use lbs_geom::Point;
+    use lbs_model::{RequestParams, UserId};
+
+    fn db() -> LocationDb {
+        LocationDb::from_rows(
+            [(1, 1), (1, 2), (1, 3), (3, 1), (3, 3), (13, 13), (14, 14), (13, 14)]
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_and_serve_round_trip() {
+        let db = db();
+        let mut engine = Anonymizer::build(&db, Rect::square(0, 0, 16), 2).unwrap();
+        assert!(verify_policy_aware(engine.policy(), &db, 2).is_ok());
+        assert_eq!(engine.policy().cost_exact(), Some(engine.cost()));
+
+        let sr = ServiceRequest::new(
+            UserId(0),
+            Point::new(1, 1),
+            RequestParams::from_pairs([("poi", "rest")]),
+        );
+        let ar1 = engine.serve(&db, &sr).unwrap();
+        let ar2 = engine.serve(&db, &sr).unwrap();
+        assert!(ar1.masks(&sr) && ar2.masks(&sr));
+        assert_ne!(ar1.rid, ar2.rid, "request ids are unique");
+        assert_eq!(ar1.region, ar2.region, "policy is deterministic");
+
+        let invalid =
+            ServiceRequest::new(UserId(0), Point::new(9, 9), RequestParams::default());
+        assert!(engine.serve(&db, &invalid).is_none());
+    }
+
+    #[test]
+    fn avg_area_is_cost_over_users() {
+        let db = db();
+        let engine = Anonymizer::build(&db, Rect::square(0, 0, 16), 3).unwrap();
+        let expected = engine.cost() as f64 / db.len() as f64;
+        assert!((engine.avg_cloak_area() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quad_tree_configs_dispatch_to_the_quad_dp() {
+        let db = db();
+        let config = TreeConfig::lazy(TreeKind::Quad, Rect::square(0, 0, 16), 2);
+        let quad = Anonymizer::build_with_config(&db, config, 2).unwrap();
+        assert!(verify_policy_aware(quad.policy(), &db, 2).is_ok());
+        // Binary never costs more than quad at equal granularity (§V).
+        let binary = Anonymizer::build(&db, Rect::square(0, 0, 16), 2).unwrap();
+        assert!(binary.cost() <= quad.cost());
+    }
+
+    #[test]
+    fn infeasible_snapshot_reports_population() {
+        let small = LocationDb::from_rows([(UserId(0), Point::new(1, 1))]).unwrap();
+        let err = Anonymizer::build(&small, Rect::square(0, 0, 16), 2).unwrap_err();
+        assert_eq!(err, CoreError::InsufficientPopulation { population: 1, k: 2 });
+    }
+}

@@ -1,0 +1,217 @@
+//! Configurations: succinct equivalence classes of policies
+//! (Definitions 7–9 and Lemmas 1–3).
+
+use lbs_geom::Area;
+use lbs_tree::{NodeId, SpatialTree};
+use std::collections::HashMap;
+
+/// A configuration `C` of a tree: for each node `m`, the number `C(m)` of
+/// locations that lie in `m`'s quadrant but are *not* cloaked by `m` or any
+/// of its descendants — i.e. whose cloaking responsibility is passed up.
+///
+/// A configuration is exponentially more succinct than the policies it
+/// represents: it fixes only *how many* locations each node cloaks, never
+/// *which* ones, and by Lemma 1 all represented policies share both cost
+/// and anonymity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Configuration {
+    values: HashMap<NodeId, usize>,
+}
+
+impl Configuration {
+    /// The empty configuration (all values unset).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `C(node) = passed_up`.
+    pub fn set(&mut self, node: NodeId, passed_up: usize) {
+        self.values.insert(node, passed_up);
+    }
+
+    /// `C(node)`, or `None` if unset.
+    pub fn get(&self, node: NodeId) -> Option<usize> {
+        self.values.get(&node).copied()
+    }
+
+    /// Whether every live node of `tree` has a value satisfying the shape
+    /// constraints of Definition 7: `C(m) ≤ d(m)` at leaves and
+    /// `C(m) ≤ Σ C(mᵢ)` at internal nodes.
+    pub fn is_valid(&self, tree: &SpatialTree) -> bool {
+        tree.postorder().into_iter().all(|id| {
+            let node = tree.node(id);
+            match self.get(id) {
+                None => false,
+                Some(c) => {
+                    if node.is_leaf() {
+                        c <= node.count
+                    } else {
+                        let delta: usize = node
+                            .children
+                            .as_slice()
+                            .iter()
+                            .filter_map(|&ch| self.get(ch))
+                            .sum();
+                        c <= delta
+                    }
+                }
+            }
+        })
+    }
+
+    /// Whether the configuration is *complete*: `C(root) = 0`, i.e. every
+    /// location is cloaked somewhere in the tree.
+    pub fn is_complete(&self, tree: &SpatialTree) -> bool {
+        self.get(tree.root()) == Some(0)
+    }
+
+    /// The k-summation property (Definition 9) — by Lemma 3, a policy is
+    /// policy-aware sender k-anonymous iff its configuration satisfies
+    /// this.
+    pub fn satisfies_k_summation(&self, tree: &SpatialTree, k: usize) -> bool {
+        tree.postorder().into_iter().all(|id| {
+            let node = tree.node(id);
+            let Some(c) = self.get(id) else { return false };
+            // `bound` is d(m) at leaves and Δ = Σ C(mᵢ) at internal nodes;
+            // clauses (i)/(iii) and (ii)/(iv) coincide modulo that choice.
+            let bound = if node.is_leaf() {
+                node.count
+            } else {
+                node.children
+                    .as_slice()
+                    .iter()
+                    .map(|&ch| self.get(ch).unwrap_or(usize::MAX))
+                    .fold(0usize, usize::saturating_add)
+            };
+            if bound < k {
+                c == bound
+            } else {
+                c == bound || c + k <= bound
+            }
+        })
+    }
+
+    /// `Cost_c(C, D)` (Definition 8): each node contributes its area once
+    /// per location it cloaks.
+    ///
+    /// Returns `None` if any node value is missing.
+    pub fn cost(&self, tree: &SpatialTree) -> Option<Area> {
+        let mut total: Area = 0;
+        for id in tree.postorder() {
+            let node = tree.node(id);
+            let c = self.get(id)?;
+            let cloaked_here = if node.is_leaf() {
+                node.count.checked_sub(c)?
+            } else {
+                let delta: usize = node
+                    .children
+                    .as_slice()
+                    .iter()
+                    .map(|&ch| self.get(ch))
+                    .collect::<Option<Vec<_>>>()?
+                    .into_iter()
+                    .sum();
+                delta.checked_sub(c)?
+            };
+            total += node.rect.area() * cloaked_here as Area;
+        }
+        Some(total)
+    }
+
+    /// Number of nodes with a value set.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no values are set.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbs_geom::{Point, Rect};
+    use lbs_model::{LocationDb, UserId};
+    use lbs_tree::{TreeConfig, TreeKind};
+
+    /// Table I of the paper on its 4x4 map: A(1,1) B(1,2) C(1,4→clamped)
+    /// — we use the coordinates of Figure I scaled into [0,4).
+    fn paper_tree() -> SpatialTree {
+        let db = LocationDb::from_rows([
+            (UserId(0), Point::new(1, 1)), // A
+            (UserId(1), Point::new(1, 2)), // B
+            (UserId(2), Point::new(1, 3)), // C
+            (UserId(3), Point::new(3, 1)), // S
+            (UserId(4), Point::new(3, 3)), // T
+        ])
+        .unwrap();
+        SpatialTree::build(&db, TreeConfig::eager(TreeKind::Quad, Rect::square(0, 0, 4), 1))
+            .unwrap()
+    }
+
+    fn full_pass_up(tree: &SpatialTree) -> Configuration {
+        // Every node passes everything up: the (incomplete) all-zero-cloak
+        // configuration. Satisfies k-summation for every k.
+        let mut c = Configuration::new();
+        for id in tree.postorder() {
+            c.set(id, tree.count(id));
+        }
+        c
+    }
+
+    #[test]
+    fn full_pass_up_is_valid_but_incomplete() {
+        let tree = paper_tree();
+        let c = full_pass_up(&tree);
+        assert!(c.is_valid(&tree));
+        assert!(!c.is_complete(&tree));
+        assert!(c.satisfies_k_summation(&tree, 2));
+        assert!(c.satisfies_k_summation(&tree, 100));
+        assert_eq!(c.cost(&tree), Some(0), "nothing cloaked, zero cost");
+    }
+
+    #[test]
+    fn root_cloaking_everything_is_complete() {
+        let tree = paper_tree();
+        let mut c = full_pass_up(&tree);
+        c.set(tree.root(), 0); // root cloaks all 5 users
+        assert!(c.is_valid(&tree));
+        assert!(c.is_complete(&tree));
+        assert!(c.satisfies_k_summation(&tree, 5));
+        assert!(!c.satisfies_k_summation(&tree, 6), "only 5 users available");
+        // 5 users cloaked at the 16 m² root.
+        assert_eq!(c.cost(&tree), Some(5 * 16));
+    }
+
+    #[test]
+    fn cloaking_fewer_than_k_violates_k_summation() {
+        let tree = paper_tree();
+        let mut c = full_pass_up(&tree);
+        // Root cloaks exactly 1 user (passes up 4): Δ=5, C=4, 0 < Δ-C < k.
+        c.set(tree.root(), 4);
+        assert!(c.is_valid(&tree));
+        assert!(c.satisfies_k_summation(&tree, 1));
+        assert!(!c.satisfies_k_summation(&tree, 2));
+    }
+
+    #[test]
+    fn missing_values_fail_everything() {
+        let tree = paper_tree();
+        let c = Configuration::new();
+        assert!(!c.is_valid(&tree));
+        assert!(!c.satisfies_k_summation(&tree, 2));
+        assert_eq!(c.cost(&tree), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn invalid_when_child_exceeds_leaf_population() {
+        let tree = paper_tree();
+        let mut c = full_pass_up(&tree);
+        let leaf = tree.leaf_containing(&Point::new(1, 1)).unwrap();
+        c.set(leaf, tree.count(leaf) + 1);
+        assert!(!c.is_valid(&tree));
+    }
+}

@@ -1,0 +1,441 @@
+//! The production `Bulk_dp` with all Section V optimizations:
+//! binary (semi-quadrant) trees, the Lemma-5 pass-up bound, and the
+//! two-stage child combination, for `O(|B|(kh)²)` total work.
+//!
+//! Per internal node `m` with children `m₁, m₂` the computation is staged
+//! exactly as in the paper:
+//!
+//! 1. `temp[m][j] = min_{l₁+l₂=j} (M[m₁][l₁] + M[m₂][l₂])` — the cheapest
+//!    way for the children to leave `j` users un-anonymized, over the
+//!    *reduced* candidate sets `F′(mᵢ) = [0..min(d−k, (k+1)h(mᵢ))] ∪ {d(mᵢ)}`
+//!    (Lemma 5: passing up more than `(k+1)·h(m)` but fewer than `d(m)`
+//!    locations is never optimal).
+//! 2. `M[m][u] = min_{j=u ∨ j≥u+k} temp[m][j] + (j−u)·area(m)` — `m` cloaks
+//!    either none of the passed-up users or at least k of them, resolved
+//!    with suffix-minimum sweeps instead of a nested loop.
+//!
+//! Because each child's candidate set is a dense interval plus the single
+//! special value `d(mᵢ)`, `temp` decomposes into four structured blocks
+//! (dense×dense, dense×special, special×dense, special×special); only the
+//! first needs a true (min,+) convolution, and each block answers the
+//! `j ≥ u+k` queries with one precomputed suffix-minimum array. This keeps
+//! the constant factor small enough to bulk-anonymize a million users in
+//! seconds on one core.
+
+use crate::{CoreError, DpMatrix, Entry, Row, INFINITE_COST};
+use lbs_tree::{NodeId, SpatialTree, TreeKind};
+
+/// Runs the optimized `Bulk_dp` over a **binary** tree.
+///
+/// # Errors
+/// [`CoreError::InvalidK`] for `k = 0`; [`CoreError::Tree`] when handed a
+/// quad tree (use [`crate::bulk_dp_dense`] there, or rebuild as binary).
+pub fn bulk_dp_fast(tree: &SpatialTree, k: usize) -> Result<DpMatrix, CoreError> {
+    bulk_dp_fast_with_options(tree, k, true)
+}
+
+/// As [`bulk_dp_fast`], with the Lemma-5 pass-up bound switchable off —
+/// the ablation knob behind the `experiments ablation` run. Without the
+/// bound every node's dense block spans `[0 .. d(m)−k]`, restoring the
+/// pre-optimization `O(|B||D|²)`-ish per-level work while producing the
+/// same optimal cost (Lemma 5 only prunes provably suboptimal cells).
+///
+/// # Errors
+/// Same conditions as [`bulk_dp_fast`].
+pub fn bulk_dp_fast_with_options(
+    tree: &SpatialTree,
+    k: usize,
+    use_lemma5: bool,
+) -> Result<DpMatrix, CoreError> {
+    if k == 0 {
+        return Err(CoreError::InvalidK);
+    }
+    if tree.config().kind != TreeKind::Binary {
+        return Err(CoreError::Tree(
+            "bulk_dp_fast requires a binary (semi-quadrant) tree".into(),
+        ));
+    }
+    let mut matrix = DpMatrix::new(k, tree.arena_len());
+    let mut scratch = Scratch { use_lemma5, ..Scratch::default() };
+    for id in tree.postorder() {
+        let row = compute_row_with(tree, &matrix, id, k, &mut scratch);
+        matrix.set_row(id, row);
+    }
+    Ok(matrix)
+}
+
+/// Lemma 5 cap on dense pass-up values for a node of depth `h` holding `d`
+/// users: `min(d − k, (k+1)·h)`. Returns `None` when the dense block is
+/// empty (`d < k`). With `use_lemma5 = false`, only the k-summation bound
+/// `d − k` applies.
+fn dense_cap_with(d: usize, depth: u16, k: usize, use_lemma5: bool) -> Option<usize> {
+    let by_summation = d.checked_sub(k)?;
+    if use_lemma5 {
+        Some(by_summation.min((k + 1) * depth as usize))
+    } else {
+        Some(by_summation)
+    }
+}
+
+#[cfg(test)]
+fn dense_cap(d: usize, depth: u16, k: usize) -> Option<usize> {
+    dense_cap_with(d, depth, k, true)
+}
+
+/// Reusable per-node buffers (the DP touches these millions of times; keep
+/// the allocations out of the hot loop).
+#[derive(Debug)]
+pub(crate) struct Scratch {
+    /// Whether the Lemma-5 pass-up bound is applied (ablation knob).
+    use_lemma5: bool,
+    /// Block-1 (dense×dense) convolution: cost and argmin l₁ per sum j.
+    conv_cost: Vec<u128>,
+    conv_arg: Vec<u32>,
+    /// Suffix minima of `conv_cost[j] + j·area` (value, argmin j).
+    conv_suffix: Vec<(u128, u32)>,
+    /// Suffix minima of `D₁[l₁] + (l₁+d₂)·area` over l₁ (value, argmin l₁).
+    s2_suffix: Vec<(u128, u32)>,
+    /// Suffix minima of `D₂[l₂] + (d₁+l₂)·area` over l₂ (value, argmin l₂).
+    s3_suffix: Vec<(u128, u32)>,
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Scratch {
+            use_lemma5: true,
+            conv_cost: Vec::new(),
+            conv_arg: Vec::new(),
+            conv_suffix: Vec::new(),
+            s2_suffix: Vec::new(),
+            s3_suffix: Vec::new(),
+        }
+    }
+}
+
+/// Computes one matrix row (allocating scratch per call). The incremental
+/// maintainer uses this for its dirty rows.
+pub(crate) fn compute_row(tree: &SpatialTree, matrix: &DpMatrix, id: NodeId, k: usize) -> Row {
+    compute_row_with(tree, matrix, id, k, &mut Scratch::default())
+}
+
+pub(crate) fn compute_row_with(
+    tree: &SpatialTree,
+    matrix: &DpMatrix,
+    id: NodeId,
+    k: usize,
+    scratch: &mut Scratch,
+) -> Row {
+    let node = tree.node(id);
+    let d = node.count;
+    let area = node.rect.area();
+
+    if node.is_leaf() {
+        let dense = match dense_cap_with(d, node.depth, k, scratch.use_lemma5) {
+            None => Vec::new(),
+            Some(cap) => (0..=cap)
+                .map(|u| Entry { cost: area * (d - u) as u128, split: [0; 4] })
+                .collect(),
+        };
+        return Row { d, dense, special: Entry::zero([0; 4]) };
+    }
+
+    let children = node.children.as_slice();
+    debug_assert_eq!(children.len(), 2, "binary tree");
+    let (c1, c2) = (children[0], children[1]);
+    let d1 = tree.count(c1);
+    let d2 = tree.count(c2);
+    let r1 = matrix.row(c1).expect("children computed first");
+    let r2 = matrix.row(c2).expect("children computed first");
+    debug_assert_eq!(r1.d, d1, "stale child row");
+    debug_assert_eq!(r2.d, d2, "stale child row");
+    let dense1 = &r1.dense;
+    let dense2 = &r2.dense;
+    let (a1, a2) = (dense1.len(), dense2.len()); // dense lengths (a = cap+1)
+
+    // ---- Stage 1: temp[m][j], decomposed into four blocks. ----
+    // Block 1 (dense×dense): a true (min,+) convolution.
+    let conv_len = if a1 > 0 && a2 > 0 { a1 + a2 - 1 } else { 0 };
+    scratch.conv_cost.clear();
+    scratch.conv_cost.resize(conv_len, INFINITE_COST);
+    scratch.conv_arg.clear();
+    scratch.conv_arg.resize(conv_len, 0);
+    for (l1, e1) in dense1.iter().enumerate() {
+        let base = e1.cost;
+        for (l2, e2) in dense2.iter().enumerate() {
+            let cost = base + e2.cost;
+            let j = l1 + l2;
+            if cost < scratch.conv_cost[j] {
+                scratch.conv_cost[j] = cost;
+                scratch.conv_arg[j] = l1 as u32;
+            }
+        }
+    }
+    // Suffix minima of conv_cost[j] + j·area for the "cloak ≥ k here" branch.
+    scratch.conv_suffix.clear();
+    scratch.conv_suffix.resize(conv_len + 1, (INFINITE_COST, 0));
+    for j in (0..conv_len).rev() {
+        let weighted = scratch.conv_cost[j].saturating_add(area * j as u128);
+        scratch.conv_suffix[j] = if weighted <= scratch.conv_suffix[j + 1].0 {
+            (weighted, j as u32)
+        } else {
+            scratch.conv_suffix[j + 1]
+        };
+    }
+    // Block 2 (dense₁×special₂): j = l1 + d2, cost D₁[l1].
+    scratch.s2_suffix.clear();
+    scratch.s2_suffix.resize(a1 + 1, (INFINITE_COST, 0));
+    for l1 in (0..a1).rev() {
+        let weighted = dense1[l1].cost.saturating_add(area * (l1 + d2) as u128);
+        scratch.s2_suffix[l1] = if weighted <= scratch.s2_suffix[l1 + 1].0 {
+            (weighted, l1 as u32)
+        } else {
+            scratch.s2_suffix[l1 + 1]
+        };
+    }
+    // Block 3 (special₁×dense₂): j = d1 + l2, cost D₂[l2].
+    scratch.s3_suffix.clear();
+    scratch.s3_suffix.resize(a2 + 1, (INFINITE_COST, 0));
+    for l2 in (0..a2).rev() {
+        let weighted = dense2[l2].cost.saturating_add(area * (d1 + l2) as u128);
+        scratch.s3_suffix[l2] = if weighted <= scratch.s3_suffix[l2 + 1].0 {
+            (weighted, l2 as u32)
+        } else {
+            scratch.s3_suffix[l2 + 1]
+        };
+    }
+    // Block 4 (special×special): j = d, cost 0, always present.
+    let block4_weighted = area * d as u128;
+
+    // ---- Stage 2: M[m][u] over u ∈ [0..cap] ∪ {d}. ----
+    let cap = dense_cap_with(d, node.depth, k, scratch.use_lemma5);
+    let mut dense = Vec::new();
+    if let Some(cap) = cap {
+        dense.reserve(cap + 1);
+        for u in 0..=cap {
+            let mut best = Entry::UNREACHABLE;
+
+            // Exact branch j == u (m cloaks nothing).
+            if u < conv_len && scratch.conv_cost[u] < best.cost {
+                let l1 = scratch.conv_arg[u];
+                best = Entry {
+                    cost: scratch.conv_cost[u],
+                    split: [l1, u as u32 - l1, 0, 0],
+                };
+            }
+            if u >= d2 && u - d2 < a1 {
+                let cost = dense1[u - d2].cost;
+                if cost < best.cost {
+                    best = Entry { cost, split: [(u - d2) as u32, d2 as u32, 0, 0] };
+                }
+            }
+            if u >= d1 && u - d1 < a2 {
+                let cost = dense2[u - d1].cost;
+                if cost < best.cost {
+                    best = Entry { cost, split: [d1 as u32, (u - d1) as u32, 0, 0] };
+                }
+            }
+            // (Block 4 exact would need u == d, impossible for dense u.)
+
+            // Cloak-at-least-k branch: min over j ≥ u + k of temp[j] +
+            // (j−u)·area, evaluated per block via the suffix arrays. Each
+            // stored value is temp[j] + j·area; subtract u·area at the end.
+            let lo = u + k;
+            let mut weighted_best: (u128, [u32; 4]) = (INFINITE_COST, [0; 4]);
+            let (w, j) = scratch.conv_suffix[lo.min(conv_len)];
+            if w < weighted_best.0 {
+                let l1 = scratch.conv_arg[j as usize];
+                weighted_best = (w, [l1, j - l1, 0, 0]);
+            }
+            let l1_from = lo.saturating_sub(d2).min(a1);
+            let (w, l1) = scratch.s2_suffix[l1_from];
+            if w < weighted_best.0 {
+                weighted_best = (w, [l1, d2 as u32, 0, 0]);
+            }
+            let l2_from = lo.saturating_sub(d1).min(a2);
+            let (w, l2) = scratch.s3_suffix[l2_from];
+            if w < weighted_best.0 {
+                weighted_best = (w, [d1 as u32, l2, 0, 0]);
+            }
+            if d >= lo && block4_weighted < weighted_best.0 {
+                weighted_best = (block4_weighted, [d1 as u32, d2 as u32, 0, 0]);
+            }
+            if weighted_best.0 != INFINITE_COST {
+                let cost = weighted_best.0 - area * u as u128;
+                if cost < best.cost {
+                    best = Entry { cost, split: weighted_best.1 };
+                }
+            }
+            dense.push(best);
+        }
+    }
+
+    let special = Entry::zero([d1 as u32, d2 as u32, 0, 0]);
+    Row { d, dense, special }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bulk_dp_dense;
+    use lbs_geom::{Point, Rect};
+    use lbs_model::{LocationDb, UserId};
+    use lbs_tree::TreeConfig;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn db(points: &[(i64, i64)]) -> LocationDb {
+        LocationDb::from_rows(
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_quad_trees_and_k_zero() {
+        let d = db(&[(0, 0), (1, 1)]);
+        let quad =
+            SpatialTree::build(&d, TreeConfig::eager(TreeKind::Quad, Rect::square(0, 0, 4), 1))
+                .unwrap();
+        assert!(matches!(bulk_dp_fast(&quad, 2), Err(CoreError::Tree(_))));
+        let binary =
+            SpatialTree::build(&d, TreeConfig::eager(TreeKind::Binary, Rect::square(0, 0, 4), 2))
+                .unwrap();
+        assert!(matches!(bulk_dp_fast(&binary, 0), Err(CoreError::InvalidK)));
+    }
+
+    #[test]
+    fn matches_dense_reference_on_table1() {
+        let d = db(&[(1, 1), (1, 2), (1, 3), (3, 1), (3, 3)]);
+        let tree =
+            SpatialTree::build(&d, TreeConfig::eager(TreeKind::Binary, Rect::square(0, 0, 4), 4))
+                .unwrap();
+        for k in 1..=5 {
+            let fast = bulk_dp_fast(&tree, k).unwrap().optimal_cost(&tree).unwrap();
+            let dense = bulk_dp_dense(&tree, k).unwrap().optimal_cost(&tree).unwrap();
+            assert_eq!(fast, dense, "k={k}");
+        }
+    }
+
+    #[test]
+    fn matches_dense_reference_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..60 {
+            let n = rng.gen_range(2..=16);
+            let points: Vec<(i64, i64)> =
+                (0..n).map(|_| (rng.gen_range(0..16), rng.gen_range(0..16))).collect();
+            let d = db(&points);
+            let k = rng.gen_range(1..=4);
+            let cfg = TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, 16), k);
+            let tree = SpatialTree::build(&d, cfg).unwrap();
+            let fast = bulk_dp_fast(&tree, k).unwrap().optimal_cost(&tree);
+            let dense = bulk_dp_dense(&tree, k).unwrap().optimal_cost(&tree);
+            assert_eq!(fast.clone().ok(), dense.ok(), "trial {trial}, n={n}, k={k}");
+            if n >= k {
+                assert!(fast.is_ok(), "trial {trial}: {n} >= {k} must be feasible");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dense_on_eager_trees_with_empty_nodes() {
+        // Eager trees materialize empty subtrees; the block decomposition
+        // must handle d₂ = 0 children (special value 0 overlapping the
+        // dense range start).
+        let mut rng = StdRng::seed_from_u64(17);
+        for trial in 0..20 {
+            let n = rng.gen_range(2..=10);
+            let points: Vec<(i64, i64)> =
+                (0..n).map(|_| (rng.gen_range(0..8), rng.gen_range(0..8))).collect();
+            let d = db(&points);
+            let k = rng.gen_range(1..=3);
+            let cfg = TreeConfig::eager(TreeKind::Binary, Rect::square(0, 0, 8), 4);
+            let tree = SpatialTree::build(&d, cfg).unwrap();
+            let fast = bulk_dp_fast(&tree, k).unwrap().optimal_cost(&tree);
+            let dense = bulk_dp_dense(&tree, k).unwrap().optimal_cost(&tree);
+            assert_eq!(fast.ok(), dense.ok(), "trial {trial}, n={n}, k={k}");
+        }
+    }
+
+    #[test]
+    fn lemma5_cap_shapes() {
+        assert_eq!(dense_cap(10, 0, 3), Some(0), "root may only pass up 0 or d");
+        assert_eq!(dense_cap(10, 2, 3), Some(7), "d−k binds: min(7, 8)");
+        assert_eq!(dense_cap(100, 2, 3), Some(8), "(k+1)h binds: min(97, 8)");
+        assert_eq!(dense_cap(2, 5, 3), None, "d < k: pass-all-up only");
+        assert_eq!(dense_cap_with(100, 2, 3, false), Some(97), "ablation: only d−k");
+    }
+
+    #[test]
+    fn lemma5_bound_does_not_change_the_optimum() {
+        // Lemma 5 prunes only provably suboptimal cells: with and without
+        // it, the optimal cost coincides on random instances.
+        let mut rng = StdRng::seed_from_u64(0x1E44A5);
+        for trial in 0..30 {
+            let n = rng.gen_range(3..=40);
+            let k = rng.gen_range(1..=5);
+            let points: Vec<(i64, i64)> =
+                (0..n).map(|_| (rng.gen_range(0..64), rng.gen_range(0..64))).collect();
+            let d = db(&points);
+            let cfg = TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, 64), k);
+            let tree = SpatialTree::build(&d, cfg).unwrap();
+            let with = bulk_dp_fast_with_options(&tree, k, true)
+                .unwrap()
+                .optimal_cost(&tree)
+                .ok();
+            let without = bulk_dp_fast_with_options(&tree, k, false)
+                .unwrap()
+                .optimal_cost(&tree)
+                .ok();
+            assert_eq!(with, without, "trial {trial}, n={n}, k={k}");
+        }
+    }
+
+    #[test]
+    fn balanced_orientation_trees_match_dense_and_never_cost_more() {
+        use lbs_tree::Orientation;
+        let mut rng = StdRng::seed_from_u64(0xBA7);
+        let mut balanced_wins = 0usize;
+        for trial in 0..25 {
+            let n = rng.gen_range(4..=30);
+            let k = rng.gen_range(2..=4);
+            let points: Vec<(i64, i64)> =
+                (0..n).map(|_| (rng.gen_range(0..64), rng.gen_range(0..64))).collect();
+            let d = db(&points);
+            let fixed_cfg = TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, 64), k);
+            let bal_cfg = fixed_cfg.with_orientation(Orientation::Balanced);
+            let bal_tree = SpatialTree::build(&d, bal_cfg).unwrap();
+            // The fast DP on a balanced tree equals the dense reference on
+            // the same tree (the DP is orientation-agnostic).
+            let fast = bulk_dp_fast(&bal_tree, k).unwrap().optimal_cost(&bal_tree).ok();
+            let dense = bulk_dp_dense(&bal_tree, k).unwrap().optimal_cost(&bal_tree).ok();
+            assert_eq!(fast, dense, "trial {trial}");
+            // Track how often the adaptive orientation beats the paper's
+            // fixed-vertical choice (not guaranteed per-instance).
+            let fixed_tree = SpatialTree::build(&d, fixed_cfg).unwrap();
+            let fixed = bulk_dp_fast(&fixed_tree, k).unwrap().optimal_cost(&fixed_tree).ok();
+            if let (Some(b), Some(f)) = (fast, fixed) {
+                if b < f {
+                    balanced_wins += 1;
+                }
+            }
+        }
+        // Sanity: the adaptive choice helps at least sometimes.
+        assert!(balanced_wins > 0, "balanced orientation never helped in 25 trials");
+    }
+
+    #[test]
+    fn special_cell_is_always_free() {
+        let d = db(&[(1, 1), (2, 2), (9, 9), (12, 3)]);
+        let tree =
+            SpatialTree::build(&d, TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, 16), 2))
+                .unwrap();
+        let m = bulk_dp_fast(&tree, 2).unwrap();
+        for id in tree.postorder() {
+            let row = m.row(id).unwrap();
+            assert_eq!(row.special.cost, 0, "{id}");
+            assert_eq!(row.d, tree.count(id));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Errors of the core anonymization algorithms.
+
+/// Failure modes of optimal policy-aware anonymization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The snapshot holds fewer than k users, so no complete k-summation
+    /// configuration exists: nobody can be k-anonymized.
+    InsufficientPopulation {
+        /// Users present.
+        population: usize,
+        /// Requested anonymity level.
+        k: usize,
+    },
+    /// k must be at least 1.
+    InvalidK,
+    /// Tree construction failed (bad map, off-map locations, …).
+    Tree(String),
+    /// The DP matrix does not cover the requested node (stale matrix used
+    /// after restructuring without recomputation).
+    StaleMatrix(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::InsufficientPopulation { population, k } => write!(
+                f,
+                "cannot provide {k}-anonymity: only {population} users in the snapshot"
+            ),
+            CoreError::InvalidK => write!(f, "k must be at least 1"),
+            CoreError::Tree(msg) => write!(f, "tree error: {msg}"),
+            CoreError::StaleMatrix(msg) => write!(f, "stale DP matrix: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

@@ -1,0 +1,176 @@
+//! Policy retrieval from a filled configuration matrix.
+//!
+//! The matrix fixes, for every node, how many locations pass up; Lemma 1
+//! licenses picking *which* locations arbitrarily — every choice yields an
+//! optimal policy of identical cost and anonymity. The top-down traversal
+//! here mirrors the paper's description: start from the minimum-cost entry
+//! of the root row (`u = 0` for a complete configuration), follow the
+//! recorded child splits, then assign concrete users bottom-up.
+
+use crate::{Configuration, CoreError, DpMatrix, INFINITE_COST};
+use lbs_model::{BulkPolicy, UserId};
+use lbs_tree::{NodeId, SpatialTree};
+use std::collections::HashMap;
+
+impl DpMatrix {
+    /// Reads off the optimal complete configuration (the pass-up count
+    /// chosen for every node).
+    ///
+    /// # Errors
+    /// Propagates infeasibility ([`CoreError::InsufficientPopulation`]) and
+    /// stale-matrix conditions.
+    pub fn extract_configuration(
+        &self,
+        tree: &SpatialTree,
+    ) -> Result<Configuration, CoreError> {
+        self.optimal_cost(tree)?; // validates feasibility and freshness
+        let mut config = Configuration::new();
+        let mut targets: HashMap<NodeId, usize> = HashMap::new();
+        targets.insert(tree.root(), 0);
+        // Preorder: parents fix their children's pass-up targets.
+        let mut stack = vec![tree.root()];
+        while let Some(id) = stack.pop() {
+            let u = targets[&id];
+            config.set(id, u);
+            let row = self
+                .row(id)
+                .ok_or_else(|| CoreError::StaleMatrix(format!("missing row for {id}")))?;
+            let entry = row.get(u).filter(|e| e.cost != INFINITE_COST).ok_or_else(|| {
+                CoreError::StaleMatrix(format!("row {id} has no feasible entry for u={u}"))
+            })?;
+            for (i, &child) in tree.node(id).children.as_slice().iter().enumerate() {
+                targets.insert(child, entry.split[i] as usize);
+                stack.push(child);
+            }
+        }
+        Ok(config)
+    }
+
+    /// Extracts one optimal policy-aware sender k-anonymous [`BulkPolicy`]
+    /// (an arbitrary representative of the optimal equivalence class).
+    ///
+    /// Users cloaked at a node receive that node's rectangle as their
+    /// cloak. Which of the passed-up users a node cloaks is arbitrary
+    /// (Lemma 1); this implementation cloaks the earliest-gathered ones.
+    pub fn extract_policy(&self, tree: &SpatialTree) -> Result<BulkPolicy, CoreError> {
+        let config = self.extract_configuration(tree)?;
+        let mut policy = BulkPolicy::new(format!("policy-aware-optimal(k={})", self.k));
+        // Bottom-up: each node receives its children's passed-up users,
+        // cloaks all but C(m) of them, and forwards the rest.
+        let mut passed: HashMap<NodeId, Vec<UserId>> = HashMap::new();
+        for id in tree.postorder() {
+            let node = tree.node(id);
+            let u = config
+                .get(id)
+                .ok_or_else(|| CoreError::StaleMatrix(format!("no target for {id}")))?;
+            let mut pool: Vec<UserId> = if node.is_leaf() {
+                tree.leaf_users(id).iter().map(|&(user, _)| user).collect()
+            } else {
+                let mut pool = Vec::new();
+                for &child in node.children.as_slice() {
+                    pool.append(&mut passed.remove(&child).unwrap_or_default());
+                }
+                pool
+            };
+            debug_assert!(u <= pool.len(), "{id}: pass-up exceeds pool");
+            let forwarded = pool.split_off(pool.len() - u);
+            for user in pool {
+                policy.assign(user, node.rect.into());
+            }
+            passed.insert(id, forwarded);
+        }
+        let leftover = passed.remove(&tree.root()).unwrap_or_default();
+        debug_assert!(leftover.is_empty(), "complete configuration leaves nobody uncloaked");
+        Ok(policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bulk_dp_dense, bulk_dp_fast, verify_policy_aware};
+    use lbs_geom::{Point, Rect};
+    use lbs_model::LocationDb;
+    use lbs_tree::{TreeConfig, TreeKind};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn db(points: &[(i64, i64)]) -> LocationDb {
+        LocationDb::from_rows(
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
+        )
+        .unwrap()
+    }
+
+    fn table1() -> LocationDb {
+        db(&[(1, 1), (1, 2), (1, 3), (3, 1), (3, 3)])
+    }
+
+    #[test]
+    fn extracted_configuration_is_optimal_and_k_summing() {
+        let d = table1();
+        let tree =
+            SpatialTree::build(&d, TreeConfig::eager(TreeKind::Quad, Rect::square(0, 0, 4), 1))
+                .unwrap();
+        let m = bulk_dp_dense(&tree, 2).unwrap();
+        let config = m.extract_configuration(&tree).unwrap();
+        assert!(config.is_valid(&tree));
+        assert!(config.is_complete(&tree));
+        assert!(config.satisfies_k_summation(&tree, 2));
+        assert_eq!(config.cost(&tree), Some(m.optimal_cost(&tree).unwrap()));
+    }
+
+    #[test]
+    fn extracted_policy_cost_equals_matrix_cost() {
+        let d = table1();
+        let tree =
+            SpatialTree::build(&d, TreeConfig::eager(TreeKind::Binary, Rect::square(0, 0, 4), 4))
+                .unwrap();
+        let m = bulk_dp_fast(&tree, 2).unwrap();
+        let policy = m.extract_policy(&tree).unwrap();
+        assert_eq!(policy.cost_exact(), Some(m.optimal_cost(&tree).unwrap()));
+        assert!(policy.is_masking_and_total(&d));
+        assert!(verify_policy_aware(&policy, &d, 2).is_ok());
+    }
+
+    #[test]
+    fn extraction_fails_cleanly_when_infeasible() {
+        let d = db(&[(1, 1)]);
+        let tree =
+            SpatialTree::build(&d, TreeConfig::eager(TreeKind::Binary, Rect::square(0, 0, 4), 2))
+                .unwrap();
+        let m = bulk_dp_fast(&tree, 2).unwrap();
+        assert!(matches!(
+            m.extract_policy(&tree),
+            Err(CoreError::InsufficientPopulation { .. })
+        ));
+    }
+
+    #[test]
+    fn random_extractions_are_masking_anonymous_and_cost_exact() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..30 {
+            let n = rng.gen_range(3..=20);
+            let k = rng.gen_range(1..=3.min(n));
+            let points: Vec<(i64, i64)> =
+                (0..n).map(|_| (rng.gen_range(0..32), rng.gen_range(0..32))).collect();
+            let d = db(&points);
+            let tree = SpatialTree::build(
+                &d,
+                TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, 32), k),
+            )
+            .unwrap();
+            let m = bulk_dp_fast(&tree, k).unwrap();
+            let policy = m.extract_policy(&tree).unwrap();
+            assert!(policy.is_masking_and_total(&d), "trial {trial}");
+            assert!(verify_policy_aware(&policy, &d, k).is_ok(), "trial {trial}");
+            assert_eq!(
+                policy.cost_exact(),
+                Some(m.optimal_cost(&tree).unwrap()),
+                "trial {trial}"
+            );
+        }
+    }
+}

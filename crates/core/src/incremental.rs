@@ -1,0 +1,198 @@
+//! Incremental maintenance of the configuration matrix across snapshots
+//! (Section IV, "Incremental Maintenance of M"; evaluated in Figure 5(b)).
+//!
+//! As users move between snapshots, only the DP rows of nodes whose
+//! population `d(m)` (or materialized structure) changed need recomputing —
+//! "the same bottom-up steps as algorithm `Bulk_dp`, starting only from the
+//! quad tree leaves whose quadrants now contain a changed number of
+//! locations". The dirty set comes ancestor-closed from the tree layer, so
+//! recomputation is a postorder sweep filtered to that set.
+
+use crate::dp_fast::compute_row;
+use crate::{bulk_dp_fast, CoreError, DpMatrix};
+use lbs_geom::Area;
+use lbs_model::{BulkPolicy, LocationDb, Move};
+use lbs_tree::{SpatialTree, TreeConfig, TreeKind};
+
+/// Report of one incremental maintenance round.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IncrementalReport {
+    /// Moves applied.
+    pub moved: usize,
+    /// DP rows recomputed (vs. every live node for a bulk recomputation).
+    pub rows_recomputed: usize,
+    /// Live rows that could be reused untouched.
+    pub rows_reused: usize,
+}
+
+/// Maintains a binary tree and its optimal configuration matrix across a
+/// sequence of location-database snapshots.
+#[derive(Debug, Clone)]
+pub struct IncrementalAnonymizer {
+    tree: SpatialTree,
+    matrix: DpMatrix,
+    k: usize,
+}
+
+impl IncrementalAnonymizer {
+    /// Builds the tree and the full matrix for the initial snapshot.
+    ///
+    /// # Errors
+    /// Propagates tree-construction and DP errors.
+    pub fn new(db: &LocationDb, config: TreeConfig, k: usize) -> Result<Self, CoreError> {
+        if config.kind != TreeKind::Binary {
+            return Err(CoreError::Tree("incremental maintenance runs on binary trees".into()));
+        }
+        let tree = SpatialTree::build(db, config).map_err(CoreError::Tree)?;
+        let matrix = bulk_dp_fast(&tree, k)?;
+        Ok(IncrementalAnonymizer { tree, matrix, k })
+    }
+
+    /// Applies one snapshot transition and recomputes only the dirty rows.
+    ///
+    /// # Errors
+    /// [`CoreError::Tree`] when a move is invalid (unknown user/off-map);
+    /// nothing is modified in that case.
+    pub fn apply_moves(&mut self, moves: &[Move]) -> Result<IncrementalReport, CoreError> {
+        let update = self.tree.apply_moves(moves).map_err(CoreError::Tree)?;
+        self.matrix.resize_for(&self.tree);
+        let mut report = IncrementalReport { moved: update.moved, ..Default::default() };
+        for id in self.tree.postorder() {
+            if update.dirty.contains(&id) {
+                let row = compute_row(&self.tree, &self.matrix, id, self.k);
+                self.matrix.set_row(id, row);
+                report.rows_recomputed += 1;
+            } else {
+                report.rows_reused += 1;
+            }
+        }
+        Ok(report)
+    }
+
+    /// The maintained tree.
+    pub fn tree(&self) -> &SpatialTree {
+        &self.tree
+    }
+
+    /// The maintained matrix.
+    pub fn matrix(&self) -> &DpMatrix {
+        &self.matrix
+    }
+
+    /// Anonymity level.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Optimal cost for the current snapshot.
+    ///
+    /// # Errors
+    /// [`CoreError::InsufficientPopulation`] when fewer than k users remain.
+    pub fn optimal_cost(&self) -> Result<Area, CoreError> {
+        self.matrix.optimal_cost(&self.tree)
+    }
+
+    /// Extracts an optimal policy for the current snapshot.
+    ///
+    /// # Errors
+    /// Propagates extraction errors.
+    pub fn policy(&self) -> Result<BulkPolicy, CoreError> {
+        self.matrix.extract_policy(&self.tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_policy_aware;
+    use lbs_geom::{Point, Rect};
+    use lbs_model::UserId;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_db(rng: &mut StdRng, n: usize, side: i64) -> LocationDb {
+        LocationDb::from_rows((0..n).map(|i| {
+            (UserId(i as u64), Point::new(rng.gen_range(0..side), rng.gen_range(0..side)))
+        }))
+        .unwrap()
+    }
+
+    #[test]
+    fn incremental_equals_bulk_recomputation_over_many_rounds() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let side = 64i64;
+        let n = 60;
+        let k = 4;
+        let mut db = random_db(&mut rng, n, side);
+        let cfg = TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, side), k);
+        let mut inc = IncrementalAnonymizer::new(&db, cfg, k).unwrap();
+
+        for round in 0..20 {
+            let moves: Vec<Move> = (0..6)
+                .map(|_| Move {
+                    user: UserId(rng.gen_range(0..n as u64)),
+                    to: Point::new(rng.gen_range(0..side), rng.gen_range(0..side)),
+                })
+                .collect();
+            // Last-write-wins dedup for unambiguous reference semantics.
+            let mut seen = std::collections::HashSet::new();
+            let moves: Vec<Move> =
+                moves.into_iter().rev().filter(|m| seen.insert(m.user)).collect();
+
+            db.apply_moves(&moves).unwrap();
+            let report = inc.apply_moves(&moves).unwrap();
+            assert_eq!(report.moved, moves.len());
+
+            let fresh_tree = SpatialTree::build(&db, cfg).unwrap();
+            let fresh_cost =
+                bulk_dp_fast(&fresh_tree, k).unwrap().optimal_cost(&fresh_tree).unwrap();
+            assert_eq!(inc.optimal_cost().unwrap(), fresh_cost, "round {round}");
+
+            let policy = inc.policy().unwrap();
+            assert!(policy.is_masking_and_total(&db), "round {round}");
+            assert!(verify_policy_aware(&policy, &db, k).is_ok(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn small_batches_reuse_most_rows() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let side = 256i64;
+        let db = random_db(&mut rng, 500, side);
+        let k = 10;
+        let cfg = TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, side), k);
+        let mut inc = IncrementalAnonymizer::new(&db, cfg, k).unwrap();
+        // One user nudges by a few meters: the vast majority of rows reuse.
+        let user = UserId(3);
+        let from = db.location(user).unwrap();
+        let to = Point::new((from.x + 2).min(side - 1), from.y);
+        let report = inc.apply_moves(&[Move { user, to }]).unwrap();
+        assert!(
+            report.rows_recomputed <= 2 * 40 + 4,
+            "at most two root paths plus restructuring: {report:?}"
+        );
+        assert!(report.rows_reused > report.rows_recomputed);
+    }
+
+    #[test]
+    fn invalid_moves_leave_state_intact() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let db = random_db(&mut rng, 20, 32);
+        let cfg = TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, 32), 3);
+        let mut inc = IncrementalAnonymizer::new(&db, cfg, 3).unwrap();
+        let before = inc.optimal_cost().unwrap();
+        let bad = [Move { user: UserId(999), to: Point::new(1, 1) }];
+        assert!(inc.apply_moves(&bad).is_err());
+        assert_eq!(inc.optimal_cost().unwrap(), before);
+    }
+
+    #[test]
+    fn rejects_quad_trees() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let db = random_db(&mut rng, 10, 32);
+        let cfg = TreeConfig::lazy(TreeKind::Quad, Rect::square(0, 0, 32), 2);
+        assert!(matches!(
+            IncrementalAnonymizer::new(&db, cfg, 2),
+            Err(CoreError::Tree(_))
+        ));
+    }
+}

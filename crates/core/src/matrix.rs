@@ -1,0 +1,192 @@
+//! The optimum configuration matrix `M` filled by `Bulk_dp`.
+
+use crate::CoreError;
+use lbs_tree::{NodeId, SpatialTree};
+
+/// Sentinel for "no configuration reaches this cell".
+pub const INFINITE_COST: u128 = u128::MAX;
+
+/// One matrix cell `M[m][u] = ⟨x, u₁, …⟩`: the minimum cost `x` over all
+/// k-summation configurations of the subtree rooted at `m` that pass up
+/// exactly `u` locations, plus the children pass-up counts achieving it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// Minimum subtree cost.
+    pub cost: u128,
+    /// Children pass-up counts `u₁..u₄` (first 2 used on binary trees,
+    /// all 4 on quad trees, none at leaves).
+    pub split: [u32; 4],
+}
+
+impl Entry {
+    /// An unreachable cell.
+    pub const UNREACHABLE: Entry = Entry { cost: INFINITE_COST, split: [0; 4] };
+
+    /// A zero-cost cell with the given split.
+    pub fn zero(split: [u32; 4]) -> Entry {
+        Entry { cost: 0, split }
+    }
+}
+
+/// One matrix row: the cells for a single tree node.
+///
+/// Storage mirrors the search-space reduction of Sections IV–V: a row holds
+/// a *dense* block for `u ∈ [0 ..= u_max]` (where `u_max ≤ d(m) − k`,
+/// further capped by Lemma 5's `(k+1)·h(m)` in the fast algorithm) plus one
+/// *special* cell for `u = d(m)` ("pass everything up", always cost 0).
+/// The excluded values `d(m)−k+1 .. d(m)−1` would cloak fewer than k users
+/// at `m` and are ruled out by function `F` in Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// `d(m)` at the time the row was computed.
+    pub d: usize,
+    /// Cells for `u = 0 ..= u_max` (empty when `d < k`).
+    pub dense: Vec<Entry>,
+    /// The `u = d(m)` cell.
+    pub special: Entry,
+}
+
+impl Row {
+    /// The cell for pass-up count `u`, if `u` is in the row's domain.
+    #[inline]
+    pub fn get(&self, u: usize) -> Option<&Entry> {
+        if u == self.d {
+            Some(&self.special)
+        } else {
+            self.dense.get(u)
+        }
+    }
+
+    /// Largest dense `u` stored, or `None` when the dense block is empty.
+    #[inline]
+    pub fn u_max(&self) -> Option<usize> {
+        self.dense.len().checked_sub(1)
+    }
+
+    /// Iterates `(u, entry)` over the row's whole domain.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Entry)> + '_ {
+        self.dense
+            .iter()
+            .enumerate()
+            .chain(std::iter::once((self.d, &self.special)))
+    }
+}
+
+/// The filled configuration matrix: one [`Row`] per live tree node,
+/// indexed by [`NodeId`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DpMatrix {
+    /// Anonymity level the matrix was computed for.
+    pub k: usize,
+    rows: Vec<Option<Row>>,
+}
+
+impl DpMatrix {
+    /// An empty matrix for anonymity level `k`, sized for `arena_len` nodes.
+    pub fn new(k: usize, arena_len: usize) -> Self {
+        DpMatrix { k, rows: vec![None; arena_len] }
+    }
+
+    /// The row of `id`, if computed.
+    #[inline]
+    pub fn row(&self, id: NodeId) -> Option<&Row> {
+        self.rows.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Installs a row.
+    pub fn set_row(&mut self, id: NodeId, row: Row) {
+        if self.rows.len() <= id.index() {
+            self.rows.resize(id.index() + 1, None);
+        }
+        self.rows[id.index()] = Some(row);
+    }
+
+    /// Drops the row of a detached node.
+    pub fn clear_row(&mut self, id: NodeId) {
+        if let Some(slot) = self.rows.get_mut(id.index()) {
+            *slot = None;
+        }
+    }
+
+    /// Grows the matrix to cover a grown arena.
+    pub fn resize_for(&mut self, tree: &SpatialTree) {
+        if self.rows.len() < tree.arena_len() {
+            self.rows.resize(tree.arena_len(), None);
+        }
+    }
+
+    /// Number of computed rows.
+    pub fn computed_rows(&self) -> usize {
+        self.rows.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// The optimal complete-configuration cost: `M[root][0]`.
+    ///
+    /// # Errors
+    /// [`CoreError::InsufficientPopulation`] when fewer than k users exist
+    /// (no complete configuration satisfies k-summation), or
+    /// [`CoreError::StaleMatrix`] when the root row is missing.
+    pub fn optimal_cost(&self, tree: &SpatialTree) -> Result<u128, CoreError> {
+        let root = tree.root();
+        let row = self
+            .row(root)
+            .ok_or_else(|| CoreError::StaleMatrix(format!("no row for root {root}")))?;
+        if row.d != tree.count(root) {
+            return Err(CoreError::StaleMatrix(format!(
+                "root row computed for d={}, tree now has d={}",
+                row.d,
+                tree.count(root)
+            )));
+        }
+        if tree.count(root) == 0 {
+            return Ok(0); // an empty map is vacuously anonymized
+        }
+        match row.get(0) {
+            Some(e) if e.cost != INFINITE_COST => Ok(e.cost),
+            _ => Err(CoreError::InsufficientPopulation {
+                population: tree.count(root),
+                k: self.k,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_domain_lookup() {
+        let row = Row {
+            d: 7,
+            dense: vec![Entry::zero([0; 4]), Entry { cost: 5, split: [1, 2, 0, 0] }],
+            special: Entry::zero([3, 4, 0, 0]),
+        };
+        assert_eq!(row.get(0).unwrap().cost, 0);
+        assert_eq!(row.get(1).unwrap().cost, 5);
+        assert!(row.get(2).is_none(), "outside dense block");
+        assert!(row.get(6).is_none(), "excluded d-k+1..d-1 range");
+        assert_eq!(row.get(7).unwrap().split, [3, 4, 0, 0]);
+        assert_eq!(row.u_max(), Some(1));
+        assert_eq!(row.iter().count(), 3);
+    }
+
+    #[test]
+    fn empty_dense_block() {
+        let row = Row { d: 3, dense: vec![], special: Entry::zero([0; 4]) };
+        assert!(row.get(0).is_none());
+        assert_eq!(row.u_max(), None);
+        assert_eq!(row.get(3).unwrap().cost, 0);
+    }
+
+    #[test]
+    fn matrix_grow_and_clear() {
+        let mut m = DpMatrix::new(2, 1);
+        let id = NodeId(5);
+        m.set_row(id, Row { d: 0, dense: vec![], special: Entry::zero([0; 4]) });
+        assert!(m.row(id).is_some());
+        assert_eq!(m.computed_rows(), 1);
+        m.clear_row(id);
+        assert!(m.row(id).is_none());
+    }
+}

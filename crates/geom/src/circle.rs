@@ -1,0 +1,96 @@
+//! Circles with exact squared-radius containment.
+
+use crate::Point;
+use serde::{Deserialize, Serialize};
+
+/// A closed disk, stored as a center and a *squared* radius.
+///
+/// Circular cloaks appear in the paper's Theorem 1 (optimal policy-aware
+/// anonymization with circles centered at a fixed set of points is
+/// NP-complete) and in the k-reciprocity breach example of Figure 6(b).
+/// Storing `radius²` keeps containment exact for integer points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Circle {
+    /// Center of the disk.
+    pub center: Point,
+    /// Squared radius in m².
+    pub radius2: u128,
+}
+
+impl Circle {
+    /// Creates a circle from a center and squared radius.
+    pub const fn from_radius2(center: Point, radius2: u128) -> Self {
+        Circle { center, radius2 }
+    }
+
+    /// The smallest circle centered at `center` that covers every point in
+    /// `points`. Returns a zero-radius circle for an empty slice.
+    pub fn covering(center: Point, points: &[Point]) -> Self {
+        let radius2 = points.iter().map(|p| center.dist2(p)).max().unwrap_or(0);
+        Circle { center, radius2 }
+    }
+
+    /// Whether the closed disk contains `p`.
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        self.center.dist2(p) <= self.radius2
+    }
+
+    /// Radius in meters, for reporting only.
+    #[inline]
+    pub fn radius(&self) -> f64 {
+        (self.radius2 as f64).sqrt()
+    }
+
+    /// Area `πr²` as `f64`, for reporting and utility comparisons.
+    ///
+    /// Circle areas are irrational, so unlike rectangle areas they cannot be
+    /// exact; circular-cloak costs in this library are therefore compared on
+    /// `radius2` (which orders identically to area for disks).
+    #[inline]
+    pub fn area_f64(&self) -> f64 {
+        std::f64::consts::PI * self.radius2 as f64
+    }
+}
+
+impl std::fmt::Display for Circle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "circle(c={}, r={:.1})", self.center, self.radius())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment_is_closed() {
+        let c = Circle::from_radius2(Point::new(0, 0), 25);
+        assert!(c.contains(&Point::new(3, 4)), "boundary point included");
+        assert!(c.contains(&Point::new(0, 0)));
+        assert!(!c.contains(&Point::new(4, 4)));
+    }
+
+    #[test]
+    fn covering_picks_farthest_point() {
+        let pts = [Point::new(1, 0), Point::new(0, 7), Point::new(-2, -2)];
+        let c = Circle::covering(Point::new(0, 0), &pts);
+        assert_eq!(c.radius2, 49);
+        assert!(pts.iter().all(|p| c.contains(p)));
+    }
+
+    #[test]
+    fn covering_empty_is_degenerate() {
+        let c = Circle::covering(Point::new(5, 5), &[]);
+        assert_eq!(c.radius2, 0);
+        assert!(c.contains(&Point::new(5, 5)));
+        assert!(!c.contains(&Point::new(5, 6)));
+    }
+
+    #[test]
+    fn area_orders_with_radius2() {
+        let small = Circle::from_radius2(Point::new(0, 0), 10);
+        let big = Circle::from_radius2(Point::new(9, 9), 11);
+        assert!(small.area_f64() < big.area_f64());
+    }
+}

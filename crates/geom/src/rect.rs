@@ -1,0 +1,213 @@
+//! Axis-aligned rectangles (quadrants and semi-quadrants).
+
+use crate::{Area, Point};
+use serde::{Deserialize, Serialize};
+
+/// Axis along which a rectangle is split into two halves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SplitAxis {
+    /// Split with a vertical line: produces West and East halves.
+    Vertical,
+    /// Split with a horizontal line: produces South and North halves.
+    Horizontal,
+}
+
+/// A half-open axis-aligned rectangle `[x0, x1) × [y0, y1)`.
+///
+/// Half-openness makes quadrant decomposition a true partition: every point
+/// of the parent belongs to exactly one child, so the location counts `d(m)`
+/// of Definition 7 sum exactly (`d(m) = Σ d(m_i)`), an invariant the
+/// `Bulk_dp` configuration algebra relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    /// West edge (inclusive).
+    pub x0: i64,
+    /// South edge (inclusive).
+    pub y0: i64,
+    /// East edge (exclusive).
+    pub x1: i64,
+    /// North edge (exclusive).
+    pub y1: i64,
+}
+
+impl Rect {
+    /// Creates a rectangle from corners; panics if it is empty or inverted.
+    pub fn new(x0: i64, y0: i64, x1: i64, y1: i64) -> Self {
+        assert!(x0 < x1 && y0 < y1, "empty or inverted rect ({x0},{y0},{x1},{y1})");
+        Rect { x0, y0, x1, y1 }
+    }
+
+    /// A square with south-west corner `(x0, y0)` and the given side.
+    pub fn square(x0: i64, y0: i64, side: i64) -> Self {
+        Rect::new(x0, y0, x0 + side, y0 + side)
+    }
+
+    /// Width (east-west extent) in meters.
+    #[inline]
+    pub fn width(&self) -> i64 {
+        self.x1 - self.x0
+    }
+
+    /// Height (north-south extent) in meters.
+    #[inline]
+    pub fn height(&self) -> i64 {
+        self.y1 - self.y0
+    }
+
+    /// Exact area in square meters.
+    #[inline]
+    pub fn area(&self) -> Area {
+        (self.width() as u128) * (self.height() as u128)
+    }
+
+    /// Whether `p` lies in the half-open rectangle.
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        self.x0 <= p.x && p.x < self.x1 && self.y0 <= p.y && p.y < self.y1
+    }
+
+    /// Whether `other` is fully contained in `self`.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.x0 <= other.x0 && other.x1 <= self.x1 && self.y0 <= other.y0 && other.y1 <= self.y1
+    }
+
+    /// Whether the two rectangles share any point.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x0 < other.x1 && other.x0 < self.x1 && self.y0 < other.y1 && other.y0 < self.y1
+    }
+
+    /// Center point (rounded toward the south-west on odd extents).
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(self.x0 + self.width() / 2, self.y0 + self.height() / 2)
+    }
+
+    /// Splits into two halves along `axis`.
+    ///
+    /// Returns `(low, high)`: (West, East) for a vertical split, (South,
+    /// North) for a horizontal one. The extent along `axis` must be even so
+    /// the halves are congruent, which holds for the power-of-two maps used
+    /// by the quad/binary trees.
+    pub fn split(&self, axis: SplitAxis) -> (Rect, Rect) {
+        match axis {
+            SplitAxis::Vertical => {
+                debug_assert!(self.width() % 2 == 0, "odd width split");
+                let mid = self.x0 + self.width() / 2;
+                (
+                    Rect::new(self.x0, self.y0, mid, self.y1),
+                    Rect::new(mid, self.y0, self.x1, self.y1),
+                )
+            }
+            SplitAxis::Horizontal => {
+                debug_assert!(self.height() % 2 == 0, "odd height split");
+                let mid = self.y0 + self.height() / 2;
+                (
+                    Rect::new(self.x0, self.y0, self.x1, mid),
+                    Rect::new(self.x0, mid, self.x1, self.y1),
+                )
+            }
+        }
+    }
+
+    /// The binary-tree split axis of Section V: squares (and wide rects)
+    /// split vertically into W/E semi-quadrants; tall semi-quadrants split
+    /// horizontally back into squares.
+    #[inline]
+    pub fn binary_split_axis(&self) -> SplitAxis {
+        if self.width() >= self.height() {
+            SplitAxis::Vertical
+        } else {
+            SplitAxis::Horizontal
+        }
+    }
+
+    /// The four quadrants `[NW, SW, SE, NE]` of a quad-tree split.
+    pub fn quadrants(&self) -> [Rect; 4] {
+        let (w, e) = self.split(SplitAxis::Vertical);
+        let (sw, nw) = w.split(SplitAxis::Horizontal);
+        let (se, ne) = e.split(SplitAxis::Horizontal);
+        [nw, sw, se, ne]
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{},{})x[{},{})", self.x0, self.x1, self.y0, self.y1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_open_containment() {
+        let r = Rect::new(0, 0, 4, 4);
+        assert!(r.contains(&Point::new(0, 0)));
+        assert!(r.contains(&Point::new(3, 3)));
+        assert!(!r.contains(&Point::new(4, 0)));
+        assert!(!r.contains(&Point::new(0, 4)));
+        assert!(!r.contains(&Point::new(-1, 2)));
+    }
+
+    #[test]
+    fn quadrants_partition_parent() {
+        let r = Rect::square(0, 0, 8);
+        let qs = r.quadrants();
+        let total: Area = qs.iter().map(Rect::area).sum();
+        assert_eq!(total, r.area());
+        // Every point belongs to exactly one quadrant.
+        for x in 0..8 {
+            for y in 0..8 {
+                let p = Point::new(x, y);
+                let n = qs.iter().filter(|q| q.contains(&p)).count();
+                assert_eq!(n, 1, "point {p} covered {n} times");
+            }
+        }
+    }
+
+    #[test]
+    fn quadrant_order_is_nw_sw_se_ne() {
+        let [nw, sw, se, ne] = Rect::square(0, 0, 4).quadrants();
+        assert_eq!(nw, Rect::new(0, 2, 2, 4));
+        assert_eq!(sw, Rect::new(0, 0, 2, 2));
+        assert_eq!(se, Rect::new(2, 0, 4, 2));
+        assert_eq!(ne, Rect::new(2, 2, 4, 4));
+    }
+
+    #[test]
+    fn binary_split_alternates_square_semi_square() {
+        let sq = Rect::square(0, 0, 8);
+        assert_eq!(sq.binary_split_axis(), SplitAxis::Vertical);
+        let (w, _) = sq.split(SplitAxis::Vertical);
+        assert_eq!(w.binary_split_axis(), SplitAxis::Horizontal);
+        let (s, _) = w.split(SplitAxis::Horizontal);
+        assert_eq!(s.width(), s.height(), "grandchild is square again");
+    }
+
+    #[test]
+    fn intersects_and_contains_rect() {
+        let a = Rect::new(0, 0, 4, 4);
+        let b = Rect::new(2, 2, 6, 6);
+        let c = Rect::new(4, 0, 8, 4);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c), "touching edges do not intersect (half-open)");
+        assert!(a.contains_rect(&Rect::new(1, 1, 3, 3)));
+        assert!(!a.contains_rect(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty or inverted")]
+    fn empty_rect_rejected() {
+        let _ = Rect::new(3, 0, 3, 5);
+    }
+
+    #[test]
+    fn area_of_large_map_is_exact() {
+        let side = 1 << 20;
+        let r = Rect::square(0, 0, side);
+        assert_eq!(r.area(), 1u128 << 40);
+    }
+}

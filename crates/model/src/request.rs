@@ -1,0 +1,143 @@
+//! Service requests and anonymized requests (Definitions 1–3).
+
+use crate::{LocationDb, UserId};
+use lbs_geom::{Point, Region};
+use serde::{Deserialize, Serialize};
+
+/// The name–value pairs `V` carried by a request: the categories and
+/// specifics of the sought services, e.g. `[(poi, rest), (cat, ital)]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct RequestParams(pub Vec<(String, String)>);
+
+impl RequestParams {
+    /// Builds params from `(name, value)` string pairs.
+    pub fn from_pairs<const N: usize>(pairs: [(&str, &str); N]) -> Self {
+        RequestParams(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v.to_owned()))
+                .collect(),
+        )
+    }
+}
+
+impl std::fmt::Display for RequestParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, (k, v)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "({k}, {v})")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A service request `⟨u, (x, y), V⟩` (Definition 1), created by the CSP
+/// from a user's request plus the MPC-provided location.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceRequest {
+    /// The sender `u`.
+    pub user: UserId,
+    /// The sender's exact location `(x, y)`.
+    pub location: Point,
+    /// Service parameters `V`.
+    pub params: RequestParams,
+}
+
+impl ServiceRequest {
+    /// Creates a service request.
+    pub fn new(user: UserId, location: Point, params: RequestParams) -> Self {
+        ServiceRequest { user, location, params }
+    }
+
+    /// Definition 1's validity: `⟨u, x, y⟩ ∈ D`.
+    pub fn is_valid(&self, db: &LocationDb) -> bool {
+        db.location(self.user) == Some(self.location)
+    }
+}
+
+/// Unique identifier `rid` of an anonymized request.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// An anonymized request `⟨rid, ρ, V⟩` (Definition 2): what the CSP forwards
+/// to the untrusted LBS in place of the service request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnonymizedRequest {
+    /// Unique request id.
+    pub rid: RequestId,
+    /// The cloak `ρ`: a connected, closed region containing the sender.
+    pub region: Region,
+    /// Service parameters, copied verbatim from the service request.
+    pub params: RequestParams,
+}
+
+impl AnonymizedRequest {
+    /// Creates an anonymized request.
+    pub fn new(rid: RequestId, region: Region, params: RequestParams) -> Self {
+        AnonymizedRequest { rid, region, params }
+    }
+
+    /// Definition 3: this request *masks* `sr` iff `loc(sr) ∈ ρ` and the
+    /// parameter vectors coincide.
+    pub fn masks(&self, sr: &ServiceRequest) -> bool {
+        self.region.contains(&sr.location) && self.params == sr.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbs_geom::Rect;
+
+    fn db() -> LocationDb {
+        LocationDb::from_rows([
+            (UserId(1), Point::new(1, 1)),
+            (UserId(2), Point::new(1, 2)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn validity_requires_matching_row() {
+        let params = RequestParams::from_pairs([("poi", "rest")]);
+        let good = ServiceRequest::new(UserId(1), Point::new(1, 1), params.clone());
+        let wrong_loc = ServiceRequest::new(UserId(1), Point::new(2, 2), params.clone());
+        let wrong_user = ServiceRequest::new(UserId(7), Point::new(1, 1), params);
+        let db = db();
+        assert!(good.is_valid(&db));
+        assert!(!wrong_loc.is_valid(&db));
+        assert!(!wrong_user.is_valid(&db));
+    }
+
+    #[test]
+    fn masking_needs_containment_and_equal_params() {
+        let params = RequestParams::from_pairs([("poi", "rest"), ("cat", "ital")]);
+        let sr = ServiceRequest::new(UserId(1), Point::new(1, 1), params.clone());
+        let ar = AnonymizedRequest::new(RequestId(167), Rect::new(0, 0, 2, 3).into(), params);
+        assert!(ar.masks(&sr));
+
+        let other_params = RequestParams::from_pairs([("poi", "groc")]);
+        let ar2 = AnonymizedRequest::new(RequestId(168), Rect::new(0, 0, 2, 3).into(), other_params);
+        assert!(!ar2.masks(&sr), "different V");
+
+        let far = ServiceRequest::new(UserId(2), Point::new(9, 9), sr.params.clone());
+        assert!(!ar.masks(&far), "location outside cloak");
+    }
+
+    #[test]
+    fn params_display_matches_paper_notation() {
+        let p = RequestParams::from_pairs([("poi", "rest"), ("cat", "ital")]);
+        assert_eq!(p.to_string(), "[(poi, rest), (cat, ital)]");
+    }
+}

@@ -1,0 +1,319 @@
+//! Parallel anonymization via jurisdiction partitioning (Section V).
+//!
+//! The bulk-anonymization problem is embarrassingly parallel in space:
+//! partition the map into *jurisdictions*, give each to an independent
+//! anonymization server with its own binary tree and location sub-database,
+//! and let the master policy delegate each location to the server whose
+//! jurisdiction contains it. Cloaks never span jurisdictions, so the cost
+//! can exceed the single-server optimum — but only for users near borders,
+//! and the paper measures the divergence at 0% up to ~2k jurisdictions and
+//! < 1% up to 4096 (Section VI-D).
+//!
+//! Jurisdictions are chosen by the paper's greedy scheme over the binary
+//! tree: repeatedly replace the most-populous node whose children each
+//! hold 0 or ≥ k users by its children, until enough jurisdictions exist.
+//!
+//! The host this reproduction runs on has a single core, so
+//! [`anonymize_partitioned`] times each server individually and reports
+//! `max(per-server time)` as the simulated parallel wall time — exact for
+//! shared-nothing servers — while [`anonymize_threaded`] actually runs the
+//! servers on OS threads to exercise the concurrent code path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lbs_core::{Anonymizer, CoreError};
+use lbs_geom::{Area, Rect};
+use lbs_model::{BulkPolicy, LocationDb, UserId};
+use lbs_tree::{NodeId, SpatialTree, TreeConfig, TreeKind};
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Per-server outcome of a partitioned run.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// The server's jurisdiction.
+    pub jurisdiction: Rect,
+    /// Users under this jurisdiction.
+    pub users: usize,
+    /// The server's `Cost(P, D_j)` (0 for empty jurisdictions).
+    pub cost: Area,
+    /// Time this server spent building its tree + DP + policy.
+    pub elapsed: Duration,
+}
+
+/// Outcome of a partitioned (multi-server) bulk anonymization.
+#[derive(Debug, Clone)]
+pub struct ParallelOutcome {
+    /// The master policy: the union of all server policies.
+    pub policy: BulkPolicy,
+    /// Σ server costs — compare against the single-server optimum for the
+    /// Section VI-D divergence figure.
+    pub total_cost: Area,
+    /// One report per jurisdiction, in partition order.
+    pub servers: Vec<ServerReport>,
+    /// Time spent building the partition tree and choosing jurisdictions.
+    pub partition_time: Duration,
+}
+
+impl ParallelOutcome {
+    /// Simulated parallel wall time: partitioning plus the slowest server.
+    pub fn simulated_wall_time(&self) -> Duration {
+        self.partition_time
+            + self.servers.iter().map(|s| s.elapsed).max().unwrap_or_default()
+    }
+
+    /// Cost divergence vs. a reference (single-server) optimal cost, as a
+    /// fraction (0.01 = 1%).
+    pub fn divergence_from(&self, optimal: Area) -> f64 {
+        if optimal == 0 {
+            return 0.0;
+        }
+        (self.total_cost as f64 - optimal as f64) / optimal as f64
+    }
+}
+
+/// The paper's greedy partitioner: starting from the root, repeatedly
+/// replace the most-populous *splittable* jurisdiction (children each hold
+/// 0 or ≥ k users) by its children, until `servers` jurisdictions exist or
+/// nothing is splittable. Returns the jurisdiction nodes of `tree`.
+pub fn greedy_partition(tree: &SpatialTree, servers: usize, k: usize) -> Vec<NodeId> {
+    assert!(servers >= 1);
+    let splittable = |id: NodeId| {
+        let node = tree.node(id);
+        !node.is_leaf()
+            && node
+                .children
+                .as_slice()
+                .iter()
+                .all(|&c| tree.count(c) == 0 || tree.count(c) >= k)
+    };
+    let mut jurisdictions = vec![tree.root()];
+    while jurisdictions.len() < servers {
+        let candidate = jurisdictions
+            .iter()
+            .enumerate()
+            .filter(|&(_, &id)| splittable(id))
+            .max_by_key(|&(_, &id)| tree.count(id));
+        let Some((pos, _)) = candidate else { break };
+        let id = jurisdictions.swap_remove(pos);
+        jurisdictions.extend_from_slice(tree.node(id).children.as_slice());
+    }
+    jurisdictions
+}
+
+/// Splits `db` into per-jurisdiction sub-databases (in jurisdiction order).
+fn split_db(tree: &SpatialTree, jurisdictions: &[NodeId]) -> Vec<LocationDb> {
+    jurisdictions
+        .iter()
+        .map(|&id| {
+            LocationDb::from_rows(tree.subtree_users(id)).expect("unique ids in snapshot")
+        })
+        .collect()
+}
+
+/// Runs partitioned bulk anonymization sequentially, timing each server.
+///
+/// # Errors
+/// Propagates map/tree/DP failures; a jurisdiction whose population is
+/// positive but below k (impossible under the greedy partitioner, possible
+/// with hand-made jurisdiction lists) surfaces as
+/// [`CoreError::InsufficientPopulation`].
+pub fn anonymize_partitioned(
+    db: &LocationDb,
+    map: Rect,
+    k: usize,
+    servers: usize,
+) -> Result<ParallelOutcome, CoreError> {
+    let partition_started = Instant::now();
+    let tree = SpatialTree::build(db, TreeConfig::lazy(TreeKind::Binary, map, k))
+        .map_err(CoreError::Tree)?;
+    let jurisdictions = greedy_partition(&tree, servers, k);
+    let subs = split_db(&tree, &jurisdictions);
+    let partition_time = partition_started.elapsed();
+
+    let mut policy = BulkPolicy::new(format!("parallel(k={k},servers={})", jurisdictions.len()));
+    let mut reports = Vec::with_capacity(jurisdictions.len());
+    let mut total_cost: Area = 0;
+    for (&jid, sub) in jurisdictions.iter().zip(&subs) {
+        let jurisdiction = tree.node(jid).rect;
+        let started = Instant::now();
+        let server_policy = if sub.is_empty() {
+            BulkPolicy::new("empty")
+        } else {
+            let config = TreeConfig::lazy(TreeKind::Binary, jurisdiction, k);
+            let engine = Anonymizer::build_with_config(sub, config, k)?;
+            engine.policy().clone()
+        };
+        let cost = server_policy.cost_exact().unwrap_or(0);
+        for (user, region) in server_policy.iter() {
+            policy.assign(user, *region);
+        }
+        total_cost += cost;
+        reports.push(ServerReport {
+            jurisdiction,
+            users: sub.len(),
+            cost,
+            elapsed: started.elapsed(),
+        });
+    }
+    Ok(ParallelOutcome { policy, total_cost, servers: reports, partition_time })
+}
+
+/// As [`anonymize_partitioned`], but actually running the servers on OS
+/// threads (crossbeam scoped threads; results gathered under a mutex).
+/// Per-server timings include scheduler interference, so use the
+/// sequential variant for the timing experiments.
+///
+/// # Errors
+/// First server error wins; others are discarded.
+pub fn anonymize_threaded(
+    db: &LocationDb,
+    map: Rect,
+    k: usize,
+    servers: usize,
+) -> Result<ParallelOutcome, CoreError> {
+    let partition_started = Instant::now();
+    let tree = SpatialTree::build(db, TreeConfig::lazy(TreeKind::Binary, map, k))
+        .map_err(CoreError::Tree)?;
+    let jurisdictions = greedy_partition(&tree, servers, k);
+    let subs = split_db(&tree, &jurisdictions);
+    let partition_time = partition_started.elapsed();
+
+    type ServerResult = (usize, ServerReport, Vec<(UserId, lbs_geom::Region)>);
+    let results: Mutex<Vec<ServerResult>> = Mutex::new(Vec::new());
+    let first_error: Mutex<Option<CoreError>> = Mutex::new(None);
+
+    crossbeam::scope(|scope| {
+        for (i, (&jid, sub)) in jurisdictions.iter().zip(&subs).enumerate() {
+            let jurisdiction = tree.node(jid).rect;
+            let results = &results;
+            let first_error = &first_error;
+            scope.spawn(move |_| {
+                let started = Instant::now();
+                let server_policy = if sub.is_empty() {
+                    Ok(BulkPolicy::new("empty"))
+                } else {
+                    let config = TreeConfig::lazy(TreeKind::Binary, jurisdiction, k);
+                    Anonymizer::build_with_config(sub, config, k)
+                        .map(|engine| engine.policy().clone())
+                };
+                match server_policy {
+                    Ok(p) => {
+                        let report = ServerReport {
+                            jurisdiction,
+                            users: sub.len(),
+                            cost: p.cost_exact().unwrap_or(0),
+                            elapsed: started.elapsed(),
+                        };
+                        let assignments: Vec<_> =
+                            p.iter().map(|(u, r)| (u, *r)).collect();
+                        results.lock().push((i, report, assignments));
+                    }
+                    Err(e) => {
+                        first_error.lock().get_or_insert(e);
+                    }
+                }
+            });
+        }
+    })
+    .expect("server threads do not panic");
+
+    if let Some(err) = first_error.into_inner() {
+        return Err(err);
+    }
+    let mut gathered = results.into_inner();
+    gathered.sort_by_key(|(i, ..)| *i);
+    let mut policy = BulkPolicy::new(format!("parallel(k={k},servers={})", jurisdictions.len()));
+    let mut reports = Vec::with_capacity(gathered.len());
+    let mut total_cost: Area = 0;
+    for (_, report, assignments) in gathered {
+        total_cost += report.cost;
+        reports.push(report);
+        for (user, region) in assignments {
+            policy.assign(user, region);
+        }
+    }
+    Ok(ParallelOutcome { policy, total_cost, servers: reports, partition_time })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbs_core::verify_policy_aware;
+    use lbs_workload::{generate_master, BayAreaConfig};
+
+    fn workload(n: usize) -> (LocationDb, Rect) {
+        let mut cfg = BayAreaConfig::scaled_to(n);
+        cfg.map_side = 1 << 14;
+        let db = generate_master(&cfg);
+        (db, cfg.map())
+    }
+
+    #[test]
+    fn greedy_partition_respects_server_count_and_k_rule() {
+        let (db, map) = workload(2_000);
+        let k = 10;
+        let tree = SpatialTree::build(&db, TreeConfig::lazy(TreeKind::Binary, map, k)).unwrap();
+        for servers in [1, 2, 4, 8, 16] {
+            let parts = greedy_partition(&tree, servers, k);
+            assert!(parts.len() <= servers.max(1));
+            let total: usize = parts.iter().map(|&id| tree.count(id)).sum();
+            assert_eq!(total, db.len(), "jurisdictions partition the users");
+            for &id in &parts {
+                let c = tree.count(id);
+                assert!(c == 0 || c >= k, "jurisdiction with 0 < {c} < k");
+            }
+        }
+    }
+
+    #[test]
+    fn single_jurisdiction_matches_direct_anonymizer() {
+        let (db, map) = workload(1_000);
+        let k = 8;
+        let direct = Anonymizer::build(&db, map, k).unwrap();
+        let outcome = anonymize_partitioned(&db, map, k, 1).unwrap();
+        assert_eq!(outcome.total_cost, direct.cost());
+        assert_eq!(outcome.servers.len(), 1);
+        assert!(verify_policy_aware(&outcome.policy, &db, k).is_ok());
+    }
+
+    #[test]
+    fn partitioned_cost_close_to_optimal_and_policy_anonymous() {
+        let (db, map) = workload(3_000);
+        let k = 10;
+        let optimal = Anonymizer::build(&db, map, k).unwrap().cost();
+        for servers in [4, 16] {
+            let outcome = anonymize_partitioned(&db, map, k, servers).unwrap();
+            assert!(outcome.total_cost >= optimal, "partitioning cannot beat the optimum");
+            assert!(
+                outcome.divergence_from(optimal) < 0.05,
+                "divergence {} too large at {servers} servers",
+                outcome.divergence_from(optimal)
+            );
+            assert_eq!(outcome.policy.len(), db.len());
+            assert!(outcome.policy.is_masking_and_total(&db));
+            assert!(verify_policy_aware(&outcome.policy, &db, k).is_ok());
+        }
+    }
+
+    #[test]
+    fn threaded_and_sequential_agree_on_cost() {
+        let (db, map) = workload(1_500);
+        let k = 10;
+        let seq = anonymize_partitioned(&db, map, k, 8).unwrap();
+        let thr = anonymize_threaded(&db, map, k, 8).unwrap();
+        assert_eq!(seq.total_cost, thr.total_cost);
+        assert_eq!(seq.policy.len(), thr.policy.len());
+        assert_eq!(seq.servers.len(), thr.servers.len());
+        assert!(verify_policy_aware(&thr.policy, &db, k).is_ok());
+    }
+
+    #[test]
+    fn simulated_wall_time_is_partition_plus_slowest() {
+        let (db, map) = workload(1_000);
+        let outcome = anonymize_partitioned(&db, map, 8, 4).unwrap();
+        let slowest = outcome.servers.iter().map(|s| s.elapsed).max().unwrap();
+        assert_eq!(outcome.simulated_wall_time(), outcome.partition_time + slowest);
+    }
+}

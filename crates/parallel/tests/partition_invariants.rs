@@ -1,0 +1,91 @@
+//! Structural invariants of jurisdiction partitioning beyond the
+//! cost-focused unit tests: determinism, spatial disjointness, and
+//! stability of the greedy order.
+
+use lbs_parallel::{anonymize_partitioned, greedy_partition};
+use lbs_tree::{SpatialTree, TreeConfig, TreeKind};
+use lbs_workload::{generate_master, BayAreaConfig};
+
+fn setup(n: usize, k: usize) -> (lbs_model::LocationDb, lbs_geom::Rect, SpatialTree) {
+    let mut cfg = BayAreaConfig::scaled_to(n);
+    cfg.map_side = 1 << 14;
+    let db = generate_master(&cfg);
+    let map = cfg.map();
+    let tree = SpatialTree::build(&db, TreeConfig::lazy(TreeKind::Binary, map, k)).unwrap();
+    (db, map, tree)
+}
+
+#[test]
+fn jurisdiction_rects_are_pairwise_disjoint_and_cover_all_users() {
+    let k = 10;
+    let (db, _, tree) = setup(3_000, k);
+    for servers in [2usize, 7, 33, 128] {
+        let parts = greedy_partition(&tree, servers, k);
+        // Pairwise disjoint rects.
+        for (i, &a) in parts.iter().enumerate() {
+            for &b in &parts[i + 1..] {
+                assert!(
+                    !tree.node(a).rect.intersects(&tree.node(b).rect),
+                    "servers={servers}: {a} and {b} overlap"
+                );
+            }
+        }
+        // Every user falls in exactly one jurisdiction.
+        for (user, p) in db.iter() {
+            let n = parts.iter().filter(|&&id| tree.node(id).rect.contains(&p)).count();
+            assert_eq!(n, 1, "servers={servers}: {user} covered {n} times");
+        }
+    }
+}
+
+#[test]
+fn partitioning_is_deterministic() {
+    let k = 10;
+    let (_, _, tree) = setup(2_000, k);
+    let a = greedy_partition(&tree, 16, k);
+    let b = greedy_partition(&tree, 16, k);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn more_servers_refine_the_partition() {
+    // Greedy always splits the most populous splittable node, so the
+    // 2s-server partition's rects are each contained in some rect of the
+    // s-server partition.
+    let k = 10;
+    let (_, _, tree) = setup(3_000, k);
+    let coarse = greedy_partition(&tree, 8, k);
+    let fine = greedy_partition(&tree, 16, k);
+    for &f in &fine {
+        let fr = tree.node(f).rect;
+        assert!(
+            coarse.iter().any(|&c| tree.node(c).rect.contains_rect(&fr)),
+            "{f} not nested in the coarse partition"
+        );
+    }
+}
+
+#[test]
+fn requesting_more_servers_than_splittable_nodes_saturates() {
+    let k = 10;
+    let (db, map, tree) = setup(500, k);
+    let parts = greedy_partition(&tree, 1_000_000, k);
+    assert!(parts.len() < 1_000_000);
+    let total: usize = parts.iter().map(|&id| tree.count(id)).sum();
+    assert_eq!(total, db.len());
+    // The saturated partition still anonymizes everything correctly.
+    let outcome = anonymize_partitioned(&db, map, k, 1_000_000).unwrap();
+    assert_eq!(outcome.policy.len(), db.len());
+}
+
+#[test]
+fn zero_user_map_yields_single_empty_jurisdiction() {
+    let db = lbs_model::LocationDb::new();
+    let map = lbs_geom::Rect::square(0, 0, 1 << 10);
+    let tree = SpatialTree::build(&db, TreeConfig::lazy(TreeKind::Binary, map, 5)).unwrap();
+    let parts = greedy_partition(&tree, 8, 5);
+    assert_eq!(parts, vec![tree.root()]);
+    let outcome = anonymize_partitioned(&db, map, 5, 8).unwrap();
+    assert_eq!(outcome.total_cost, 0);
+    assert!(outcome.policy.is_empty());
+}

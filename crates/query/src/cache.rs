@@ -1,0 +1,148 @@
+//! The anonymizer-side answer cache of Section VII.
+//!
+//! The paper's counter to frequency-counting attacks (the sender-
+//! anonymity analogue of l-diversity / t-closeness attacks on data
+//! anonymity): the CSP caches LBS answers keyed by the anonymized
+//! request's (cloak, parameters), so the LBS **never sees duplicate
+//! anonymized requests within a snapshot** and cannot count how many
+//! identical requests a cloak emitted. For stationary points of interest
+//! the cache can live across snapshots and is flushed at long intervals
+//! (e.g. daily) to pick up appearing/disappearing POIs; a total request
+//! count can be submitted to the LBS at flush time for billing.
+
+use crate::PoiId;
+use lbs_geom::Region;
+use lbs_model::RequestParams;
+use std::collections::HashMap;
+
+/// Hit/miss counters, also serving as the billing total the paper
+/// suggests submitting at flush time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from the cache (invisible to the LBS).
+    pub hits: u64,
+    /// Requests forwarded to the LBS.
+    pub misses: u64,
+    /// Entries dropped by flushes.
+    pub flushed: u64,
+}
+
+impl CacheStats {
+    /// Total requests served — what the CSP reports to the LBS for
+    /// billing at flush time.
+    pub fn total_served(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// Cache of LBS candidate-set answers keyed by `(cloak, params)`.
+#[derive(Debug, Clone, Default)]
+pub struct AnswerCache {
+    entries: HashMap<(Region, RequestParams), Vec<PoiId>>,
+    stats: CacheStats,
+}
+
+impl AnswerCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a cached answer, counting a hit or miss.
+    pub fn lookup(&mut self, cloak: &Region, params: &RequestParams) -> Option<Vec<PoiId>> {
+        match self.entries.get(&(*cloak, params.clone())) {
+            Some(answer) => {
+                self.stats.hits += 1;
+                Some(answer.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores the LBS answer for a (cloak, params) pair.
+    pub fn store(&mut self, cloak: Region, params: RequestParams, answer: Vec<PoiId>) {
+        self.entries.insert((cloak, params), answer);
+    }
+
+    /// Cached entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops all entries (the paper's infrequent flush, e.g. daily) and
+    /// returns the statistics accumulated since the last flush — the
+    /// billing submission moment.
+    pub fn flush(&mut self) -> CacheStats {
+        self.stats.flushed += self.entries.len() as u64;
+        self.entries.clear();
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Current statistics without flushing.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbs_geom::Rect;
+
+    fn key() -> (Region, RequestParams) {
+        (
+            Rect::new(0, 0, 4, 4).into(),
+            RequestParams::from_pairs([("poi", "rest")]),
+        )
+    }
+
+    #[test]
+    fn duplicate_requests_hit_the_cache() {
+        let (cloak, params) = key();
+        let mut cache = AnswerCache::new();
+        assert!(cache.lookup(&cloak, &params).is_none());
+        cache.store(cloak, params.clone(), vec![PoiId(1), PoiId(2)]);
+        assert_eq!(cache.lookup(&cloak, &params), Some(vec![PoiId(1), PoiId(2)]));
+        assert_eq!(cache.lookup(&cloak, &params), Some(vec![PoiId(1), PoiId(2)]));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        // The frequency-attack guarantee: the LBS saw this (cloak, V)
+        // exactly once, however many senders issued it.
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn different_params_or_cloaks_do_not_collide() {
+        let (cloak, params) = key();
+        let mut cache = AnswerCache::new();
+        cache.store(cloak, params.clone(), vec![PoiId(1)]);
+        let other_params = RequestParams::from_pairs([("poi", "gas")]);
+        assert!(cache.lookup(&cloak, &other_params).is_none());
+        let other_cloak: Region = Rect::new(4, 0, 8, 4).into();
+        assert!(cache.lookup(&other_cloak, &params).is_none());
+    }
+
+    #[test]
+    fn flush_reports_and_resets_billing_stats() {
+        let (cloak, params) = key();
+        let mut cache = AnswerCache::new();
+        cache.lookup(&cloak, &params);
+        cache.store(cloak, params.clone(), vec![]);
+        cache.lookup(&cloak, &params);
+        let stats = cache.flush();
+        assert_eq!(stats.total_served(), 2);
+        assert_eq!(stats.flushed, 1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+        // Post-flush, the same request is a miss again (fresh POIs visible).
+        assert!(cache.lookup(&cloak, &params).is_none());
+    }
+}

@@ -1,0 +1,214 @@
+//! Cloaked-query evaluation: sound candidate sets for nearest-neighbor
+//! and range queries when the LBS sees only a cloak, never a location.
+//!
+//! For a rectangular cloak `R` the LBS must return a set of POIs that is
+//! guaranteed to contain the true nearest neighbor of *every* possible
+//! sender position in `R`; the client then filters locally with its exact
+//! coordinates. The classical minmax bound gives a sound and small set:
+//!
+//! * `maxdist(R, p)` — the farthest any point of `R` can be from POI `p`.
+//!   `Δ = min_p maxdist(R, p)` bounds the NN distance of every point in
+//!   `R` (whatever the sender's position, POI `argmin` is at most `Δ`
+//!   away).
+//! * any POI with `mindist(R, p) > Δ` can never be the NN of a point in
+//!   `R` — something else is always closer — so the candidate set is
+//!   `{ p : mindist(R, p) ≤ Δ }`.
+//!
+//! Everything is computed on exact squared distances (`u128`), so the
+//! candidate sets are deterministic. Larger cloaks produce larger `Δ` and
+//! therefore more candidates — the paper's utility motivation ("a smaller
+//! cloak allows for more efficient processing … and more efficient
+//! filtering at clients") made concrete and measurable.
+
+use crate::{Poi, PoiStore};
+use lbs_geom::{Point, Rect, Region};
+
+/// Squared distance from `p` to the closest point of `rect` (0 if inside).
+///
+/// Rectangles are half-open on integer coordinates, so the attainable
+/// points are `x0..=x1-1` × `y0..=y1-1`.
+pub(crate) fn mindist2(rect: &Rect, p: &Point) -> u128 {
+    let cx = p.x.clamp(rect.x0, rect.x1 - 1);
+    let cy = p.y.clamp(rect.y0, rect.y1 - 1);
+    p.dist2(&Point::new(cx, cy))
+}
+
+/// Squared distance from `p` to the farthest attainable point of `rect`.
+pub(crate) fn maxdist2(rect: &Rect, p: &Point) -> u128 {
+    let fx = if (p.x - rect.x0).abs() >= (rect.x1 - 1 - p.x).abs() { rect.x0 } else { rect.x1 - 1 };
+    let fy = if (p.y - rect.y0).abs() >= (rect.y1 - 1 - p.y).abs() { rect.y0 } else { rect.y1 - 1 };
+    p.dist2(&Point::new(fx, fy))
+}
+
+/// Bounding rectangle of a cloak region (identity for rects, the closed
+/// disk's bounding box for circles — a sound over-approximation).
+fn cloak_rect(region: &Region) -> Rect {
+    match region {
+        Region::Rect(r) => *r,
+        Region::Circle(c) => {
+            let r = c.radius().ceil() as i64;
+            Rect::new(c.center.x - r, c.center.y - r, c.center.x + r + 1, c.center.y + r + 1)
+        }
+    }
+}
+
+/// The sound nearest-neighbor candidate set for a cloaked query: every
+/// POI of `category` that is the nearest neighbor of *some* point of the
+/// cloak is included. Returns an empty set when the category is absent.
+pub fn nn_candidates<'s>(store: &'s PoiStore, cloak: &Region, category: &str) -> Vec<&'s Poi> {
+    let rect = cloak_rect(cloak);
+    // Δ = min over POIs of maxdist(R, poi).
+    let delta = store
+        .iter()
+        .filter(|poi| poi.category == category)
+        .map(|poi| maxdist2(&rect, &poi.location))
+        .min();
+    let Some(delta) = delta else { return Vec::new() };
+    store
+        .iter()
+        .filter(|poi| poi.category == category && mindist2(&rect, &poi.location) <= delta)
+        .collect()
+}
+
+/// The sound range-query candidate set: every POI of `category` within
+/// `radius` meters of *some* point of the cloak ("gas stations within
+/// 2 km", Section IV's motivating range query). The client filters with
+/// its exact position.
+pub fn range_candidates<'s>(
+    store: &'s PoiStore,
+    cloak: &Region,
+    category: &str,
+    radius_m: i64,
+) -> Vec<&'s Poi> {
+    let rect = cloak_rect(cloak);
+    let r2 = (radius_m.max(0) as u128) * (radius_m.max(0) as u128);
+    store
+        .iter()
+        .filter(|poi| poi.category == category && mindist2(&rect, &poi.location) <= r2)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PoiId;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_store(rng: &mut StdRng, n: usize, side: i64) -> PoiStore {
+        let pois = (0..n)
+            .map(|i| Poi {
+                id: PoiId(i as u64),
+                location: Point::new(rng.gen_range(0..side), rng.gen_range(0..side)),
+                category: if i % 2 == 0 { "rest".into() } else { "gas".into() },
+            })
+            .collect();
+        PoiStore::build(Rect::square(0, 0, side), 32, pois).unwrap()
+    }
+
+    #[test]
+    fn min_and_max_dist_bounds() {
+        let r = Rect::new(10, 10, 20, 20);
+        let inside = Point::new(12, 15);
+        assert_eq!(mindist2(&r, &inside), 0);
+        let outside = Point::new(0, 15);
+        assert_eq!(mindist2(&r, &outside), 100, "10 m to the west edge");
+        // maxdist from an inside point reaches the farthest corner.
+        assert_eq!(maxdist2(&r, &Point::new(10, 10)), 81 + 81, "to (19,19)");
+        // mindist <= maxdist always.
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let p = Point::new(rng.gen_range(-30..50), rng.gen_range(-30..50));
+            assert!(mindist2(&r, &p) <= maxdist2(&r, &p), "{p}");
+        }
+    }
+
+    #[test]
+    fn nn_candidates_are_sound_for_every_cloak_point() {
+        // The defining property: for EVERY point q in the cloak, the true
+        // NN of q is in the candidate set.
+        let mut rng = StdRng::seed_from_u64(71);
+        for trial in 0..20 {
+            let store = random_store(&mut rng, 80, 256);
+            let x0 = rng.gen_range(0..200);
+            let y0 = rng.gen_range(0..200);
+            let cloak = Rect::new(x0, y0, x0 + rng.gen_range(8..56), y0 + rng.gen_range(8..56));
+            let cands = nn_candidates(&store, &cloak.into(), "rest");
+            let cand_ids: Vec<PoiId> = cands.iter().map(|p| p.id).collect();
+            for qx in (cloak.x0..cloak.x1).step_by(5) {
+                for qy in (cloak.y0..cloak.y1).step_by(5) {
+                    let q = Point::new(qx, qy);
+                    let truth = store
+                        .iter()
+                        .filter(|p| p.category == "rest")
+                        .min_by_key(|p| q.dist2(&p.location))
+                        .unwrap();
+                    // All POIs at the same (tied) NN distance are valid answers;
+                    // the candidate set must contain at least one of them.
+                    let d = q.dist2(&truth.location);
+                    let ok = store
+                        .iter()
+                        .filter(|p| p.category == "rest" && q.dist2(&p.location) == d)
+                        .any(|p| cand_ids.contains(&p.id));
+                    assert!(ok, "trial {trial}: NN of {q} missing from candidates");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_set_grows_with_cloak_area() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let store = random_store(&mut rng, 300, 1024);
+        let small = Rect::new(500, 500, 516, 516);
+        let large = Rect::new(300, 300, 800, 800);
+        let c_small = nn_candidates(&store, &small.into(), "gas").len();
+        let c_large = nn_candidates(&store, &large.into(), "gas").len();
+        assert!(c_small <= c_large, "{c_small} > {c_large}");
+        assert!(c_small >= 1);
+    }
+
+    #[test]
+    fn range_candidates_sound_and_complete_enough() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let store = random_store(&mut rng, 100, 256);
+        let cloak = Rect::new(64, 64, 96, 96);
+        let radius = 40i64;
+        let cands = range_candidates(&store, &cloak.into(), "rest", radius);
+        let cand_ids: Vec<PoiId> = cands.iter().map(|p| p.id).collect();
+        // Completeness: anything within `radius` of any sampled cloak point
+        // must be a candidate.
+        for qx in (cloak.x0..cloak.x1).step_by(4) {
+            for qy in (cloak.y0..cloak.y1).step_by(4) {
+                let q = Point::new(qx, qy);
+                for poi in store.iter().filter(|p| p.category == "rest") {
+                    if q.dist2(&poi.location) <= (radius as u128) * (radius as u128) {
+                        assert!(cand_ids.contains(&poi.id), "{} within {radius} of {q}", poi.id);
+                    }
+                }
+            }
+        }
+        // Soundness of the filter bound: no candidate is farther than
+        // radius from the whole cloak.
+        for poi in &cands {
+            assert!(mindist2(&cloak, &poi.location) <= (radius as u128) * (radius as u128));
+        }
+    }
+
+    #[test]
+    fn circle_cloaks_use_bounding_box() {
+        let store = random_store(&mut StdRng::seed_from_u64(8), 50, 256);
+        let circle = lbs_geom::Circle::from_radius2(Point::new(128, 128), 400);
+        let via_circle = nn_candidates(&store, &circle.into(), "rest").len();
+        let bbox = Rect::new(108, 108, 149, 149);
+        let via_bbox = nn_candidates(&store, &bbox.into(), "rest").len();
+        assert_eq!(via_circle, via_bbox);
+    }
+
+    #[test]
+    fn empty_category_gives_empty_set() {
+        let store = random_store(&mut StdRng::seed_from_u64(1), 10, 128);
+        let cloak = Rect::new(0, 0, 64, 64);
+        assert!(nn_candidates(&store, &cloak.into(), "cinema").is_empty());
+        assert!(range_candidates(&store, &cloak.into(), "cinema", 100).is_empty());
+    }
+}

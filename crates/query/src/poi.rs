@@ -1,0 +1,288 @@
+//! Point-of-interest storage with a uniform grid index.
+
+use lbs_geom::{Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a point of interest.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct PoiId(pub u64);
+
+impl std::fmt::Display for PoiId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "poi{}", self.0)
+    }
+}
+
+/// A point of interest: what the LBS answers queries about.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Poi {
+    /// Identifier.
+    pub id: PoiId,
+    /// Location on the map.
+    pub location: Point,
+    /// Category key, matched against the request's `poi` parameter
+    /// (e.g. `"rest"`, `"groc"`, `"gas"`).
+    pub category: String,
+}
+
+/// A grid-indexed table of points of interest.
+///
+/// The uniform grid is the classical GIS baseline the Casper evaluation
+/// relies on \[23\]; it gives O(output + probed cells) range scans and a
+/// ring-expansion nearest-neighbor search without the complexity of an
+/// R-tree, which is plenty for the tens of thousands of POIs the paper's
+/// Section VII discusses.
+#[derive(Debug, Clone)]
+pub struct PoiStore {
+    map: Rect,
+    cell_side: i64,
+    cols: usize,
+    rows: usize,
+    /// POIs per cell, row-major.
+    cells: Vec<Vec<usize>>,
+    pois: Vec<Poi>,
+}
+
+impl PoiStore {
+    /// Builds a store over `map` with the given grid cell side.
+    ///
+    /// # Errors
+    /// Fails if a POI lies off the map or `cell_side < 1`.
+    pub fn build(map: Rect, cell_side: i64, pois: Vec<Poi>) -> Result<Self, String> {
+        if cell_side < 1 {
+            return Err("cell_side must be at least 1".into());
+        }
+        let cols = ((map.width() + cell_side - 1) / cell_side) as usize;
+        let rows = ((map.height() + cell_side - 1) / cell_side) as usize;
+        let mut store = PoiStore {
+            map,
+            cell_side,
+            cols,
+            rows,
+            cells: vec![Vec::new(); cols * rows],
+            pois: Vec::new(),
+        };
+        for poi in pois {
+            if !map.contains(&poi.location) {
+                return Err(format!("{} at {} is off the map", poi.id, poi.location));
+            }
+            let cell = store.cell_of(&poi.location);
+            store.cells[cell].push(store.pois.len());
+            store.pois.push(poi);
+        }
+        Ok(store)
+    }
+
+    fn cell_of(&self, p: &Point) -> usize {
+        let cx = ((p.x - self.map.x0) / self.cell_side) as usize;
+        let cy = ((p.y - self.map.y0) / self.cell_side) as usize;
+        cy.min(self.rows - 1) * self.cols + cx.min(self.cols - 1)
+    }
+
+    /// Number of POIs stored.
+    pub fn len(&self) -> usize {
+        self.pois.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pois.is_empty()
+    }
+
+    /// Iterates all POIs.
+    pub fn iter(&self) -> impl Iterator<Item = &Poi> + '_ {
+        self.pois.iter()
+    }
+
+    /// The POI with the given id, if present.
+    pub fn get(&self, id: PoiId) -> Option<&Poi> {
+        self.pois.iter().find(|p| p.id == id)
+    }
+
+    /// All POIs of `category` inside `rect` (grid-pruned scan).
+    pub fn in_rect(&self, rect: &Rect, category: &str) -> Vec<&Poi> {
+        let mut out = Vec::new();
+        let clipped = match self.clip(rect) {
+            Some(r) => r,
+            None => return out,
+        };
+        let cx0 = ((clipped.x0 - self.map.x0) / self.cell_side) as usize;
+        let cy0 = ((clipped.y0 - self.map.y0) / self.cell_side) as usize;
+        let cx1 = ((clipped.x1 - 1 - self.map.x0) / self.cell_side) as usize;
+        let cy1 = ((clipped.y1 - 1 - self.map.y0) / self.cell_side) as usize;
+        for cy in cy0..=cy1.min(self.rows - 1) {
+            for cx in cx0..=cx1.min(self.cols - 1) {
+                for &idx in &self.cells[cy * self.cols + cx] {
+                    let poi = &self.pois[idx];
+                    if poi.category == category && rect.contains(&poi.location) {
+                        out.push(poi);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn clip(&self, rect: &Rect) -> Option<Rect> {
+        let x0 = rect.x0.max(self.map.x0);
+        let y0 = rect.y0.max(self.map.y0);
+        let x1 = rect.x1.min(self.map.x1);
+        let y1 = rect.y1.min(self.map.y1);
+        (x0 < x1 && y0 < y1).then(|| Rect::new(x0, y0, x1, y1))
+    }
+
+    /// The nearest POI of `category` to `p` (ring-expansion over grid
+    /// cells), or `None` when the category is absent.
+    pub fn nearest(&self, p: &Point, category: &str) -> Option<&Poi> {
+        let mut best: Option<(&Poi, u128)> = None;
+        let pcx = ((p.x.clamp(self.map.x0, self.map.x1 - 1) - self.map.x0) / self.cell_side)
+            as isize;
+        let pcy = ((p.y.clamp(self.map.y0, self.map.y1 - 1) - self.map.y0) / self.cell_side)
+            as isize;
+        let max_ring = self.cols.max(self.rows) as isize;
+        for ring in 0..=max_ring {
+            // Once a candidate is known, stop after the first ring whose
+            // minimum possible distance exceeds it.
+            if let Some((_, best_d2)) = best {
+                let ring_min = ((ring - 1).max(0) as i64 * self.cell_side) as u128;
+                if ring_min * ring_min > best_d2 {
+                    break;
+                }
+            }
+            for (cx, cy) in ring_cells(pcx, pcy, ring, self.cols as isize, self.rows as isize) {
+                for &idx in &self.cells[cy as usize * self.cols + cx as usize] {
+                    let poi = &self.pois[idx];
+                    if poi.category != category {
+                        continue;
+                    }
+                    let d2 = p.dist2(&poi.location);
+                    if best.is_none_or(|(_, b)| d2 < b) {
+                        best = Some((poi, d2));
+                    }
+                }
+            }
+        }
+        best.map(|(poi, _)| poi)
+    }
+}
+
+/// The cells at Chebyshev distance `ring` from `(cx, cy)`, clipped to the
+/// grid.
+fn ring_cells(
+    cx: isize,
+    cy: isize,
+    ring: isize,
+    cols: isize,
+    rows: isize,
+) -> Vec<(isize, isize)> {
+    let mut out = Vec::new();
+    if ring == 0 {
+        if cx >= 0 && cy >= 0 && cx < cols && cy < rows {
+            out.push((cx, cy));
+        }
+        return out;
+    }
+    for dx in -ring..=ring {
+        for dy in [-ring, ring] {
+            let (x, y) = (cx + dx, cy + dy);
+            if x >= 0 && y >= 0 && x < cols && y < rows {
+                out.push((x, y));
+            }
+        }
+    }
+    for dy in (-ring + 1)..ring {
+        for dx in [-ring, ring] {
+            let (x, y) = (cx + dx, cy + dy);
+            if x >= 0 && y >= 0 && x < cols && y < rows {
+                out.push((x, y));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> PoiStore {
+        let pois = vec![
+            Poi { id: PoiId(0), location: Point::new(5, 5), category: "rest".into() },
+            Poi { id: PoiId(1), location: Point::new(50, 50), category: "rest".into() },
+            Poi { id: PoiId(2), location: Point::new(90, 10), category: "gas".into() },
+            Poi { id: PoiId(3), location: Point::new(10, 90), category: "rest".into() },
+        ];
+        PoiStore::build(Rect::square(0, 0, 128), 16, pois).unwrap()
+    }
+
+    #[test]
+    fn range_scan_filters_by_rect_and_category() {
+        let s = store();
+        let hits = s.in_rect(&Rect::new(0, 0, 60, 60), "rest");
+        let ids: Vec<PoiId> = hits.iter().map(|p| p.id).collect();
+        assert_eq!(ids, vec![PoiId(0), PoiId(1)]);
+        assert!(s.in_rect(&Rect::new(0, 0, 60, 60), "gas").is_empty());
+        // A rect hanging off the map clips instead of panicking.
+        let hits = s.in_rect(&Rect::new(-100, -100, 6, 6), "rest");
+        assert_eq!(hits.len(), 1);
+        // Entirely off the map.
+        assert!(s.in_rect(&Rect::new(-10, -10, -1, -1), "rest").is_empty());
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        let pois: Vec<Poi> = (0..200)
+            .map(|i| Poi {
+                id: PoiId(i),
+                location: Point::new(rng.gen_range(0..512), rng.gen_range(0..512)),
+                category: if i % 3 == 0 { "rest".into() } else { "gas".into() },
+            })
+            .collect();
+        let s = PoiStore::build(Rect::square(0, 0, 512), 32, pois.clone()).unwrap();
+        for _ in 0..100 {
+            let p = Point::new(rng.gen_range(0..512), rng.gen_range(0..512));
+            for cat in ["rest", "gas"] {
+                let fast = s.nearest(&p, cat).unwrap();
+                let brute = pois
+                    .iter()
+                    .filter(|q| q.category == cat)
+                    .min_by_key(|q| p.dist2(&q.location))
+                    .unwrap();
+                assert_eq!(
+                    p.dist2(&fast.location),
+                    p.dist2(&brute.location),
+                    "NN mismatch at {p} for {cat}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_missing_category_is_none() {
+        let s = store();
+        assert!(s.nearest(&Point::new(1, 1), "cinema").is_none());
+    }
+
+    #[test]
+    fn off_map_poi_rejected() {
+        let bad = vec![Poi {
+            id: PoiId(9),
+            location: Point::new(999, 0),
+            category: "rest".into(),
+        }];
+        assert!(PoiStore::build(Rect::square(0, 0, 128), 16, bad).is_err());
+        assert!(PoiStore::build(Rect::square(0, 0, 128), 0, vec![]).is_err());
+    }
+
+    #[test]
+    fn nearest_works_for_query_points_off_grid_edges() {
+        let s = store();
+        // Query at the exact map corner and past cell boundaries.
+        assert_eq!(s.nearest(&Point::new(127, 127), "rest").unwrap().id, PoiId(1));
+        assert_eq!(s.nearest(&Point::new(0, 0), "rest").unwrap().id, PoiId(0));
+    }
+}

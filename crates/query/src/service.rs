@@ -1,0 +1,137 @@
+//! End-to-end cloaked query service: anonymized request in, exact client
+//! answer out, with the LBS never learning a location or an identity.
+
+use crate::{nn_candidates, AnswerCache, Poi, PoiId, PoiStore};
+use lbs_geom::Point;
+use lbs_model::AnonymizedRequest;
+
+/// What the mobile client ends up with after local filtering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientAnswer {
+    /// The true nearest POI of the requested category, if any exists.
+    pub nearest: Option<PoiId>,
+    /// How many candidates the client had to download and filter — the
+    /// client-side utility cost the paper's cost model minimizes via
+    /// smaller cloaks.
+    pub candidates_fetched: usize,
+    /// Whether the anonymizer's cache answered without contacting the LBS.
+    pub cache_hit: bool,
+}
+
+/// The LBS provider plus the CSP-side answer cache, serving cloaked
+/// nearest-neighbor queries end to end.
+#[derive(Debug, Clone)]
+pub struct CloakedLbs {
+    store: PoiStore,
+    cache: AnswerCache,
+}
+
+impl CloakedLbs {
+    /// Wraps a POI store.
+    pub fn new(store: PoiStore) -> Self {
+        CloakedLbs { store, cache: AnswerCache::new() }
+    }
+
+    /// The underlying POI store.
+    pub fn store(&self) -> &PoiStore {
+        &self.store
+    }
+
+    /// The CSP-side cache (for stats and flushing).
+    pub fn cache_mut(&mut self) -> &mut AnswerCache {
+        &mut self.cache
+    }
+
+    /// Serves an anonymized request whose `poi` parameter names the
+    /// category, then filters at the "client" with the sender's true
+    /// location. The LBS half sees only `ar.region` and `ar.params`.
+    pub fn nearest_for(&mut self, ar: &AnonymizedRequest, true_location: Point) -> ClientAnswer {
+        let category = ar
+            .params
+            .0
+            .iter()
+            .find(|(name, _)| name == "poi")
+            .map(|(_, value)| value.clone())
+            .unwrap_or_default();
+
+        let (ids, cache_hit) = match self.cache.lookup(&ar.region, &ar.params) {
+            Some(ids) => (ids, true),
+            None => {
+                let ids: Vec<PoiId> = nn_candidates(&self.store, &ar.region, &category)
+                    .into_iter()
+                    .map(|poi| poi.id)
+                    .collect();
+                self.cache.store(ar.region, ar.params.clone(), ids.clone());
+                (ids, false)
+            }
+        };
+
+        // Client-side exact filtering.
+        let nearest = ids
+            .iter()
+            .filter_map(|&id| self.store.get(id))
+            .min_by_key(|poi: &&Poi| true_location.dist2(&poi.location))
+            .map(|poi| poi.id);
+        ClientAnswer { nearest, candidates_fetched: ids.len(), cache_hit }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbs_geom::{Rect, Region};
+    use lbs_model::{RequestId, RequestParams};
+
+    fn lbs() -> CloakedLbs {
+        let pois = vec![
+            Poi { id: PoiId(0), location: Point::new(10, 10), category: "rest".into() },
+            Poi { id: PoiId(1), location: Point::new(100, 100), category: "rest".into() },
+            Poi { id: PoiId(2), location: Point::new(40, 40), category: "gas".into() },
+        ];
+        CloakedLbs::new(PoiStore::build(Rect::square(0, 0, 128), 16, pois).unwrap())
+    }
+
+    fn request(region: Region, cat: &str) -> AnonymizedRequest {
+        AnonymizedRequest::new(
+            RequestId(1),
+            region,
+            RequestParams::from_pairs([("poi", cat), ("cat", "any")]),
+        )
+    }
+
+    #[test]
+    fn client_gets_exact_nearest_neighbor() {
+        let mut lbs = lbs();
+        let cloak: Region = Rect::new(0, 0, 64, 64).into();
+        let answer = lbs.nearest_for(&request(cloak, "rest"), Point::new(12, 12));
+        assert_eq!(answer.nearest, Some(PoiId(0)));
+        assert!(!answer.cache_hit);
+        // A sender near the other end of the cloak gets the other POI —
+        // same anonymized request, different client-side filter result.
+        let answer2 = lbs.nearest_for(&request(cloak, "rest"), Point::new(63, 63));
+        assert_eq!(answer2.nearest, Some(PoiId(1)));
+        assert!(answer2.cache_hit, "identical (cloak, V) answered from cache");
+    }
+
+    #[test]
+    fn unknown_category_yields_no_answer() {
+        let mut lbs = lbs();
+        let cloak: Region = Rect::new(0, 0, 64, 64).into();
+        let answer = lbs.nearest_for(&request(cloak, "cinema"), Point::new(5, 5));
+        assert_eq!(answer.nearest, None);
+        assert_eq!(answer.candidates_fetched, 0);
+    }
+
+    #[test]
+    fn frequency_attack_countered_by_cache() {
+        let mut lbs = lbs();
+        let cloak: Region = Rect::new(0, 0, 64, 64).into();
+        // Many senders in the same cloak issue the same request.
+        for i in 0..10 {
+            lbs.nearest_for(&request(cloak, "rest"), Point::new(10 + i, 10));
+        }
+        let stats = lbs.cache_mut().stats();
+        assert_eq!(stats.misses, 1, "the LBS saw exactly one request");
+        assert_eq!(stats.hits, 9);
+    }
+}

@@ -1,0 +1,100 @@
+//! Arena nodes.
+
+use lbs_geom::Rect;
+use serde::{Deserialize, Serialize};
+
+/// Index of a node in the tree arena.
+///
+/// Ids are stable for the lifetime of a [`crate::SpatialTree`]: incremental
+/// restructuring tombstones detached nodes instead of reusing slots, so DP
+/// matrices and policies may key on `NodeId` across snapshots.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Arena slot index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Children of a node: none (leaf), two (binary tree), or four (quad tree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Children {
+    /// Leaf node.
+    None,
+    /// Binary split: `[low, high]` — (W, E) for vertical, (S, N) for
+    /// horizontal splits.
+    Two([NodeId; 2]),
+    /// Quad split in `[NW, SW, SE, NE]` order.
+    Four([NodeId; 4]),
+}
+
+impl Children {
+    /// Children as a slice (empty for leaves).
+    #[inline]
+    pub fn as_slice(&self) -> &[NodeId] {
+        match self {
+            Children::None => &[],
+            Children::Two(c) => c,
+            Children::Four(c) => c,
+        }
+    }
+
+    /// Whether this node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Children::None)
+    }
+}
+
+/// One (semi-)quadrant of the decomposition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// The region this node covers; a candidate cloak.
+    pub rect: Rect,
+    /// Depth below the root — the paper's `h(m)` with `h(root) = 0`
+    /// (Lemma 5 bounds pass-up counts by `(k+1)·h(m)`).
+    pub depth: u16,
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Child links.
+    pub children: Children,
+    /// `d(m)`: number of locations inside this node's rect (Definition 7).
+    pub count: usize,
+    /// Tombstone flag set when incremental restructuring detaches the node.
+    pub detached: bool,
+}
+
+impl Node {
+    /// Whether this node currently has no children.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_leaf()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn children_slice_views() {
+        let l = Children::None;
+        let b = Children::Two([NodeId(1), NodeId(2)]);
+        let q = Children::Four([NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        assert!(l.is_leaf() && l.as_slice().is_empty());
+        assert_eq!(b.as_slice().len(), 2);
+        assert_eq!(q.as_slice().len(), 4);
+        assert!(!q.is_leaf());
+    }
+}

@@ -1,0 +1,139 @@
+//! Tree-shape statistics (the paper's Figure 3).
+
+use crate::SpatialTree;
+use serde::{Deserialize, Serialize};
+
+/// Shape summary of a materialized tree.
+///
+/// Figure 3 of the paper reports that a binary tree of maximum height 20
+/// covers 1M Bay-Area locations at k = 50 with no leaf holding more than 50
+/// users, growing to height < 25 at 1.75M. [`TreeStats::compute`] produces
+/// the numbers behind that figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeStats {
+    /// Live nodes (`|T|` / `|B|`).
+    pub nodes: usize,
+    /// Live leaves.
+    pub leaves: usize,
+    /// Maximum leaf depth (root = 0).
+    pub max_depth: u16,
+    /// `hist[d]` = number of live nodes at depth `d`.
+    pub depth_histogram: Vec<usize>,
+    /// Largest number of users stored in one leaf.
+    pub max_leaf_count: usize,
+    /// Mean users per leaf.
+    pub avg_leaf_count: f64,
+    /// Smallest leaf side length (m) — the finest cloak granularity in use.
+    pub min_leaf_side: i64,
+}
+
+impl TreeStats {
+    /// Computes statistics over the live nodes of `tree`.
+    pub fn compute(tree: &SpatialTree) -> TreeStats {
+        let order = tree.postorder();
+        let mut depth_histogram = Vec::new();
+        let mut leaves = 0usize;
+        let mut max_depth = 0u16;
+        let mut max_leaf_count = 0usize;
+        let mut leaf_count_sum = 0usize;
+        let mut min_leaf_side = i64::MAX;
+        for &id in &order {
+            let node = tree.node(id);
+            if depth_histogram.len() <= node.depth as usize {
+                depth_histogram.resize(node.depth as usize + 1, 0);
+            }
+            depth_histogram[node.depth as usize] += 1;
+            if node.is_leaf() {
+                leaves += 1;
+                max_depth = max_depth.max(node.depth);
+                max_leaf_count = max_leaf_count.max(node.count);
+                leaf_count_sum += node.count;
+                min_leaf_side = min_leaf_side.min(node.rect.width().min(node.rect.height()));
+            }
+        }
+        TreeStats {
+            nodes: order.len(),
+            leaves,
+            max_depth,
+            depth_histogram,
+            max_leaf_count,
+            avg_leaf_count: if leaves == 0 { 0.0 } else { leaf_count_sum as f64 / leaves as f64 },
+            min_leaf_side: if leaves == 0 { 0 } else { min_leaf_side },
+        }
+    }
+}
+
+impl std::fmt::Display for TreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "nodes={} leaves={} max_depth={} max_leaf_count={} avg_leaf_count={:.2} min_leaf_side={}",
+            self.nodes, self.leaves, self.max_depth, self.max_leaf_count, self.avg_leaf_count,
+            self.min_leaf_side
+        )?;
+        write!(f, "depth histogram:")?;
+        for (d, n) in self.depth_histogram.iter().enumerate() {
+            if *n > 0 {
+                write!(f, " {d}:{n}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Emits one CSV row per live leaf: `x0,y0,x1,y1,depth,count`.
+///
+/// Plotting these rects shaded by depth reproduces Figure 3(a)'s picture of
+/// finer (semi-)quadrants in denser areas.
+pub fn leaf_csv(tree: &SpatialTree) -> String {
+    let mut out = String::from("x0,y0,x1,y1,depth,count\n");
+    for id in tree.leaves() {
+        let n = tree.node(id);
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            n.rect.x0, n.rect.y0, n.rect.x1, n.rect.y1, n.depth, n.count
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TreeConfig, TreeKind};
+    use lbs_geom::{Point, Rect};
+    use lbs_model::{LocationDb, UserId};
+
+    fn tree() -> SpatialTree {
+        let db = LocationDb::from_rows(
+            [(1, 1), (1, 2), (2, 1), (2, 2), (6, 6)]
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
+        )
+        .unwrap();
+        SpatialTree::build(&db, TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, 8), 2))
+            .unwrap()
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let t = tree();
+        let s = TreeStats::compute(&t);
+        assert_eq!(s.nodes, t.live_len());
+        assert_eq!(s.leaves, t.leaves().len());
+        assert_eq!(s.depth_histogram.iter().sum::<usize>(), s.nodes);
+        assert!(s.max_leaf_count < 2 || s.min_leaf_side == 1 || s.max_depth == 40,
+            "lazy invariant: big leaves only at granularity/depth caps");
+        let total: f64 = s.avg_leaf_count * s.leaves as f64;
+        assert!((total - 5.0).abs() < 1e-9, "all users live in leaves");
+    }
+
+    #[test]
+    fn csv_has_one_row_per_leaf() {
+        let t = tree();
+        let csv = leaf_csv(&t);
+        assert_eq!(csv.lines().count(), t.leaves().len() + 1);
+        assert!(csv.starts_with("x0,y0,x1,y1,depth,count\n"));
+    }
+}

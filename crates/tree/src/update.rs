@@ -1,0 +1,342 @@
+//! Incremental restructuring between location-database snapshots.
+//!
+//! Section IV's incremental maintenance recomputes DP rows "starting only
+//! from the quad tree leaves whose quadrants now contain a changed number
+//! of locations". This module provides the tree half of that: applying a
+//! move batch, keeping `d(m)` counts exact, re-splitting leaves that grew
+//! past the materialization threshold, collapsing subtrees that shrank
+//! below it, and reporting the dirty node set the DP must revisit.
+
+use crate::{Children, NodeId, SpatialTree};
+use lbs_model::Move;
+use std::collections::HashSet;
+
+/// Outcome of [`SpatialTree::apply_moves`].
+#[derive(Debug, Clone, Default)]
+pub struct UpdateReport {
+    /// Moves applied.
+    pub moved: usize,
+    /// Leaves split because their population reached the threshold.
+    pub splits: usize,
+    /// Subtrees collapsed because their population fell below the threshold.
+    pub collapses: usize,
+    /// Every live node whose count, structure, or stored users changed,
+    /// **closed under ancestors** — exactly the rows an incremental DP must
+    /// recompute (children of dirty internal nodes may be clean; their rows
+    /// are reused).
+    pub dirty: HashSet<NodeId>,
+}
+
+impl SpatialTree {
+    /// Applies a batch of user moves, restructures lazily materialized
+    /// nodes, and reports the dirty set.
+    ///
+    /// Validation is all-or-nothing: if any move references an unknown user
+    /// or an off-map point, nothing is applied.
+    pub fn apply_moves(&mut self, moves: &[Move]) -> Result<UpdateReport, String> {
+        for m in moves {
+            if !self.user_leaf.contains_key(&m.user) {
+                return Err(format!("unknown user {}", m.user));
+            }
+            if !self.config.map.contains(&m.to) {
+                return Err(format!("user {} target {} is off the map", m.user, m.to));
+            }
+        }
+
+        let mut report = UpdateReport::default();
+        for m in moves {
+            let old_leaf = self.detach_user(m.user);
+            let new_leaf = self.attach_user(m.user, m.to);
+            report.moved += 1;
+            self.mark_path_dirty(old_leaf, &mut report.dirty);
+            self.mark_path_dirty(new_leaf, &mut report.dirty);
+        }
+
+        self.collapse_pass(&mut report);
+        self.split_pass(&mut report);
+        Ok(report)
+    }
+
+    fn mark_path_dirty(&self, from: NodeId, dirty: &mut HashSet<NodeId>) {
+        let mut cur = Some(from);
+        while let Some(id) = cur {
+            if !dirty.insert(id) {
+                break; // ancestors already marked by an earlier move
+            }
+            cur = self.nodes[id.index()].parent;
+        }
+    }
+
+    /// Removes `user` from its leaf and decrements counts up to the root.
+    fn detach_user(&mut self, user: lbs_model::UserId) -> NodeId {
+        let leaf = self
+            .user_leaf
+            .remove(&user)
+            .expect("validated before application");
+        let list = &mut self.users[leaf.index()];
+        let pos = list
+            .iter()
+            .position(|&(u, _)| u == user)
+            .expect("user index and leaf list agree");
+        list.swap_remove(pos);
+        let mut cur = Some(leaf);
+        while let Some(id) = cur {
+            self.nodes[id.index()].count -= 1;
+            cur = self.nodes[id.index()].parent;
+        }
+        leaf
+    }
+
+    /// Adds `user` at `p` to the current leaf containing `p` and increments
+    /// counts up to the root.
+    fn attach_user(&mut self, user: lbs_model::UserId, p: lbs_geom::Point) -> NodeId {
+        let leaf = self
+            .leaf_containing(&p)
+            .expect("validated to be on the map");
+        self.users[leaf.index()].push((user, p));
+        self.user_leaf.insert(user, leaf);
+        let mut cur = Some(leaf);
+        while let Some(id) = cur {
+            self.nodes[id.index()].count += 1;
+            cur = self.nodes[id.index()].parent;
+        }
+        leaf
+    }
+
+    /// Collapses every highest internal node whose population fell below
+    /// the split threshold. Only dirty nodes can qualify, so the scan walks
+    /// the dirty set top-down rather than the whole tree.
+    fn collapse_pass(&mut self, report: &mut UpdateReport) {
+        if self.config.split_threshold == 0 {
+            return; // eager trees never restructure
+        }
+        let mut candidates: Vec<NodeId> = report
+            .dirty
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let n = &self.nodes[id.index()];
+                !n.detached && !n.is_leaf() && n.count < self.config.split_threshold
+            })
+            .collect();
+        // Shallowest first, so a collapsed ancestor disposes of its
+        // descendants before they are considered.
+        candidates.sort_by_key(|&id| self.nodes[id.index()].depth);
+        for id in candidates {
+            let n = &self.nodes[id.index()];
+            if n.detached || n.is_leaf() {
+                continue; // already handled by an ancestor's collapse
+            }
+            self.collapse_subtree(id);
+            report.collapses += 1;
+            report.dirty.insert(id);
+        }
+    }
+
+    /// Turns internal node `id` into a leaf holding its subtree's users,
+    /// tombstoning all descendants.
+    fn collapse_subtree(&mut self, id: NodeId) {
+        let mut gathered = Vec::with_capacity(self.nodes[id.index()].count);
+        let mut stack: Vec<NodeId> = self.nodes[id.index()].children.as_slice().to_vec();
+        while let Some(cur) = stack.pop() {
+            stack.extend_from_slice(self.nodes[cur.index()].children.as_slice());
+            self.nodes[cur.index()].detached = true;
+            self.nodes[cur.index()].children = Children::None;
+            gathered.append(&mut self.users[cur.index()]);
+        }
+        for &(u, _) in &gathered {
+            self.user_leaf.insert(u, id);
+        }
+        debug_assert_eq!(gathered.len(), self.nodes[id.index()].count);
+        self.users[id.index()] = gathered;
+        self.nodes[id.index()].children = Children::None;
+    }
+
+    /// Splits every dirty leaf that grew past the materialization limit,
+    /// recursively (a split child may itself qualify; `build_rec` handles
+    /// that).
+    fn split_pass(&mut self, report: &mut UpdateReport) {
+        let candidates: Vec<NodeId> = report
+            .dirty
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let n = &self.nodes[id.index()];
+                !n.detached && n.is_leaf() && self.config.may_split(&n.rect, n.depth, n.count)
+            })
+            .collect();
+        for id in candidates {
+            let items = std::mem::take(&mut self.users[id.index()]);
+            let children = self.split_node(id, items);
+            self.nodes[id.index()].children = children;
+            report.splits += 1;
+            // New descendants are dirty: the DP has no rows for them yet.
+            let mut stack: Vec<NodeId> = children.as_slice().to_vec();
+            while let Some(cur) = stack.pop() {
+                report.dirty.insert(cur);
+                stack.extend_from_slice(self.nodes[cur.index()].children.as_slice());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TreeConfig, TreeKind};
+    use lbs_geom::{Point, Rect};
+    use lbs_model::{LocationDb, Move, UserId};
+    use std::collections::HashSet as Set;
+
+    fn db(points: &[(i64, i64)]) -> LocationDb {
+        LocationDb::from_rows(
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
+        )
+        .unwrap()
+    }
+
+    fn rect_set(tree: &SpatialTree) -> Set<(Rect, bool)> {
+        tree.postorder()
+            .into_iter()
+            .map(|id| (tree.node(id).rect, tree.node(id).is_leaf()))
+            .collect()
+    }
+
+    #[test]
+    fn moves_update_counts_and_index() {
+        let db = db(&[(1, 1), (1, 2), (5, 5), (6, 6)]);
+        let cfg = TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, 8), 2);
+        let mut tree = SpatialTree::build(&db, cfg).unwrap();
+        let report = tree
+            .apply_moves(&[Move { user: UserId(0), to: Point::new(7, 7) }])
+            .unwrap();
+        assert_eq!(report.moved, 1);
+        tree.check_invariants().unwrap();
+        assert_eq!(tree.count(tree.root()), 4);
+        let leaf = tree.leaf_of_user(UserId(0)).unwrap();
+        assert!(tree.node(leaf).rect.contains(&Point::new(7, 7)));
+    }
+
+    #[test]
+    fn invalid_moves_are_atomic() {
+        let db = db(&[(1, 1), (2, 2)]);
+        let cfg = TreeConfig::lazy(TreeKind::Quad, Rect::square(0, 0, 8), 2);
+        let mut tree = SpatialTree::build(&db, cfg).unwrap();
+        let before = rect_set(&tree);
+        let bad = [
+            Move { user: UserId(0), to: Point::new(3, 3) },
+            Move { user: UserId(9), to: Point::new(1, 1) },
+        ];
+        assert!(tree.apply_moves(&bad).is_err());
+        assert_eq!(rect_set(&tree), before);
+        assert!(tree.leaf_of_user(UserId(0)).is_some());
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn growth_triggers_split() {
+        // Start: 2 users in the west, 1 in the east; threshold 2.
+        let db = db(&[(1, 1), (1, 6), (6, 6)]);
+        let cfg = TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, 8), 2);
+        let mut tree = SpatialTree::build(&db, cfg).unwrap();
+        // Move the two west users into the east; east leaf now holds 3 >= 2.
+        let report = tree
+            .apply_moves(&[
+                Move { user: UserId(0), to: Point::new(5, 1) },
+                Move { user: UserId(1), to: Point::new(7, 2) },
+            ])
+            .unwrap();
+        assert!(report.splits >= 1, "east side must re-split");
+        tree.check_invariants().unwrap();
+        // Result must equal a fresh build on the moved database.
+        let moved = db_after(&db, &[(0, (5, 1)), (1, (7, 2))]);
+        let fresh = SpatialTree::build(&moved, cfg).unwrap();
+        assert_eq!(rect_set(&tree), rect_set(&fresh));
+    }
+
+    #[test]
+    fn shrink_triggers_collapse() {
+        // Cluster of 4 in the west forces deep structure; then scatter them east.
+        let db = db(&[(1, 1), (1, 2), (2, 1), (2, 2), (6, 6)]);
+        let cfg = TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, 8), 2);
+        let mut tree = SpatialTree::build(&db, cfg).unwrap();
+        let report = tree
+            .apply_moves(&[
+                Move { user: UserId(0), to: Point::new(5, 5) },
+                Move { user: UserId(1), to: Point::new(6, 5) },
+                Move { user: UserId(2), to: Point::new(5, 6) },
+            ])
+            .unwrap();
+        assert!(report.collapses >= 1, "west side must collapse");
+        tree.check_invariants().unwrap();
+        let moved = db_after(&db, &[(0, (5, 5)), (1, (6, 5)), (2, (5, 6))]);
+        let fresh = SpatialTree::build(&moved, cfg).unwrap();
+        assert_eq!(rect_set(&tree), rect_set(&fresh));
+    }
+
+    #[test]
+    fn dirty_set_is_ancestor_closed() {
+        let db = db(&[(1, 1), (1, 2), (5, 5), (6, 6), (7, 1), (1, 7)]);
+        let cfg = TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, 8), 2);
+        let mut tree = SpatialTree::build(&db, cfg).unwrap();
+        let report = tree
+            .apply_moves(&[Move { user: UserId(4), to: Point::new(2, 2) }])
+            .unwrap();
+        for &id in &report.dirty {
+            if tree.node(id).detached {
+                continue;
+            }
+            if let Some(parent) = tree.node(id).parent {
+                assert!(report.dirty.contains(&parent), "parent of dirty {id} must be dirty");
+            }
+        }
+        assert!(report.dirty.contains(&tree.root()));
+    }
+
+    #[test]
+    fn randomized_incremental_equals_fresh_build() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let side = 64;
+        let points: Vec<(i64, i64)> =
+            (0..40).map(|_| (rng.gen_range(0..side), rng.gen_range(0..side))).collect();
+        let mut reference = db(&points);
+        let cfg = TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, side), 3);
+        let mut tree = SpatialTree::build(&reference, cfg).unwrap();
+        for round in 0..25 {
+            let moves: Vec<Move> = (0..8)
+                .map(|_| Move {
+                    user: UserId(rng.gen_range(0..40u64)),
+                    to: Point::new(rng.gen_range(0..side), rng.gen_range(0..side)),
+                })
+                .collect();
+            // Deduplicate users within the batch (last write wins) to keep
+            // the reference application unambiguous.
+            let mut seen = Set::new();
+            let moves: Vec<Move> = moves
+                .into_iter()
+                .rev()
+                .filter(|m| seen.insert(m.user))
+                .collect();
+            reference.apply_moves(&moves).unwrap();
+            tree.apply_moves(&moves).unwrap();
+            tree.check_invariants()
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+            let fresh = SpatialTree::build(&reference, cfg).unwrap();
+            assert_eq!(rect_set(&tree), rect_set(&fresh), "round {round}");
+        }
+    }
+
+    fn db_after(base: &LocationDb, moves: &[(u64, (i64, i64))]) -> LocationDb {
+        let mut out = base.clone();
+        let moves: Vec<Move> = moves
+            .iter()
+            .map(|&(u, (x, y))| Move { user: UserId(u), to: Point::new(x, y) })
+            .collect();
+        out.apply_moves(&moves).unwrap();
+        out
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the workload generator: the experiments'
+//! statistical claims (skew, determinism, movement bounds) must hold for
+//! arbitrary configurations, not just the defaults.
+
+use lbs_geom::Rect;
+use lbs_workload::{density_grid, generate_master, random_moves, sample, uniform, BayAreaConfig};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = BayAreaConfig> {
+    (1usize..200, 1usize..12, 8u32..14, any::<u64>(), 0usize..8).prop_map(
+        |(intersections, per, map_pow, seed, clusters)| BayAreaConfig {
+            map_side: 1 << map_pow,
+            intersections,
+            users_per_intersection: per,
+            user_sigma_m: 50.0,
+            clusters,
+            background_fraction: 0.1,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generated user sits on the map and the count is exact.
+    #[test]
+    fn master_size_and_bounds(cfg in arb_config()) {
+        let db = generate_master(&cfg);
+        prop_assert_eq!(db.len(), cfg.master_size());
+        let map = cfg.map();
+        for (_, p) in db.iter() {
+            prop_assert!(map.contains(&p));
+        }
+    }
+
+    /// Sampling yields exactly-n subsets and is deterministic per seed.
+    #[test]
+    fn sampling_properties(cfg in arb_config(), frac in 0.0f64..=1.0, seed in any::<u64>()) {
+        let db = generate_master(&cfg);
+        let n = ((db.len() as f64) * frac) as usize;
+        let s1 = sample(&db, n, seed);
+        let s2 = sample(&db, n, seed);
+        prop_assert_eq!(s1.len(), n);
+        for (user, p) in s1.iter() {
+            prop_assert_eq!(db.location(user), Some(p));
+            prop_assert_eq!(s2.location(user), Some(p));
+        }
+    }
+
+    /// Moves: exactly the requested count, distinct users, bounded hops,
+    /// never off the map.
+    #[test]
+    fn movement_properties(
+        cfg in arb_config(),
+        frac in 0.0f64..=1.0,
+        dist in 1.0f64..500.0,
+        seed in any::<u64>(),
+    ) {
+        let db = generate_master(&cfg);
+        let map = cfg.map();
+        let moves = random_moves(&db, &map, frac, dist, seed);
+        prop_assert_eq!(moves.len(), ((db.len() as f64) * frac).round() as usize);
+        let mut seen = std::collections::HashSet::new();
+        for m in &moves {
+            prop_assert!(seen.insert(m.user));
+            prop_assert!(map.contains(&m.to));
+            let from = db.location(m.user).unwrap();
+            // Clamping can only shorten; diagonal slack for rounding.
+            prop_assert!(from.dist(&m.to) <= dist * std::f64::consts::SQRT_2 + 2.0);
+        }
+    }
+
+    /// The density grid conserves mass for every cell resolution.
+    #[test]
+    fn density_grid_conserves_mass(cfg in arb_config(), cells in 1usize..40) {
+        let db = generate_master(&cfg);
+        let grid = density_grid(&db, &cfg.map(), cells);
+        prop_assert_eq!(grid.len(), cells);
+        let total: usize = grid.iter().flatten().sum();
+        prop_assert_eq!(total, db.len());
+    }
+
+    /// Uniform workloads have the requested size and stay on the map.
+    #[test]
+    fn uniform_bounds(n in 0usize..500, pow in 4u32..12, seed in any::<u64>()) {
+        let map = Rect::square(0, 0, 1 << pow);
+        let db = uniform(n, map, seed);
+        prop_assert_eq!(db.len(), n);
+        for (_, p) in db.iter() {
+            prop_assert!(map.contains(&p));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! The whole system in one run: the multi-snapshot privacy-conscious LBS
+//! pipeline of Section II-B — movement, incremental policy maintenance,
+//! cloaked request serving through the answer cache, and the full attacker
+//! suite verifying that nothing leaks.
+//!
+//! ```text
+//! cargo run --release --example end_to_end [num_users] [k] [snapshots]
+//! ```
+
+use lbs_sim::{run, SimConfig};
+
+fn main() {
+    let users: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50_000);
+    let k: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(50);
+    let snapshots: usize =
+        std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(6);
+
+    let config = SimConfig {
+        users,
+        k,
+        snapshots,
+        request_rate: 0.08,
+        mover_fraction: 0.01,
+        ..SimConfig::default()
+    };
+    println!(
+        "simulating {users} users at k={k} for {snapshots} snapshots \
+         ({}% request, {}% move per snapshot)…\n",
+        config.request_rate * 100.0,
+        config.mover_fraction * 100.0
+    );
+    let report = run(&config).expect("simulation");
+    println!("{report}");
+    assert_eq!(report.total_breaches(), 0);
+    println!(
+        "every snapshot audited: no policy-aware breach, no frequency exposure. \
+         The LBS saw only cloaks, request ids, and deduplicated parameters."
+    );
+}

@@ -1,0 +1,82 @@
+//! Quickstart: anonymize the paper's Table I instance and watch the
+//! policy-aware attacker break the classical k-inside policy but not the
+//! optimal policy-aware one.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use policy_aware_lbs::prelude::*;
+
+fn main() {
+    // ---- Table I: five users on a 4 m x 4 m toy map. --------------------
+    let db = LocationDb::from_rows([
+        (UserId(0), Point::new(0, 0)), // Alice
+        (UserId(1), Point::new(0, 1)), // Bob
+        (UserId(2), Point::new(0, 3)), // Carol
+        (UserId(3), Point::new(2, 0)), // Sam
+        (UserId(4), Point::new(3, 3)), // Tom
+    ])
+    .unwrap();
+    let names = ["Alice", "Bob", "Carol", "Sam", "Tom"];
+    let map = Rect::square(0, 0, 4);
+    let k = 2;
+
+    // ---- The state of the art: a k-inside policy (Casper-style). --------
+    // Every cloak contains >= 2 users, so a *policy-unaware* attacker can
+    // never pin the sender below 2 candidates (Proposition 2)…
+    let k_inside = Casper::build(&db, map, k).unwrap().materialize(&db);
+    let unaware = PolicyUnawareAttacker::new();
+    for (user, _) in db.iter() {
+        let cloak = k_inside.cloak_of(user).unwrap();
+        assert!(unaware.possible_senders_of_region(&db, cloak).len() >= k);
+    }
+    println!("k-inside policy: policy-UNaware attacker always sees >= {k} candidates ✓");
+
+    // …but an attacker who knows the policy (Saltzer: the design is not
+    // secret) inverts the user→cloak map itself: Example 1's breach.
+    let breaches = audit_policy(&k_inside, &db, k);
+    for breach in &breaches {
+        let exposed: Vec<&str> =
+            breach.candidates.iter().map(|u| names[u.0 as usize]).collect();
+        println!(
+            "k-inside policy: policy-AWARE attacker identifies {} from cloak {} ✗",
+            exposed.join(", "),
+            breach.region
+        );
+    }
+    assert!(!breaches.is_empty(), "Example 1: k-inside must leak here");
+
+    // ---- The paper's contribution: optimal policy-aware anonymity. ------
+    // Bulk_dp computes the cheapest policy whose *cloak groups* all have
+    // >= k members; even full knowledge of the policy leaves >= k
+    // candidate senders for every observable request.
+    let mut engine = Anonymizer::build(&db, map, k).unwrap();
+    let policy = engine.policy().clone();
+    verify_policy_aware(&policy, &db, k).expect("policy-aware k-anonymous");
+    assert!(audit_policy(&policy, &db, k).is_empty());
+
+    println!("\noptimal policy-aware {k}-anonymous policy (cost {} m^2):", engine.cost());
+    for (i, user) in db.users().enumerate() {
+        println!("  {:5} -> {}", names[i], policy.cloak_of(user).unwrap());
+    }
+
+    // ---- Serving a request end to end. -----------------------------------
+    let request = ServiceRequest::new(
+        UserId(2), // Carol
+        Point::new(0, 3),
+        RequestParams::from_pairs([("poi", "rest"), ("cat", "ital")]),
+    );
+    let anonymized = engine.serve(&db, &request).unwrap();
+    assert!(anonymized.masks(&request));
+    println!(
+        "\nCarol's request {} goes to the LBS as {} with cloak {} — \
+         and the policy-aware attacker still sees {} possible senders.",
+        request.params,
+        anonymized.rid,
+        anonymized.region,
+        PolicyAwareAttacker::new(policy.clone())
+            .possible_senders(&db, &anonymized)
+            .len()
+    );
+}

@@ -1,0 +1,158 @@
+//! Integration tests for the future-work extensions: trajectory privacy,
+//! user-specified k, and cloaked query serving.
+
+use policy_aware_lbs::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn bay(n: usize) -> (LocationDb, Rect) {
+    let mut cfg = BayAreaConfig::scaled_to(n);
+    cfg.map_side = 1 << 14;
+    (generate_master(&cfg), Rect::square(0, 0, 1 << 14))
+}
+
+/// The intersection attack defeats per-snapshot optimal policies under
+/// churn, and sticky cohorts restore >= k candidates at every epoch.
+#[test]
+fn trajectory_linking_and_the_sticky_defence() {
+    let k = 10;
+    let (mut db, map) = bay(2_000);
+    let victim = db.users().next().unwrap();
+    let sticky = StickyAnonymizer::new(&db, map, k).unwrap();
+    let attacker = TrajectoryAttacker::new();
+    let (mut opt_obs, mut stk_obs) = (Vec::new(), Vec::new());
+
+    let mut optimal_candidates = Vec::new();
+    for epoch in 0..8u64 {
+        if epoch > 0 {
+            let moves = random_moves(&db, &map, 0.6, 4_000.0, 100 + epoch);
+            db.apply_moves(&moves).unwrap();
+        }
+        let optimal = Anonymizer::build(&db, map, k).unwrap().policy().clone();
+        verify_policy_aware(&optimal, &db, k).unwrap();
+        opt_obs.push(LinkedObservation {
+            db: db.clone(),
+            policy: optimal.clone(),
+            cloak: *optimal.cloak_of(victim).unwrap(),
+        });
+        let stable = sticky.policy_for(&db).unwrap();
+        verify_policy_aware(&stable, &db, k).unwrap();
+        stk_obs.push(LinkedObservation {
+            db: db.clone(),
+            policy: stable.clone(),
+            cloak: *stable.cloak_of(victim).unwrap(),
+        });
+
+        optimal_candidates.push(attacker.possible_senders(&opt_obs).len());
+        // Sticky: the victim's cohort is a subset of every epoch's
+        // candidates, so the intersection stays >= k.
+        assert!(
+            attacker.possible_senders(&stk_obs).len() >= k,
+            "epoch {epoch}: sticky candidates dropped below k"
+        );
+    }
+    // The per-snapshot-optimal candidate set shrinks monotonically…
+    for pair in optimal_candidates.windows(2) {
+        assert!(pair[1] <= pair[0], "intersection can only shrink: {optimal_candidates:?}");
+    }
+    // …and under this much churn it ends strictly below where it started.
+    assert!(
+        optimal_candidates.last().unwrap() < optimal_candidates.first().unwrap(),
+        "churn must erode the intersection: {optimal_candidates:?}"
+    );
+}
+
+/// Per-user k end to end on a realistic snapshot, including its
+/// interaction with the plain verifier at the weakest requested level.
+#[test]
+fn per_user_k_end_to_end() {
+    let (db, map) = bay(3_000);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut reqs = KRequirements::with_default(5);
+    for user in db.users() {
+        if rng.gen_bool(0.2) {
+            reqs.set(user, 25);
+        } else if rng.gen_bool(0.05) {
+            reqs.set(user, 100);
+        }
+    }
+    let policy = anonymize_per_user_k(&db, map, &reqs).unwrap();
+    verify_per_user_k(&policy, &db, &reqs).unwrap();
+    // The policy also satisfies the plain guarantee at the default level.
+    verify_policy_aware(&policy, &db, 5).unwrap();
+    // And demanding users actually got bigger groups.
+    let groups = policy.groups();
+    for members in groups.values() {
+        let need = members.iter().map(|&u| reqs.k_of(u)).max().unwrap();
+        assert!(members.len() >= need);
+    }
+}
+
+/// Cloaked NN answers are exactly correct for every user when queried
+/// through the optimal policy-aware cloaks, and the anonymizer cache
+/// collapses duplicate (cloak, V) requests to a single LBS round trip.
+#[test]
+fn cloaked_queries_are_exact_through_optimal_cloaks() {
+    let k = 15;
+    let (db, map) = bay(2_000);
+    let mut rng = StdRng::seed_from_u64(77);
+    let pois: Vec<Poi> = (0..500)
+        .map(|i| Poi {
+            id: PoiId(i),
+            location: Point::new(rng.gen_range(0..1 << 14), rng.gen_range(0..1 << 14)),
+            category: if i % 2 == 0 { "rest".into() } else { "gas".into() },
+        })
+        .collect();
+    let mut lbs = CloakedLbs::new(PoiStore::build(map, 1 << 9, pois).unwrap());
+    let mut engine = Anonymizer::build(&db, map, k).unwrap();
+
+    let mut lbs_visible_requests = 0;
+    for (i, (user, loc)) in db.iter().take(400).enumerate() {
+        let cat = if i % 2 == 0 { "rest" } else { "gas" };
+        let sr = ServiceRequest::new(user, loc, RequestParams::from_pairs([("poi", cat)]));
+        let ar = engine.serve(&db, &sr).unwrap();
+        let answer = lbs.nearest_for(&ar, loc);
+        let truth = lbs.store().nearest(&loc, cat).unwrap();
+        let got = lbs.store().get(answer.nearest.unwrap()).unwrap();
+        assert_eq!(
+            loc.dist2(&got.location),
+            loc.dist2(&truth.location),
+            "{user}: cloaked answer differs from exact NN"
+        );
+        if !answer.cache_hit {
+            lbs_visible_requests += 1;
+        }
+    }
+    assert_eq!(lbs.cache_mut().stats().misses, lbs_visible_requests);
+    assert!(
+        lbs_visible_requests < 400,
+        "shared cloaks must produce duplicate requests the cache absorbs"
+    );
+}
+
+/// Range queries through cloaks: complete w.r.t. the true position.
+#[test]
+fn cloaked_range_queries_are_complete() {
+    let (db, map) = bay(1_000);
+    let k = 10;
+    let mut rng = StdRng::seed_from_u64(3);
+    let pois: Vec<Poi> = (0..300)
+        .map(|i| Poi {
+            id: PoiId(i),
+            location: Point::new(rng.gen_range(0..1 << 14), rng.gen_range(0..1 << 14)),
+            category: "gas".into(),
+        })
+        .collect();
+    let store = PoiStore::build(map, 1 << 9, pois.clone()).unwrap();
+    let engine = Anonymizer::build(&db, map, k).unwrap();
+    let radius = 2_000i64;
+    for (user, loc) in db.iter().take(100) {
+        let cloak = engine.policy().cloak_of(user).unwrap();
+        let candidates = range_candidates(&store, cloak, "gas", radius);
+        let ids: Vec<PoiId> = candidates.iter().map(|p| p.id).collect();
+        for poi in &pois {
+            if loc.dist2(&poi.location) <= (radius as u128) * (radius as u128) {
+                assert!(ids.contains(&poi.id), "{user}: {} missing", poi.id);
+            }
+        }
+    }
+}

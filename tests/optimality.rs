@@ -1,0 +1,117 @@
+//! Cross-crate optimality guarantees: the production DP agrees with the
+//! first-cut reference and the exhaustive oracle, and orders correctly
+//! against every baseline.
+
+use lbs_core::{brute_force_optimal_cost, bulk_dp_dense, bulk_dp_fast, verify_policy_aware};
+use policy_aware_lbs::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn random_db(rng: &mut StdRng, n: usize, side: i64) -> LocationDb {
+    LocationDb::from_rows(
+        (0..n).map(|i| {
+            (UserId(i as u64), Point::new(rng.gen_range(0..side), rng.gen_range(0..side)))
+        }),
+    )
+    .unwrap()
+}
+
+/// Optimized DP == Algorithm-1 reference == exhaustive configuration
+/// enumeration, across random small instances (fresh seeds, distinct from
+/// the unit tests).
+#[test]
+fn three_way_optimality_agreement() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for trial in 0..20 {
+        let n = rng.gen_range(2..=6);
+        let k = rng.gen_range(2..=3);
+        let db = random_db(&mut rng, n, 8);
+        let cfg = TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, 8), k);
+        let tree = SpatialTree::build(&db, cfg).unwrap();
+        let oracle = brute_force_optimal_cost(&tree, k);
+        let dense = bulk_dp_dense(&tree, k).unwrap().optimal_cost(&tree).ok();
+        let fast = bulk_dp_fast(&tree, k).unwrap().optimal_cost(&tree).ok();
+        assert_eq!(oracle, dense, "trial {trial}");
+        assert_eq!(oracle, fast, "trial {trial}");
+    }
+}
+
+/// Per-user dominance: the optimal policy-aware cloak of a user is never
+/// smaller than their tightest k-populated binary node (PUB), so
+/// Cost(policy-aware) >= Cost(PUB); and allowing semi-quadrants means
+/// Cost over the binary tree <= Cost over the quad tree.
+#[test]
+fn cost_ordering_against_baselines() {
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    for trial in 0..8 {
+        let n = rng.gen_range(20..=80);
+        let k = rng.gen_range(2..=6);
+        let side = 64;
+        let db = random_db(&mut rng, n, side);
+        let map = Rect::square(0, 0, side);
+
+        let pa = Anonymizer::build(&db, map, k).unwrap();
+        let pub_ = PolicyUnawareBinary::build(&db, map, k).unwrap().materialize(&db);
+        let puq = PolicyUnawareQuad::build(&db, map, k).unwrap().materialize(&db);
+        let casper = Casper::build(&db, map, k).unwrap().materialize(&db);
+
+        // Per-user: optimal policy-aware cloak >= that user's PUB cloak.
+        for (user, _) in db.iter() {
+            let pa_area = pa.policy().cloak_of(user).unwrap().rect().unwrap().area();
+            let pub_area = pub_.cloak_of(user).unwrap().rect().unwrap().area();
+            assert!(pa_area >= pub_area, "trial {trial} {user}");
+        }
+        let cost = |p: &BulkPolicy| p.cost_exact().unwrap();
+        assert!(pa.cost() >= cost(&pub_), "trial {trial}: stronger privacy costs");
+        assert!(cost(&casper) <= cost(&pub_), "trial {trial}: adaptive semi-quadrants win");
+        assert!(cost(&pub_) <= cost(&puq), "trial {trial}: binary refines quad");
+    }
+}
+
+/// The paper's headline utility claim (Figure 5(a)): on realistic skewed
+/// workloads the policy-aware optimum stays within 1.7x of Casper's
+/// average cloak area.
+#[test]
+fn utility_overhead_within_paper_bound() {
+    let cfg = BayAreaConfig::scaled_to(20_000);
+    let db = generate_master(&cfg);
+    let k = 50;
+    let pa = Anonymizer::build(&db, cfg.map(), k).unwrap();
+    let casper = Casper::build(&db, cfg.map(), k).unwrap().materialize(&db);
+    let ratio = pa.avg_cloak_area() / casper.avg_area_f64();
+    assert!(
+        ratio <= 1.7,
+        "policy-aware / casper = {ratio:.2} exceeds the paper's 1.7x bound"
+    );
+    assert!(ratio >= 1.0, "casper cannot lose to the strictly stronger guarantee");
+}
+
+/// Deterministic reproducibility: same snapshot, same k → byte-identical
+/// policy (Definition 4 demands deterministic procedures).
+#[test]
+fn policy_construction_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let db = random_db(&mut rng, 200, 256);
+    let map = Rect::square(0, 0, 256);
+    let a = Anonymizer::build(&db, map, 5).unwrap();
+    let b = Anonymizer::build(&db, map, 5).unwrap();
+    assert_eq!(a.cost(), b.cost());
+    for (user, _) in db.iter() {
+        assert_eq!(a.policy().cloak_of(user), b.policy().cloak_of(user));
+    }
+}
+
+/// Every extracted policy at realistic scale is verified masking, total,
+/// and policy-aware k-anonymous.
+#[test]
+fn extracted_policies_always_verify() {
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    for _ in 0..5 {
+        let n = rng.gen_range(100..=2_000);
+        let k = rng.gen_range(2..=25);
+        let db = random_db(&mut rng, n, 1 << 12);
+        let engine = Anonymizer::build(&db, Rect::square(0, 0, 1 << 12), k).unwrap();
+        verify_policy_aware(engine.policy(), &db, k).unwrap();
+        assert!(engine.policy().is_masking_and_total(&db));
+        assert_eq!(engine.policy().cost_exact(), Some(engine.cost()));
+    }
+}

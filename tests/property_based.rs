@@ -1,0 +1,152 @@
+//! Property-based tests (proptest) over the core invariants.
+
+use lbs_core::{bulk_dp_fast, verify_policy_aware};
+use policy_aware_lbs::prelude::*;
+use proptest::prelude::*;
+
+const SIDE: i64 = 64;
+
+/// Random location databases: up to 40 users on a 64 m map, duplicates
+/// coordinates allowed (users can share a position).
+fn arb_db() -> impl Strategy<Value = LocationDb> {
+    prop::collection::vec((0..SIDE, 0..SIDE), 1..40).prop_map(|points| {
+        LocationDb::from_rows(
+            points
+                .into_iter()
+                .enumerate()
+                .map(|(i, (x, y))| (UserId(i as u64), Point::new(x, y))),
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For every feasible (db, k): the extracted policy is masking, total,
+    /// policy-aware k-anonymous, and its cost equals the matrix optimum.
+    #[test]
+    fn optimal_policy_invariants(db in arb_db(), k in 1usize..6) {
+        let map = Rect::square(0, 0, SIDE);
+        match Anonymizer::build(&db, map, k) {
+            Err(CoreError::InsufficientPopulation { population, k: kk }) => {
+                prop_assert_eq!(population, db.len());
+                prop_assert_eq!(kk, k);
+                prop_assert!(db.len() < k);
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+            Ok(engine) => {
+                prop_assert!(db.len() >= k);
+                prop_assert!(engine.policy().is_masking_and_total(&db));
+                prop_assert!(verify_policy_aware(engine.policy(), &db, k).is_ok());
+                prop_assert_eq!(engine.policy().cost_exact(), Some(engine.cost()));
+                // Each user's cloak is a tree rectangle containing them
+                // with at least k co-grouped users.
+                let groups = engine.policy().groups();
+                for members in groups.values() {
+                    prop_assert!(members.len() >= k);
+                }
+            }
+        }
+    }
+
+    /// The extracted configuration satisfies Definition 7 validity,
+    /// completeness, and k-summation, and Cost_c equals the policy cost
+    /// (Lemmas 2 and 3).
+    #[test]
+    fn configuration_lemmas(db in arb_db(), k in 1usize..5) {
+        prop_assume!(db.len() >= k);
+        let map = Rect::square(0, 0, SIDE);
+        let tree = SpatialTree::build(&db, TreeConfig::lazy(TreeKind::Binary, map, k)).unwrap();
+        let matrix = bulk_dp_fast(&tree, k).unwrap();
+        let config = matrix.extract_configuration(&tree).unwrap();
+        prop_assert!(config.is_valid(&tree));
+        prop_assert!(config.is_complete(&tree));
+        prop_assert!(config.satisfies_k_summation(&tree, k));
+        let policy = matrix.extract_policy(&tree).unwrap();
+        prop_assert_eq!(config.cost(&tree), policy.cost_exact());
+    }
+
+    /// Incremental maintenance equals a fresh build after arbitrary moves.
+    #[test]
+    fn incremental_equals_fresh(
+        db in arb_db(),
+        k in 2usize..4,
+        moves in prop::collection::vec((0u64..40, 0..SIDE, 0..SIDE), 0..12),
+    ) {
+        prop_assume!(db.len() >= k);
+        let map = Rect::square(0, 0, SIDE);
+        let config = TreeConfig::lazy(TreeKind::Binary, map, k);
+        let mut engine = IncrementalAnonymizer::new(&db, config, k).unwrap();
+        let mut reference = db.clone();
+        // Keep only moves that reference existing users, dedup last-wins.
+        let mut seen = std::collections::HashSet::new();
+        let moves: Vec<Move> = moves
+            .into_iter()
+            .rev()
+            .filter(|(u, _, _)| reference.contains(UserId(*u)) && seen.insert(*u))
+            .map(|(u, x, y)| Move { user: UserId(u), to: Point::new(x, y) })
+            .collect();
+        reference.apply_moves(&moves).unwrap();
+        engine.apply_moves(&moves).unwrap();
+        let fresh = Anonymizer::build(&reference, map, k).unwrap();
+        prop_assert_eq!(engine.optimal_cost().unwrap(), fresh.cost());
+    }
+
+    /// k-inside baselines are k-inside (every cloak covers >= k users) and
+    /// masking, whenever they produce a cloak.
+    #[test]
+    fn baselines_are_k_inside(db in arb_db(), k in 1usize..6) {
+        let map = Rect::square(0, 0, SIDE);
+        let casper = Casper::build(&db, map, k).unwrap();
+        let puq = PolicyUnawareQuad::build(&db, map, k).unwrap();
+        let pub_ = PolicyUnawareBinary::build(&db, map, k).unwrap();
+        for (user, point) in db.iter() {
+            for policy in [&casper as &dyn CloakingPolicy, &puq, &pub_] {
+                if let Some(region) = policy.cloak(&db, user) {
+                    prop_assert!(region.contains(&point), "masking");
+                    prop_assert!(db.users_in(&region).len() >= k, "k-inside");
+                }
+            }
+        }
+    }
+
+    /// Snapshot wire format round-trips arbitrary databases.
+    #[test]
+    fn snapshot_round_trip(db in arb_db()) {
+        let encoded = lbs_model::encode_snapshot(&db);
+        let decoded = lbs_model::decode_snapshot(encoded).unwrap();
+        prop_assert_eq!(decoded.len(), db.len());
+        for (user, point) in db.iter() {
+            prop_assert_eq!(decoded.location(user), Some(point));
+        }
+    }
+
+    /// Tree invariants hold after arbitrary build + move sequences, and
+    /// every leaf path terminates at the root with strictly nested rects.
+    #[test]
+    fn tree_structural_invariants(
+        db in arb_db(),
+        k in 1usize..5,
+        moves in prop::collection::vec((0u64..40, 0..SIDE, 0..SIDE), 0..10),
+    ) {
+        let map = Rect::square(0, 0, SIDE);
+        let mut tree =
+            SpatialTree::build(&db, TreeConfig::lazy(TreeKind::Binary, map, k)).unwrap();
+        tree.check_invariants().unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let moves: Vec<Move> = moves
+            .into_iter()
+            .rev()
+            .filter(|(u, _, _)| db.contains(UserId(*u)) && seen.insert(*u))
+            .map(|(u, x, y)| Move { user: UserId(u), to: Point::new(x, y) })
+            .collect();
+        tree.apply_moves(&moves).unwrap();
+        tree.check_invariants().unwrap();
+        for (user, point) in db.iter() {
+            let moved = moves.iter().find(|m| m.user == user).map(|m| m.to).unwrap_or(point);
+            let leaf = tree.leaf_of_user(user).unwrap();
+            prop_assert!(tree.node(leaf).rect.contains(&moved));
+        }
+    }
+}
