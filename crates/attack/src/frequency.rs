@@ -74,11 +74,8 @@ impl FrequencyAttacker {
             .into_iter()
             .map(|((region, params), duplicates)| {
                 let group = self.inner.possible_senders_of_region(db, &region);
-                let exposure = if group.is_empty() {
-                    0.0
-                } else {
-                    duplicates as f64 / group.len() as f64
-                };
+                let exposure =
+                    if group.is_empty() { 0.0 } else { duplicates as f64 / group.len() as f64 };
                 FrequencyFinding { region, params, duplicates, group, exposure }
             })
             .collect();
@@ -92,10 +89,7 @@ impl FrequencyAttacker {
         db: &LocationDb,
         observed: &[AnonymizedRequest],
     ) -> Vec<FrequencyFinding> {
-        self.analyze(db, observed)
-            .into_iter()
-            .filter(FrequencyFinding::fully_exposed)
-            .collect()
+        self.analyze(db, observed).into_iter().filter(FrequencyFinding::fully_exposed).collect()
     }
 }
 
@@ -121,11 +115,7 @@ mod tests {
     }
 
     fn request(rid: u64, cloak: Region, v: &str) -> AnonymizedRequest {
-        AnonymizedRequest::new(
-            RequestId(rid),
-            cloak,
-            RequestParams::from_pairs([("poi", v)]),
-        )
+        AnonymizedRequest::new(RequestId(rid), cloak, RequestParams::from_pairs([("poi", v)]))
     }
 
     #[test]

@@ -100,10 +100,7 @@ pub fn enumerate_policy_aware_pres(
 }
 
 /// All injective maps from `rids` into `group`.
-fn injective_assignments(
-    rids: &[RequestId],
-    group: &[UserId],
-) -> Vec<HashMap<RequestId, UserId>> {
+fn injective_assignments(rids: &[RequestId], group: &[UserId]) -> Vec<HashMap<RequestId, UserId>> {
     fn go(
         rids: &[RequestId],
         group: &[UserId],
@@ -143,7 +140,8 @@ pub fn literal_k_anonymity(
     k: usize,
 ) -> bool {
     if observed.is_empty() || k <= 1 {
-        return !enumerate_policy_aware_pres(observed, db, policy).is_empty() || observed.is_empty();
+        return !enumerate_policy_aware_pres(observed, db, policy).is_empty()
+            || observed.is_empty();
     }
     let pres = enumerate_policy_aware_pres(observed, db, policy);
     let rids: Vec<RequestId> = observed.iter().map(|ar| ar.rid).collect();
@@ -195,11 +193,9 @@ mod tests {
     #[test]
     fn pres_are_injective_within_a_class() {
         // Group {u0, u1} on one cloak; two identical-V requests observed.
-        let db = LocationDb::from_rows([
-            (UserId(0), Point::new(0, 0)),
-            (UserId(1), Point::new(1, 1)),
-        ])
-        .unwrap();
+        let db =
+            LocationDb::from_rows([(UserId(0), Point::new(0, 0)), (UserId(1), Point::new(1, 1))])
+                .unwrap();
         let cloak: Region = Rect::new(0, 0, 2, 2).into();
         let mut policy = BulkPolicy::new("p");
         policy.assign(UserId(0), cloak);
@@ -229,10 +225,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0xDEF6);
         for trial in 0..40 {
             let n = rng.gen_range(2..=6);
-            let db = LocationDb::from_rows((0..n).map(|i| {
-                (UserId(i as u64), Point::new(rng.gen_range(0..8), rng.gen_range(0..8)))
-            }))
-            .unwrap();
+            let db =
+                LocationDb::from_rows((0..n).map(|i| {
+                    (UserId(i as u64), Point::new(rng.gen_range(0..8), rng.gen_range(0..8)))
+                }))
+                .unwrap();
             // Random policy: split users across 1-2 cloaks (not necessarily
             // anonymous!).
             let west: Region = Rect::new(0, 0, 8, 8).into();
@@ -258,9 +255,8 @@ mod tests {
                 // Shortcut: every *observed* cloak's group must have >= k
                 // members (unobserved cloaks can't breach anything).
                 let groups = policy.groups();
-                let shortcut = observed_regions
-                    .iter()
-                    .all(|r| groups.get(r).is_some_and(|g| g.len() >= k));
+                let shortcut =
+                    observed_regions.iter().all(|r| groups.get(r).is_some_and(|g| g.len() >= k));
                 let shortcut = shortcut || observed.is_empty();
                 assert_eq!(
                     literal, shortcut,
@@ -274,11 +270,9 @@ mod tests {
     fn example_1_has_a_unique_pre() {
         // Carol's singleton group: exactly one PRE, so 2-anonymity fails
         // by the literal definition too.
-        let db = LocationDb::from_rows([
-            (UserId(2), Point::new(1, 3)),
-            (UserId(0), Point::new(1, 1)),
-        ])
-        .unwrap();
+        let db =
+            LocationDb::from_rows([(UserId(2), Point::new(1, 3)), (UserId(0), Point::new(1, 1))])
+                .unwrap();
         let r3: Region = Rect::new(0, 2, 2, 4).into();
         let mut policy = BulkPolicy::new("example1");
         policy.assign(UserId(2), r3);

@@ -121,11 +121,9 @@ mod tests {
         // When the same cohort shares the cloak in both epochs, the
         // intersection never shrinks below the cohort.
         let cloak: Region = Rect::new(0, 0, 8, 8).into();
-        let db = LocationDb::from_rows([
-            (UserId(0), Point::new(1, 1)),
-            (UserId(1), Point::new(2, 2)),
-        ])
-        .unwrap();
+        let db =
+            LocationDb::from_rows([(UserId(0), Point::new(1, 1)), (UserId(1), Point::new(2, 2))])
+                .unwrap();
         let mut policy = BulkPolicy::new("stable");
         policy.assign(UserId(0), cloak);
         policy.assign(UserId(1), cloak);

@@ -105,10 +105,7 @@ impl Casper {
         }
         // Both orientations have equal area; prefer the less populated one
         // (tighter k-inside fit), vertical on ties, for determinism.
-        candidates
-            .into_iter()
-            .min_by_key(|&(count, _)| count)
-            .map(|(_, rect)| rect)
+        candidates.into_iter().min_by_key(|&(count, _)| count).map(|(_, rect)| rect)
     }
 }
 
@@ -139,10 +136,7 @@ mod tests {
 
     fn db(points: &[(i64, i64)]) -> LocationDb {
         LocationDb::from_rows(
-            points
-                .iter()
-                .enumerate()
-                .map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
+            points.iter().enumerate().map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
         )
         .unwrap()
     }

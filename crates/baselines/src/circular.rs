@@ -42,11 +42,7 @@ impl CircularKInside {
 
     /// The center nearest to `p` (ties broken by center order).
     pub fn nearest_center(&self, p: &Point) -> Point {
-        *self
-            .centers
-            .iter()
-            .min_by_key(|c| c.dist2(p))
-            .expect("centers nonempty")
+        *self.centers.iter().min_by_key(|c| c.dist2(p)).expect("centers nonempty")
     }
 }
 
@@ -144,9 +140,7 @@ pub fn optimal_circular_policy(
             let Some((&seed, rest)) = unassigned.split_first() else {
                 let groups = acc
                     .iter()
-                    .map(|(idxs, c)| {
-                        (idxs.iter().map(|&i| self.users[i].0).collect(), *c)
-                    })
+                    .map(|(idxs, c)| (idxs.iter().map(|&i| self.users[i].0).collect(), *c))
                     .collect();
                 self.best = Some(CircularPolicy { groups, cost });
                 return;
@@ -222,10 +216,7 @@ mod tests {
 
     fn db(points: &[(i64, i64)]) -> LocationDb {
         LocationDb::from_rows(
-            points
-                .iter()
-                .enumerate()
-                .map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
+            points.iter().enumerate().map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
         )
         .unwrap()
     }

@@ -49,10 +49,7 @@ impl PolicyUnawareQuad {
     /// The tree node used as `user`'s cloak (for attack analysis).
     pub fn cloak_node(&self, user: UserId) -> Option<NodeId> {
         let leaf = self.tree.leaf_of_user(user)?;
-        self.tree
-            .path_to_root(leaf)
-            .into_iter()
-            .find(|&id| self.tree.count(id) >= self.k)
+        self.tree.path_to_root(leaf).into_iter().find(|&id| self.tree.count(id) >= self.k)
     }
 }
 
@@ -161,10 +158,7 @@ mod tests {
         }
         // …but the group structure betrays A.
         let groups = bulk.groups();
-        let a_group = groups
-            .values()
-            .find(|members| members.contains(&UserId(0)))
-            .unwrap();
+        let a_group = groups.values().find(|members| members.contains(&UserId(0))).unwrap();
         assert_eq!(a_group, &vec![UserId(0)], "policy-aware attacker identifies A");
     }
 

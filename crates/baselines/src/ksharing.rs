@@ -38,10 +38,8 @@ impl KSharingCloaker {
             return Some(*rect);
         }
         let loc = db.location(user)?;
-        let mut candidates: Vec<(UserId, Point)> = db
-            .iter()
-            .filter(|&(u, _)| u != user && !self.is_grouped(u))
-            .collect();
+        let mut candidates: Vec<(UserId, Point)> =
+            db.iter().filter(|&(u, _)| u != user && !self.is_grouped(u)).collect();
         if candidates.len() + 1 < self.k {
             return None;
         }
@@ -95,9 +93,9 @@ mod tests {
     /// Figure 6(a): A, B, C collinear with B between A and C, closer to C.
     fn figure_6a() -> LocationDb {
         LocationDb::from_rows([
-            (UserId(0), Point::new(0, 0)),  // A
-            (UserId(1), Point::new(6, 0)),  // B
-            (UserId(2), Point::new(8, 0)),  // C
+            (UserId(0), Point::new(0, 0)), // A
+            (UserId(1), Point::new(6, 0)), // B
+            (UserId(2), Point::new(8, 0)), // C
         ])
         .unwrap()
     }

@@ -16,12 +16,10 @@ fn lemma5_bound(c: &mut Criterion) {
     group.sample_size(10);
     for n in [10_000usize, 25_000] {
         let db = workload.sample(n);
-        let tree =
-            SpatialTree::build(&db, TreeConfig::lazy(TreeKind::Binary, map, k)).unwrap();
+        let tree = SpatialTree::build(&db, TreeConfig::lazy(TreeKind::Binary, map, k)).unwrap();
         // Sanity once per size: identical optimum.
         let with = bulk_dp_fast_with_options(&tree, k, true).unwrap().optimal_cost(&tree).ok();
-        let without =
-            bulk_dp_fast_with_options(&tree, k, false).unwrap().optimal_cost(&tree).ok();
+        let without = bulk_dp_fast_with_options(&tree, k, false).unwrap().optimal_cost(&tree).ok();
         assert_eq!(with, without, "Lemma 5 must not change the optimum");
 
         group.bench_with_input(BenchmarkId::new("with", n), &tree, |b, tree| {
@@ -62,10 +60,9 @@ fn orientation(c: &mut Criterion) {
     let db = workload.sample(50_000);
     let mut group = c.benchmark_group("orientation_50k");
     group.sample_size(10);
-    for (name, orientation) in [
-        ("fixed_vertical", Orientation::FixedVertical),
-        ("balanced", Orientation::Balanced),
-    ] {
+    for (name, orientation) in
+        [("fixed_vertical", Orientation::FixedVertical), ("balanced", Orientation::Balanced)]
+    {
         let cfg = TreeConfig::lazy(TreeKind::Binary, map, k).with_orientation(orientation);
         group.bench_function(name, |b| {
             b.iter(|| {

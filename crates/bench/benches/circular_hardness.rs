@@ -13,13 +13,13 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn instance(n: usize, seed: u64) -> (LocationDb, Vec<Point>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let db = LocationDb::from_rows((0..n).map(|i| {
-        (UserId(i as u64), Point::new(rng.gen_range(0..1_000), rng.gen_range(0..1_000)))
-    }))
-    .unwrap();
-    let centers = (0..4)
-        .map(|_| Point::new(rng.gen_range(0..1_000), rng.gen_range(0..1_000)))
-        .collect();
+    let db =
+        LocationDb::from_rows((0..n).map(|i| {
+            (UserId(i as u64), Point::new(rng.gen_range(0..1_000), rng.gen_range(0..1_000)))
+        }))
+        .unwrap();
+    let centers =
+        (0..4).map(|_| Point::new(rng.gen_range(0..1_000), rng.gen_range(0..1_000))).collect();
     (db, centers)
 }
 

@@ -30,10 +30,7 @@ fn lookup(c: &mut Criterion) {
             j = (j + 1) % users.len();
             let user = users[j];
             let sr = ServiceRequest::new(user, db.location(user).unwrap(), params.clone());
-            engine
-                .policy()
-                .anonymize(&db, &sr, RequestId(j as u64))
-                .expect("valid request")
+            engine.policy().anonymize(&db, &sr, RequestId(j as u64)).expect("valid request")
         })
     });
 }

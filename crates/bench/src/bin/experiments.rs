@@ -18,37 +18,65 @@
 //!   thm1     Theorem 1: exact vs greedy circular anonymization
 //!   query    extension: cloaked-NN candidate sets vs k (utility, §IV/§VII)
 //!   ablation extension: Lemma-5 bound, tree materialization, trajectory defence
+//!   engine   extension: work-stealing pool vs sequential servers, with metrics
 //!   all      everything above
 //! ```
 //!
 //! `--quick` runs the same sweeps on a 100k-user master for smoke testing.
+//! `--metrics-json PATH` dumps the run's accumulated `MetricsSnapshot`
+//! (counters + stage timers) as JSON; the `engine` experiment populates it
+//! most densely.
 
 use lbs_attack::{audit_policy, PolicyAwareAttacker, PolicyUnawareAttacker};
 use lbs_baselines::{
-    greedy_circular_policy, optimal_circular_policy, Casper, PolicyUnawareBinary,
-    PolicyUnawareQuad,
+    greedy_circular_policy, optimal_circular_policy, Casper, PolicyUnawareBinary, PolicyUnawareQuad,
 };
 use lbs_bench::{secs, timed, MasterWorkload, Table};
 use lbs_core::{verify_policy_aware, Anonymizer, IncrementalAnonymizer};
 use lbs_geom::{Point, Rect, Region};
+use lbs_metrics::{Counter, Metrics, Stage};
 use lbs_model::{CloakingPolicy, LocationDb, UserId};
-use lbs_parallel::anonymize_partitioned;
+use lbs_parallel::{anonymize_partitioned, anonymize_work_stealing, EngineConfig};
 use lbs_tree::{leaf_csv, SpatialTree, TreeConfig, TreeKind, TreeStats};
 use lbs_workload::{density_grid, random_moves};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let metrics_json = match args.iter().position(|a| a == "--metrics-json") {
+        Some(pos) if pos + 1 < args.len() => {
+            let path = args.remove(pos + 1);
+            args.remove(pos);
+            Some(path)
+        }
+        Some(_) => {
+            eprintln!("--metrics-json requires a path");
+            std::process::exit(2);
+        }
+        None => None,
+    };
     let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_default();
     let known = [
         "table1", "fig2", "fig3", "fig4a", "fig4b", "fig5a", "fig5b", "vid", "lookup", "thm1",
-        "query", "ablation", "all",
+        "query", "ablation", "engine", "all",
     ];
     if !known.contains(&which.as_str()) {
-        eprintln!("usage: experiments <{}> [--quick]", known.join("|"));
+        eprintln!("usage: experiments <{}> [--quick] [--metrics-json PATH]", known.join("|"));
         std::process::exit(2);
     }
 
+    let metrics = Metrics::new();
+    run_experiments(&which, quick, &metrics);
+
+    if let Some(path) = metrics_json {
+        let json =
+            serde_json::to_string_pretty(&metrics.snapshot()).expect("metrics snapshot serializes");
+        std::fs::write(&path, json).expect("write metrics json");
+        eprintln!("metrics snapshot -> {path}");
+    }
+}
+
+fn run_experiments(which: &str, quick: bool, metrics: &Metrics) {
     // table1 and thm1 need no master workload.
     if which == "table1" {
         return table1();
@@ -61,7 +89,7 @@ fn main() {
     let (workload, gen_time) = timed(|| MasterWorkload::generate(quick));
     eprintln!("master: {} users in {}s", workload.master().len(), secs(gen_time));
 
-    match which.as_str() {
+    match which {
         "fig2" => fig2(&workload),
         "fig3" => fig3(&workload),
         "fig4a" => fig4a(&workload),
@@ -72,6 +100,7 @@ fn main() {
         "lookup" => lookup(&workload),
         "query" => query_utility(&workload),
         "ablation" => ablation(&workload),
+        "engine" => engine(&workload, metrics),
         "all" => {
             table1();
             fig2(&workload);
@@ -85,6 +114,7 @@ fn main() {
             thm1();
             query_utility(&workload);
             ablation(&workload);
+            engine(&workload, metrics);
         }
         _ => unreachable!("validated above"),
     }
@@ -140,11 +170,7 @@ fn table1() {
     let groups = policy.groups();
     for (i, user) in db.users().enumerate() {
         let cloak = policy.cloak_of(user).unwrap();
-        t.row(vec![
-            names[i].into(),
-            cloak.to_string(),
-            groups[cloak].len().to_string(),
-        ]);
+        t.row(vec![names[i].into(), cloak.to_string(), groups[cloak].len().to_string()]);
     }
     println!("{}", t.render());
     assert!(verify_policy_aware(policy, &db, k).is_ok());
@@ -163,8 +189,11 @@ fn fig2(w: &MasterWorkload) {
     let cells = 24;
     let grid = density_grid(w.master(), &w.config().map(), cells);
     let max = grid.iter().flatten().copied().max().unwrap_or(1).max(1);
-    println!("{} users over a {} m square; {cells}x{cells} grid, peak cell = {max} users",
-        w.master().len(), w.config().map_side);
+    println!(
+        "{} users over a {} m square; {cells}x{cells} grid, peak cell = {max} users",
+        w.master().len(),
+        w.config().map_side
+    );
     println!("(ASCII shade: ' ' empty, '.' <1% of peak, ':' <5%, '+' <20%, '#' <60%, '@' rest)\n");
     for row in grid.iter().rev() {
         let line: String = row
@@ -190,10 +219,7 @@ fn fig2(w: &MasterWorkload) {
     }
     println!("\ncsv (row-major, south row first):");
     for row in &grid {
-        println!(
-            "{}",
-            row.iter().map(usize::to_string).collect::<Vec<_>>().join(",")
-        );
+        println!("{}", row.iter().map(usize::to_string).collect::<Vec<_>>().join(","));
     }
     println!();
 }
@@ -258,11 +284,7 @@ fn fig4b(w: &MasterWorkload) {
     let mut t = Table::new(&["k", "time(s)", "cost(km^2 total)"]);
     for k in [10, 25, 50, 100, 150, 200, 250] {
         let (engine, elapsed) = timed(|| Anonymizer::build(&db, w.config().map(), k).unwrap());
-        t.row(vec![
-            k.to_string(),
-            secs(elapsed),
-            format!("{:.1}", engine.cost() as f64 / 1e6),
-        ]);
+        t.row(vec![k.to_string(), secs(elapsed), format!("{:.1}", engine.cost() as f64 / 1e6)]);
     }
     println!("{}", t.render());
     println!("(paper: quasi-linear — really sub-linear — growth in k)\n");
@@ -294,12 +316,9 @@ fn fig5a(w: &MasterWorkload) {
         // The quad-restricted policy-aware optimum: the setting of the
         // paper's remark "nearly identical to the policy-unaware
         // quad-tree".
-        let pa_quad = Anonymizer::build_with_config(
-            &db,
-            TreeConfig::lazy(TreeKind::Quad, map, k),
-            k,
-        )
-        .unwrap();
+        let pa_quad =
+            Anonymizer::build_with_config(&db, TreeConfig::lazy(TreeKind::Quad, map, k), k)
+                .unwrap();
         let (c, b, q, p, pq) = (
             casper.avg_area_f64(),
             pub_.avg_area_f64(),
@@ -334,7 +353,8 @@ fn fig5b(w: &MasterWorkload) {
     let db = w.sample(n);
     let map = w.config().map();
     let config = TreeConfig::lazy(TreeKind::Binary, map, k);
-    let mut t = Table::new(&["movers(%)", "incremental(s)", "bulk(s)", "rows recomputed", "rows reused"]);
+    let mut t =
+        Table::new(&["movers(%)", "incremental(s)", "bulk(s)", "rows recomputed", "rows reused"]);
     for pct in [0.5, 1.0, 2.0, 5.0, 10.0] {
         let moves = random_moves(&db, &map, pct / 100.0, 200.0, 0xF16 + pct as u64);
         // Incremental: maintain tree + matrix.
@@ -541,8 +561,8 @@ fn ablation(w: &MasterWorkload) {
         ("fixed vertical (paper)", lbs_tree::Orientation::FixedVertical),
         ("balanced (dynamic)", lbs_tree::Orientation::Balanced),
     ] {
-        let cfg = TreeConfig::lazy(TreeKind::Binary, w.config().map(), k)
-            .with_orientation(orientation);
+        let cfg =
+            TreeConfig::lazy(TreeKind::Binary, w.config().map(), k).with_orientation(orientation);
         let tree = SpatialTree::build(&db, cfg).unwrap();
         let cost = lbs_core::bulk_dp_fast(&tree, k).unwrap().optimal_cost(&tree).unwrap();
         if fixed_cost == 0 {
@@ -612,6 +632,57 @@ fn ablation(w: &MasterWorkload) {
     );
 }
 
+/// Extension: the work-stealing execution engine vs the sequential
+/// server loop, with the observability layer's counters and stage
+/// timers. On this 1-core host the pool cannot beat the sequential run,
+/// so the interesting columns are correctness (identical cost) and the
+/// scheduling counters (steals, scratch reuses, queue wait).
+fn engine(w: &MasterWorkload, metrics: &Metrics) {
+    println!("== engine (extension): work-stealing pool vs sequential servers ==\n");
+    let k = 50;
+    let n = w.scale(250_000);
+    let db = w.sample(n);
+    let map = w.config().map();
+    let servers = 64;
+
+    let (seq, seq_time) = timed(|| anonymize_partitioned(&db, map, k, servers).unwrap());
+    let mut t = Table::new(&[
+        "workers",
+        "wall(s)",
+        "server phase(s)",
+        "cost == sequential",
+        "steals",
+        "scratch reuses",
+        "avg queue wait(ms)",
+    ]);
+    for workers in [1usize, 2, 4, 8] {
+        metrics.reset();
+        let cfg = EngineConfig { workers, ..EngineConfig::default() };
+        let (ws, ws_time) =
+            timed(|| anonymize_work_stealing(&db, map, k, servers, &cfg, Some(metrics)).unwrap());
+        let waits = metrics.stage_calls(Stage::QueueWait).max(1);
+        t.row(vec![
+            workers.to_string(),
+            secs(ws_time),
+            secs(ws.server_wall_time),
+            (ws.total_cost == seq.total_cost).to_string(),
+            metrics.get(Counter::TasksStolen).to_string(),
+            metrics.get(Counter::ScratchReuses).to_string(),
+            format!(
+                "{:.3}",
+                metrics.stage_total(Stage::QueueWait).as_secs_f64() * 1e3 / waits as f64
+            ),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "(sequential loop: {}s for {} jurisdictions; the pool's policies are bit-identical \
+         for every worker count — merge order is partition order, not completion order)\n",
+        secs(seq_time),
+        seq.servers.len()
+    );
+}
+
 /// Theorem 1: the circular-cloak problem is NP-complete — exact solver
 /// blows up exponentially while the greedy heuristic stays flat.
 fn thm1() {
@@ -625,9 +696,8 @@ fn thm1() {
             (UserId(i as u64), Point::new(rng.gen_range(0..1000), rng.gen_range(0..1000)))
         }))
         .unwrap();
-        let centers: Vec<Point> = (0..4)
-            .map(|_| Point::new(rng.gen_range(0..1000), rng.gen_range(0..1000)))
-            .collect();
+        let centers: Vec<Point> =
+            (0..4).map(|_| Point::new(rng.gen_range(0..1000), rng.gen_range(0..1000))).collect();
         let (exact, exact_t) = timed(|| optimal_circular_policy(&db, &centers, k).unwrap());
         let (greedy, greedy_t) = timed(|| greedy_circular_policy(&db, &centers, k).unwrap());
         t.row(vec![

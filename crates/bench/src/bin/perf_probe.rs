@@ -15,5 +15,10 @@ fn main() {
     eprintln!("sample {} in {:?}", db.len(), t0.elapsed());
     let t0 = Instant::now();
     let engine = Anonymizer::build(&db, cfg.map(), k).unwrap();
-    eprintln!("anonymize n={n} k={k}: {:?} cost={} stats: {}", t0.elapsed(), engine.cost(), engine.tree_stats());
+    eprintln!(
+        "anonymize n={n} k={k}: {:?} cost={} stats: {}",
+        t0.elapsed(),
+        engine.cost(),
+        engine.tree_stats()
+    );
 }

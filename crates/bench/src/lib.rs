@@ -19,11 +19,7 @@ impl MasterWorkload {
     /// Generates the paper-scale master set (1.75M users), or a scaled-down
     /// one when `quick` is set (for smoke runs and CI).
     pub fn generate(quick: bool) -> Self {
-        let cfg = if quick {
-            BayAreaConfig::scaled_to(100_000)
-        } else {
-            BayAreaConfig::default()
-        };
+        let cfg = if quick { BayAreaConfig::scaled_to(100_000) } else { BayAreaConfig::default() };
         let master = generate_master(&cfg);
         MasterWorkload { cfg, master }
     }
@@ -94,12 +90,7 @@ impl Table {
         }
         let mut out = String::new();
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
         };
         out.push_str(&fmt_row(&self.header, &widths));
         out.push('\n');

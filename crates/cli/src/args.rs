@@ -68,10 +68,7 @@ impl Args {
 
     /// A required string option.
     pub fn required(&self, key: &'static str) -> Result<&str, ArgsError> {
-        self.options
-            .get(key)
-            .map(String::as_str)
-            .ok_or(ArgsError::MissingOption(key))
+        self.options.get(key).map(String::as_str).ok_or(ArgsError::MissingOption(key))
     }
 
     /// An optional string option.
@@ -93,9 +90,7 @@ impl Args {
     ) -> Result<T, ArgsError> {
         match self.options.get(key) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| ArgsError::BadValue { key, value: raw.clone() }),
+            Some(raw) => raw.parse().map_err(|_| ArgsError::BadValue { key, value: raw.clone() }),
         }
     }
 }
@@ -118,18 +113,9 @@ mod tests {
     #[test]
     fn rejects_malformed_inputs() {
         assert_eq!(Args::parse(Vec::<String>::new()), Err(ArgsError::MissingCommand));
-        assert!(matches!(
-            Args::parse(["--users", "gen"]),
-            Err(ArgsError::Malformed(_))
-        ));
-        assert!(matches!(
-            Args::parse(["gen", "stray"]),
-            Err(ArgsError::Malformed(_))
-        ));
-        assert!(matches!(
-            Args::parse(["gen", "--users"]),
-            Err(ArgsError::Malformed(_))
-        ));
+        assert!(matches!(Args::parse(["--users", "gen"]), Err(ArgsError::Malformed(_))));
+        assert!(matches!(Args::parse(["gen", "stray"]), Err(ArgsError::Malformed(_))));
+        assert!(matches!(Args::parse(["gen", "--users"]), Err(ArgsError::Malformed(_))));
     }
 
     #[test]
@@ -140,9 +126,6 @@ mod tests {
             args.required_parse::<usize>("users"),
             Err(ArgsError::BadValue { key: "users", .. })
         ));
-        assert!(matches!(
-            args.parse_or::<usize>("users", 1),
-            Err(ArgsError::BadValue { .. })
-        ));
+        assert!(matches!(args.parse_or::<usize>("users", 1), Err(ArgsError::BadValue { .. })));
     }
 }

@@ -7,11 +7,12 @@ use lbs_attack::audit_policy;
 use lbs_baselines::{Casper, PolicyUnawareBinary, PolicyUnawareQuad};
 use lbs_core::{verify_policy_aware, Anonymizer};
 use lbs_geom::Rect;
+use lbs_metrics::Metrics;
 use lbs_model::{
     decode_policy, decode_snapshot, encode_policy, encode_snapshot, BulkPolicy, CloakingPolicy,
     LocationDb, ModelError, UserId,
 };
-use lbs_parallel::anonymize_partitioned;
+use lbs_parallel::{anonymize_work_stealing, EngineConfig};
 use lbs_tree::{SpatialTree, TreeConfig, TreeKind, TreeStats};
 use lbs_workload::{generate_master, BayAreaConfig};
 use std::io::Write;
@@ -122,15 +123,22 @@ fn anonymize(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let db = load_snapshot(args.required("snapshot")?)?;
     let k: usize = args.required_parse("k")?;
     let servers: usize = args.parse_or("servers", 1)?;
+    let workers: usize = args.parse_or("workers", 0)?;
     let path = args.required("out")?;
+    let metrics_path = args.optional("metrics-json").map(str::to_owned);
     let map = map_for(&db);
 
+    let metrics = Metrics::new();
+    let sink = metrics_path.as_ref().map(|_| &metrics);
+
     let (policy, cost) = if servers <= 1 {
-        let engine = Anonymizer::build(&db, map, k)
+        let config = TreeConfig::lazy(TreeKind::Binary, map, k);
+        let engine = Anonymizer::build_instrumented(&db, config, k, None, sink)
             .map_err(|e| CliError::Anonymize(e.to_string()))?;
         (engine.policy().clone(), engine.cost())
     } else {
-        let outcome = anonymize_partitioned(&db, map, k, servers)
+        let engine_config = EngineConfig { workers, ..EngineConfig::default() };
+        let outcome = anonymize_work_stealing(&db, map, k, servers, &engine_config, sink)
             .map_err(|e| CliError::Anonymize(e.to_string()))?;
         (outcome.policy, outcome.total_cost)
     };
@@ -141,6 +149,12 @@ fn anonymize(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "anonymized {} users at k={k} ({} cloak groups, min group {}, cost {} m^2) -> {path}",
         stats.users, stats.groups, stats.min_group, cost
     )?;
+    if let Some(mpath) = metrics_path {
+        let json = serde_json::to_string_pretty(&metrics.snapshot())
+            .map_err(|e| CliError::Anonymize(format!("metrics serialization: {e}")))?;
+        std::fs::write(&mpath, json)?;
+        writeln!(out, "metrics -> {mpath}")?;
+    }
     Ok(())
 }
 
@@ -159,7 +173,12 @@ fn audit(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             policy.groups().len()
         )?,
         Err(violations) => {
-            writeln!(out, "FAIL: {} violations, {} breachable cloaks", violations.len(), breaches.len())?;
+            writeln!(
+                out,
+                "FAIL: {} violations, {} breachable cloaks",
+                violations.len(),
+                breaches.len()
+            )?;
             for b in breaches.iter().take(10) {
                 writeln!(out, "  cloak {} -> candidates {:?}", b.region, b.candidates)?;
             }
@@ -246,7 +265,8 @@ mod tests {
 
     impl TempDir {
         fn new(tag: &str) -> Self {
-            let dir = std::env::temp_dir().join(format!("lbs-cli-test-{tag}-{}", std::process::id()));
+            let dir =
+                std::env::temp_dir().join(format!("lbs-cli-test-{tag}-{}", std::process::id()));
             std::fs::create_dir_all(&dir).unwrap();
             TempDir(dir)
         }
@@ -313,11 +333,65 @@ mod tests {
     }
 
     #[test]
+    fn metrics_json_flag_writes_a_parseable_snapshot() {
+        let dir = TempDir::new("metrics");
+        let snap = dir.path("snapshot.bin");
+        let pol = dir.path("policy.bin");
+        let mjson = dir.path("metrics.json");
+        run_line(&["gen", "--users", "2000", "--out", &snap]).unwrap();
+
+        // Parallel path: engine counters and stage timers must be populated.
+        let msg = run_line(&[
+            "anonymize",
+            "--snapshot",
+            &snap,
+            "--k",
+            "10",
+            "--servers",
+            "4",
+            "--workers",
+            "2",
+            "--metrics-json",
+            &mjson,
+            "--out",
+            &pol,
+        ])
+        .unwrap();
+        assert!(msg.contains("metrics ->"), "{msg}");
+        let raw = std::fs::read_to_string(&mjson).unwrap();
+        let snapshot: lbs_metrics::MetricsSnapshot = serde_json::from_str(&raw).unwrap();
+        assert_eq!(snapshot.counter(lbs_metrics::Counter::UsersAnonymized), 2000);
+        assert!(snapshot.counter(lbs_metrics::Counter::TasksInjected) >= 1);
+        assert_eq!(
+            snapshot.counter(lbs_metrics::Counter::TasksInjected),
+            snapshot.counter(lbs_metrics::Counter::TasksExecuted)
+        );
+        assert!(snapshot.stage(lbs_metrics::Stage::Dp).calls >= 1);
+        assert_eq!(snapshot.stage(lbs_metrics::Stage::Partition).calls, 1);
+
+        // Single-server path records the build stages too.
+        let msg = run_line(&[
+            "anonymize",
+            "--snapshot",
+            &snap,
+            "--k",
+            "10",
+            "--metrics-json",
+            &mjson,
+            "--out",
+            &pol,
+        ])
+        .unwrap();
+        assert!(msg.contains("metrics ->"), "{msg}");
+        let raw = std::fs::read_to_string(&mjson).unwrap();
+        let snapshot: lbs_metrics::MetricsSnapshot = serde_json::from_str(&raw).unwrap();
+        assert_eq!(snapshot.counter(lbs_metrics::Counter::UsersAnonymized), 2000);
+        assert_eq!(snapshot.stage(lbs_metrics::Stage::TreeBuild).calls, 1);
+    }
+
+    #[test]
     fn helpful_errors_for_bad_input() {
-        assert!(matches!(
-            run_line(&["transmogrify"]),
-            Err(CliError::UnknownCommand(_))
-        ));
+        assert!(matches!(run_line(&["transmogrify"]), Err(CliError::UnknownCommand(_))));
         assert!(matches!(run_line(&["anonymize"]), Err(CliError::Args(_))));
         let err = run_line(&["stats", "--snapshot", "/nonexistent/x.bin"]).unwrap_err();
         assert!(matches!(err, CliError::Io(_)));
@@ -325,10 +399,7 @@ mod tests {
         let dir = TempDir::new("garbage");
         let bad = dir.path("bad.bin");
         std::fs::write(&bad, b"not a snapshot").unwrap();
-        assert!(matches!(
-            run_line(&["stats", "--snapshot", &bad]),
-            Err(CliError::Codec(_))
-        ));
+        assert!(matches!(run_line(&["stats", "--snapshot", &bad]), Err(CliError::Codec(_))));
     }
 
     #[test]

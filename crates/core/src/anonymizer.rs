@@ -5,8 +5,9 @@
 //! paper's evaluation), then answer each incoming service request with a
 //! constant-time-ish policy lookup (0.3–0.5 ms reported in Section VII).
 
-use crate::{bulk_dp_fast, CoreError, DpMatrix};
+use crate::{bulk_dp_fast, bulk_dp_fast_with_scratch, CoreError, DpMatrix, DpScratch};
 use lbs_geom::{Area, Rect};
+use lbs_metrics::{Counter, Metrics, Stage};
 use lbs_model::{
     AnonymizedRequest, BulkPolicy, CloakingPolicy, LocationDb, RequestId, ServiceRequest,
 };
@@ -45,13 +46,53 @@ impl Anonymizer {
         config: TreeConfig,
         k: usize,
     ) -> Result<Self, CoreError> {
-        let tree = SpatialTree::build(db, config).map_err(CoreError::Tree)?;
-        let matrix = match config.kind {
-            TreeKind::Binary => bulk_dp_fast(&tree, k)?,
-            TreeKind::Quad => crate::bulk_dp_fast_quad(&tree, k)?,
-        };
-        let cost = matrix.optimal_cost(&tree)?;
-        let policy = matrix.extract_policy(&tree)?;
+        Self::build_instrumented(db, config, k, None, None)
+    }
+
+    /// As [`Anonymizer::build_with_config`], with two production hooks:
+    ///
+    /// * `scratch` — a caller-owned [`DpScratch`] arena reused across
+    ///   builds (binary trees only; the quad DP manages its own buffers).
+    ///   The work-stealing engine hands each worker thread one arena so
+    ///   steady-state jurisdiction builds allocate nothing in the DP loop.
+    /// * `metrics` — a [`Metrics`] sink receiving [`Stage::TreeBuild`],
+    ///   [`Stage::Dp`], and [`Stage::Extract`] spans plus the
+    ///   [`Counter::UsersAnonymized`] count.
+    ///
+    /// The produced policy is bit-identical to the uninstrumented build.
+    ///
+    /// # Errors
+    /// See [`Anonymizer::build`].
+    pub fn build_instrumented(
+        db: &LocationDb,
+        config: TreeConfig,
+        k: usize,
+        scratch: Option<&mut DpScratch>,
+        metrics: Option<&Metrics>,
+    ) -> Result<Self, CoreError> {
+        fn staged<T>(metrics: Option<&Metrics>, stage: Stage, f: impl FnOnce() -> T) -> T {
+            match metrics {
+                Some(m) => m.time(stage, f),
+                None => f(),
+            }
+        }
+        let tree = staged(metrics, Stage::TreeBuild, || SpatialTree::build(db, config))
+            .map_err(CoreError::Tree)?;
+        let matrix = staged(metrics, Stage::Dp, || match config.kind {
+            TreeKind::Binary => match scratch {
+                Some(arena) => bulk_dp_fast_with_scratch(&tree, k, arena),
+                None => bulk_dp_fast(&tree, k),
+            },
+            TreeKind::Quad => crate::bulk_dp_fast_quad(&tree, k),
+        })?;
+        let (cost, policy) = staged(metrics, Stage::Extract, || {
+            let cost = matrix.optimal_cost(&tree)?;
+            let policy = matrix.extract_policy(&tree)?;
+            Ok::<_, CoreError>((cost, policy))
+        })?;
+        if let Some(m) = metrics {
+            m.add(Counter::UsersAnonymized, policy.len() as u64);
+        }
         Ok(Anonymizer { tree, matrix, policy, cost, next_rid: 0 })
     }
 
@@ -131,8 +172,7 @@ mod tests {
         assert_ne!(ar1.rid, ar2.rid, "request ids are unique");
         assert_eq!(ar1.region, ar2.region, "policy is deterministic");
 
-        let invalid =
-            ServiceRequest::new(UserId(0), Point::new(9, 9), RequestParams::default());
+        let invalid = ServiceRequest::new(UserId(0), Point::new(9, 9), RequestParams::default());
         assert!(engine.serve(&db, &invalid).is_none());
     }
 
@@ -153,6 +193,27 @@ mod tests {
         // Binary never costs more than quad at equal granularity (§V).
         let binary = Anonymizer::build(&db, Rect::square(0, 0, 16), 2).unwrap();
         assert!(binary.cost() <= quad.cost());
+    }
+
+    #[test]
+    fn instrumented_build_matches_plain_and_records_stages() {
+        let db = db();
+        let map = Rect::square(0, 0, 16);
+        let plain = Anonymizer::build(&db, map, 2).unwrap();
+        let metrics = Metrics::new();
+        let mut arena = DpScratch::new();
+        let config = TreeConfig::lazy(TreeKind::Binary, map, 2);
+        let inst = Anonymizer::build_instrumented(&db, config, 2, Some(&mut arena), Some(&metrics))
+            .unwrap();
+        assert_eq!(inst.cost(), plain.cost());
+        assert_eq!(inst.policy().cost_exact(), plain.policy().cost_exact());
+        for (user, region) in plain.policy().iter() {
+            assert_eq!(inst.policy().cloak_of(user), Some(region));
+        }
+        assert_eq!(metrics.stage_calls(Stage::TreeBuild), 1);
+        assert_eq!(metrics.stage_calls(Stage::Dp), 1);
+        assert_eq!(metrics.stage_calls(Stage::Extract), 1);
+        assert_eq!(metrics.get(Counter::UsersAnonymized), db.len() as u64);
     }
 
     #[test]

@@ -46,12 +46,8 @@ impl Configuration {
                     if node.is_leaf() {
                         c <= node.count
                     } else {
-                        let delta: usize = node
-                            .children
-                            .as_slice()
-                            .iter()
-                            .filter_map(|&ch| self.get(ch))
-                            .sum();
+                        let delta: usize =
+                            node.children.as_slice().iter().filter_map(|&ch| self.get(ch)).sum();
                         c <= delta
                     }
                 }

@@ -92,9 +92,7 @@ fn enumerate_tuples(
         out.push((j, base, *split));
         return;
     }
-    let row = matrix
-        .row(children[idx])
-        .expect("postorder fills children before parents");
+    let row = matrix.row(children[idx]).expect("postorder fills children before parents");
     for (u, entry) in row.iter() {
         if entry.cost == INFINITE_COST {
             continue;
@@ -113,10 +111,7 @@ mod tests {
 
     fn db(points: &[(i64, i64)]) -> LocationDb {
         LocationDb::from_rows(
-            points
-                .iter()
-                .enumerate()
-                .map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
+            points.iter().enumerate().map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
         )
         .unwrap()
     }
@@ -193,22 +188,15 @@ mod tests {
         // Any quad-tree policy is also a binary-tree policy (Section V), so
         // the binary optimum is ≤ the quad optimum at equal leaf size.
         let dbx = table1();
-        let quad = SpatialTree::build(
-            &dbx,
-            TreeConfig::eager(TreeKind::Quad, Rect::square(0, 0, 4), 1),
-        )
-        .unwrap();
-        let binary = SpatialTree::build(
-            &dbx,
-            TreeConfig::eager(TreeKind::Binary, Rect::square(0, 0, 4), 2),
-        )
-        .unwrap();
+        let quad =
+            SpatialTree::build(&dbx, TreeConfig::eager(TreeKind::Quad, Rect::square(0, 0, 4), 1))
+                .unwrap();
+        let binary =
+            SpatialTree::build(&dbx, TreeConfig::eager(TreeKind::Binary, Rect::square(0, 0, 4), 2))
+                .unwrap();
         for k in 1..=5 {
             let cq = bulk_dp_dense(&quad, k).unwrap().optimal_cost(&quad).unwrap();
-            let cb = bulk_dp_dense(&binary, k)
-                .unwrap()
-                .optimal_cost(&binary)
-                .unwrap();
+            let cb = bulk_dp_dense(&binary, k).unwrap().optimal_cost(&binary).unwrap();
             assert!(cb <= cq, "k={k}: binary {cb} > quad {cq}");
         }
     }

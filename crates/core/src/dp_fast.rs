@@ -47,21 +47,67 @@ pub fn bulk_dp_fast_with_options(
     k: usize,
     use_lemma5: bool,
 ) -> Result<DpMatrix, CoreError> {
+    let mut scratch = DpScratch::with_lemma5(use_lemma5);
+    bulk_dp_fast_with_scratch(tree, k, &mut scratch)
+}
+
+/// As [`bulk_dp_fast`], reusing a caller-owned [`DpScratch`] arena.
+///
+/// The DP touches its per-node buffers millions of times; a fresh build
+/// allocates them once and lets them grow to the high-water mark. When a
+/// worker thread anonymizes many jurisdictions in sequence (the
+/// work-stealing engine in `lbs-parallel`), passing the same arena into
+/// every call keeps those allocations out of the per-task path entirely.
+/// The arena's Lemma-5 setting ([`DpScratch::with_lemma5`]) is honored.
+///
+/// # Errors
+/// Same conditions as [`bulk_dp_fast`].
+pub fn bulk_dp_fast_with_scratch(
+    tree: &SpatialTree,
+    k: usize,
+    scratch: &mut DpScratch,
+) -> Result<DpMatrix, CoreError> {
     if k == 0 {
         return Err(CoreError::InvalidK);
     }
     if tree.config().kind != TreeKind::Binary {
-        return Err(CoreError::Tree(
-            "bulk_dp_fast requires a binary (semi-quadrant) tree".into(),
-        ));
+        return Err(CoreError::Tree("bulk_dp_fast requires a binary (semi-quadrant) tree".into()));
     }
     let mut matrix = DpMatrix::new(k, tree.arena_len());
-    let mut scratch = Scratch { use_lemma5, ..Scratch::default() };
     for id in tree.postorder() {
-        let row = compute_row_with(tree, &matrix, id, k, &mut scratch);
+        let row = compute_row_with(tree, &matrix, id, k, &mut scratch.inner);
         matrix.set_row(id, row);
     }
     Ok(matrix)
+}
+
+/// Reusable DP scratch arena for [`bulk_dp_fast_with_scratch`].
+///
+/// Owns the per-node convolution and suffix-minimum buffers of the
+/// optimized `Bulk_dp`. The buffers grow to the largest node processed
+/// and are retained across calls, so one arena per worker thread removes
+/// all allocation from the steady-state DP loop.
+#[derive(Debug, Default)]
+pub struct DpScratch {
+    inner: Scratch,
+}
+
+impl DpScratch {
+    /// A fresh arena with the Lemma-5 pass-up bound enabled.
+    pub fn new() -> Self {
+        DpScratch::default()
+    }
+
+    /// A fresh arena with the Lemma-5 bound switchable off (the ablation
+    /// knob of [`bulk_dp_fast_with_options`]).
+    pub fn with_lemma5(use_lemma5: bool) -> Self {
+        DpScratch { inner: Scratch { use_lemma5, ..Scratch::default() } }
+    }
+
+    /// Whether the Lemma-5 pass-up bound is applied by DPs using this arena.
+    pub fn use_lemma5(&self) -> bool {
+        self.inner.use_lemma5
+    }
 }
 
 /// Lemma 5 cap on dense pass-up values for a node of depth `h` holding `d`
@@ -132,9 +178,9 @@ pub(crate) fn compute_row_with(
     if node.is_leaf() {
         let dense = match dense_cap_with(d, node.depth, k, scratch.use_lemma5) {
             None => Vec::new(),
-            Some(cap) => (0..=cap)
-                .map(|u| Entry { cost: area * (d - u) as u128, split: [0; 4] })
-                .collect(),
+            Some(cap) => {
+                (0..=cap).map(|u| Entry { cost: area * (d - u) as u128, split: [0; 4] }).collect()
+            }
         };
         return Row { d, dense, special: Entry::zero([0; 4]) };
     }
@@ -217,10 +263,7 @@ pub(crate) fn compute_row_with(
             // Exact branch j == u (m cloaks nothing).
             if u < conv_len && scratch.conv_cost[u] < best.cost {
                 let l1 = scratch.conv_arg[u];
-                best = Entry {
-                    cost: scratch.conv_cost[u],
-                    split: [l1, u as u32 - l1, 0, 0],
-                };
+                best = Entry { cost: scratch.conv_cost[u], split: [l1, u as u32 - l1, 0, 0] };
             }
             if u >= d2 && u - d2 < a1 {
                 let cost = dense1[u - d2].cost;
@@ -284,10 +327,7 @@ mod tests {
 
     fn db(points: &[(i64, i64)]) -> LocationDb {
         LocationDb::from_rows(
-            points
-                .iter()
-                .enumerate()
-                .map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
+            points.iter().enumerate().map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
         )
         .unwrap()
     }
@@ -380,14 +420,9 @@ mod tests {
             let d = db(&points);
             let cfg = TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, 64), k);
             let tree = SpatialTree::build(&d, cfg).unwrap();
-            let with = bulk_dp_fast_with_options(&tree, k, true)
-                .unwrap()
-                .optimal_cost(&tree)
-                .ok();
-            let without = bulk_dp_fast_with_options(&tree, k, false)
-                .unwrap()
-                .optimal_cost(&tree)
-                .ok();
+            let with = bulk_dp_fast_with_options(&tree, k, true).unwrap().optimal_cost(&tree).ok();
+            let without =
+                bulk_dp_fast_with_options(&tree, k, false).unwrap().optimal_cost(&tree).ok();
             assert_eq!(with, without, "trial {trial}, n={n}, k={k}");
         }
     }
@@ -423,6 +458,38 @@ mod tests {
         }
         // Sanity: the adaptive choice helps at least sometimes.
         assert!(balanced_wins > 0, "balanced orientation never helped in 25 trials");
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_scratch() {
+        // One arena reused across many instances must produce exactly the
+        // matrices a fresh arena produces — entries, splits, and costs.
+        let mut rng = StdRng::seed_from_u64(0x5C4A7C);
+        let mut arena = DpScratch::new();
+        for trial in 0..25 {
+            let n = rng.gen_range(2..=24);
+            let points: Vec<(i64, i64)> =
+                (0..n).map(|_| (rng.gen_range(0..32), rng.gen_range(0..32))).collect();
+            let d = db(&points);
+            let k = rng.gen_range(1..=4);
+            let cfg = TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, 32), k);
+            let tree = SpatialTree::build(&d, cfg).unwrap();
+            let reused = bulk_dp_fast_with_scratch(&tree, k, &mut arena).unwrap();
+            let fresh = bulk_dp_fast(&tree, k).unwrap();
+            for id in tree.postorder() {
+                let (a, b) = (reused.row(id).unwrap(), fresh.row(id).unwrap());
+                assert_eq!(a.d, b.d, "trial {trial} node {id}");
+                assert_eq!(a.dense, b.dense, "trial {trial} node {id}");
+                assert_eq!(a.special, b.special, "trial {trial} node {id}");
+            }
+            assert_eq!(
+                reused.optimal_cost(&tree).ok(),
+                fresh.optimal_cost(&tree).ok(),
+                "trial {trial}"
+            );
+        }
+        assert!(arena.use_lemma5());
+        assert!(!DpScratch::with_lemma5(false).use_lemma5());
     }
 
     #[test]

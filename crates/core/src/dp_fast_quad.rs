@@ -89,19 +89,17 @@ fn quad_row(tree: &SpatialTree, matrix: &DpMatrix, id: NodeId, k: usize) -> Row 
     if node.is_leaf() {
         let dense = match dense_cap(d, node.depth, k) {
             None => Vec::new(),
-            Some(cap) => (0..=cap)
-                .map(|u| Entry { cost: area * (d - u) as u128, split: [0; 4] })
-                .collect(),
+            Some(cap) => {
+                (0..=cap).map(|u| Entry { cost: area * (d - u) as u128, split: [0; 4] }).collect()
+            }
         };
         return Row { d, dense, special: Entry::zero([0; 4]) };
     }
 
     let children = node.children.as_slice();
     debug_assert_eq!(children.len(), 4, "quad tree");
-    let rows: Vec<&Row> = children
-        .iter()
-        .map(|&c| matrix.row(c).expect("children computed first"))
-        .collect();
+    let rows: Vec<&Row> =
+        children.iter().map(|&c| matrix.row(c).expect("children computed first")).collect();
     let cands: Vec<Vec<(usize, u128)>> = rows.iter().map(|r| candidates(r)).collect();
 
     // Associate: (c1 ⊗ c2) ⊗ (c3 ⊗ c4).
@@ -176,10 +174,7 @@ mod tests {
 
     fn db(points: &[(i64, i64)]) -> LocationDb {
         LocationDb::from_rows(
-            points
-                .iter()
-                .enumerate()
-                .map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
+            points.iter().enumerate().map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
         )
         .unwrap()
     }

@@ -18,18 +18,21 @@ pub enum CoreError {
     /// The DP matrix does not cover the requested node (stale matrix used
     /// after restructuring without recomputation).
     StaleMatrix(String),
+    /// A worker thread panicked while executing a server task (the panic
+    /// payload is captured and surfaced instead of aborting the run).
+    WorkerPanic(String),
 }
 
 impl std::fmt::Display for CoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CoreError::InsufficientPopulation { population, k } => write!(
-                f,
-                "cannot provide {k}-anonymity: only {population} users in the snapshot"
-            ),
+            CoreError::InsufficientPopulation { population, k } => {
+                write!(f, "cannot provide {k}-anonymity: only {population} users in the snapshot")
+            }
             CoreError::InvalidK => write!(f, "k must be at least 1"),
             CoreError::Tree(msg) => write!(f, "tree error: {msg}"),
             CoreError::StaleMatrix(msg) => write!(f, "stale DP matrix: {msg}"),
+            CoreError::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
         }
     }
 }

@@ -19,10 +19,7 @@ impl DpMatrix {
     /// # Errors
     /// Propagates infeasibility ([`CoreError::InsufficientPopulation`]) and
     /// stale-matrix conditions.
-    pub fn extract_configuration(
-        &self,
-        tree: &SpatialTree,
-    ) -> Result<Configuration, CoreError> {
+    pub fn extract_configuration(&self, tree: &SpatialTree) -> Result<Configuration, CoreError> {
         self.optimal_cost(tree)?; // validates feasibility and freshness
         let mut config = Configuration::new();
         let mut targets: HashMap<NodeId, usize> = HashMap::new();
@@ -96,10 +93,7 @@ mod tests {
 
     fn db(points: &[(i64, i64)]) -> LocationDb {
         LocationDb::from_rows(
-            points
-                .iter()
-                .enumerate()
-                .map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
+            points.iter().enumerate().map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
         )
         .unwrap()
     }
@@ -142,10 +136,7 @@ mod tests {
             SpatialTree::build(&d, TreeConfig::eager(TreeKind::Binary, Rect::square(0, 0, 4), 2))
                 .unwrap();
         let m = bulk_dp_fast(&tree, 2).unwrap();
-        assert!(matches!(
-            m.extract_policy(&tree),
-            Err(CoreError::InsufficientPopulation { .. })
-        ));
+        assert!(matches!(m.extract_policy(&tree), Err(CoreError::InsufficientPopulation { .. })));
     }
 
     #[test]
@@ -166,11 +157,7 @@ mod tests {
             let policy = m.extract_policy(&tree).unwrap();
             assert!(policy.is_masking_and_total(&d), "trial {trial}");
             assert!(verify_policy_aware(&policy, &d, k).is_ok(), "trial {trial}");
-            assert_eq!(
-                policy.cost_exact(),
-                Some(m.optimal_cost(&tree).unwrap()),
-                "trial {trial}"
-            );
+            assert_eq!(policy.cost_exact(), Some(m.optimal_cost(&tree).unwrap()), "trial {trial}");
         }
     }
 }

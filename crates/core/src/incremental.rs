@@ -190,9 +190,6 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let db = random_db(&mut rng, 10, 32);
         let cfg = TreeConfig::lazy(TreeKind::Quad, Rect::square(0, 0, 32), 2);
-        assert!(matches!(
-            IncrementalAnonymizer::new(&db, cfg, 2),
-            Err(CoreError::Tree(_))
-        ));
+        assert!(matches!(IncrementalAnonymizer::new(&db, cfg, 2), Err(CoreError::Tree(_))));
     }
 }

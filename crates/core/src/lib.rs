@@ -45,7 +45,7 @@ mod verify;
 pub use anonymizer::Anonymizer;
 pub use configuration::Configuration;
 pub use dp_dense::bulk_dp_dense;
-pub use dp_fast::{bulk_dp_fast, bulk_dp_fast_with_options};
+pub use dp_fast::{bulk_dp_fast, bulk_dp_fast_with_options, bulk_dp_fast_with_scratch, DpScratch};
 pub use dp_fast_quad::bulk_dp_fast_quad;
 pub use error::CoreError;
 pub use incremental::IncrementalAnonymizer;

@@ -65,10 +65,7 @@ impl Row {
 
     /// Iterates `(u, entry)` over the row's whole domain.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &Entry)> + '_ {
-        self.dense
-            .iter()
-            .enumerate()
-            .chain(std::iter::once((self.d, &self.special)))
+        self.dense.iter().enumerate().chain(std::iter::once((self.d, &self.special)))
     }
 }
 
@@ -143,10 +140,7 @@ impl DpMatrix {
         }
         match row.get(0) {
             Some(e) if e.cost != INFINITE_COST => Ok(e.cost),
-            _ => Err(CoreError::InsufficientPopulation {
-                population: tree.count(root),
-                k: self.k,
-            }),
+            _ => Err(CoreError::InsufficientPopulation { population: tree.count(root), k: self.k }),
         }
     }
 }

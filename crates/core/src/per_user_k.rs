@@ -160,8 +160,7 @@ mod tests {
         for u in 30..40u64 {
             reqs.set(UserId(u), 20);
         }
-        let policy =
-            anonymize_per_user_k(&db, Rect::square(0, 0, side), &reqs).unwrap();
+        let policy = anonymize_per_user_k(&db, Rect::square(0, 0, side), &reqs).unwrap();
         assert!(policy.is_masking_and_total(&db));
         verify_per_user_k(&policy, &db, &reqs).unwrap();
         // Demanding users sit in groups of >= 10 / >= 20.
@@ -195,10 +194,8 @@ mod tests {
     fn tiny_strict_class_folds_into_looser_class() {
         // Three users demand k=5 but only 3 exist in that class: they must
         // be anonymized together with the default-k users at k=5.
-        let db = LocationDb::from_rows((0..10).map(|i| {
-            (UserId(i), Point::new(i as i64 * 3, 7))
-        }))
-        .unwrap();
+        let db = LocationDb::from_rows((0..10).map(|i| (UserId(i), Point::new(i as i64 * 3, 7))))
+            .unwrap();
         let mut reqs = KRequirements::with_default(2);
         for u in 0..3u64 {
             reqs.set(UserId(u), 5);
@@ -213,11 +210,9 @@ mod tests {
 
     #[test]
     fn impossible_requirements_error() {
-        let db = LocationDb::from_rows([
-            (UserId(0), Point::new(1, 1)),
-            (UserId(1), Point::new(2, 2)),
-        ])
-        .unwrap();
+        let db =
+            LocationDb::from_rows([(UserId(0), Point::new(1, 1)), (UserId(1), Point::new(2, 2))])
+                .unwrap();
         let reqs = KRequirements::with_default(3);
         assert!(matches!(
             anonymize_per_user_k(&db, Rect::square(0, 0, 8), &reqs),
@@ -227,11 +222,9 @@ mod tests {
 
     #[test]
     fn verifier_catches_under_provisioned_groups() {
-        let db = LocationDb::from_rows([
-            (UserId(0), Point::new(1, 1)),
-            (UserId(1), Point::new(2, 2)),
-        ])
-        .unwrap();
+        let db =
+            LocationDb::from_rows([(UserId(0), Point::new(1, 1)), (UserId(1), Point::new(2, 2))])
+                .unwrap();
         let mut reqs = KRequirements::with_default(1);
         reqs.set(UserId(0), 2);
         let mut policy = BulkPolicy::new("bad");

@@ -38,8 +38,7 @@ impl StickyAnonymizer {
     /// Propagates the initial bulk anonymization's errors.
     pub fn new(db: &LocationDb, map: Rect, k: usize) -> Result<Self, CoreError> {
         let engine = Anonymizer::build(db, map, k)?;
-        let mut cohorts: Vec<Vec<UserId>> =
-            engine.policy().groups().into_values().collect();
+        let mut cohorts: Vec<Vec<UserId>> = engine.policy().groups().into_values().collect();
         cohorts.sort(); // deterministic cohort order
         Ok(StickyAnonymizer { k, map, cohorts })
     }
@@ -67,12 +66,7 @@ impl StickyAnonymizer {
         let mut live: Vec<Vec<(UserId, Point)>> = self
             .cohorts
             .iter()
-            .map(|cohort| {
-                cohort
-                    .iter()
-                    .filter_map(|&u| db.location(u).map(|p| (u, p)))
-                    .collect()
-            })
+            .map(|cohort| cohort.iter().filter_map(|&u| db.location(u).map(|p| (u, p))).collect())
             .filter(|members: &Vec<_>| !members.is_empty())
             .collect();
 
@@ -235,10 +229,8 @@ mod tests {
         let sticky = StickyAnonymizer::new(&db, Rect::square(0, 0, side), k).unwrap();
         // Remove most users of one cohort from the next snapshot.
         let victim = sticky.cohorts()[0].clone();
-        let survivors: Vec<(UserId, Point)> = db
-            .iter()
-            .filter(|(u, _)| !victim.contains(u) || *u == victim[0])
-            .collect();
+        let survivors: Vec<(UserId, Point)> =
+            db.iter().filter(|(u, _)| !victim.contains(u) || *u == victim[0]).collect();
         let next = LocationDb::from_rows(survivors).unwrap();
         let policy = sticky.policy_for(&next).unwrap();
         assert!(policy.is_masking_and_total(&next));

@@ -126,10 +126,7 @@ mod tests {
 
     fn db(points: &[(i64, i64)]) -> LocationDb {
         LocationDb::from_rows(
-            points
-                .iter()
-                .enumerate()
-                .map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
+            points.iter().enumerate().map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
         )
         .unwrap()
     }
@@ -160,7 +157,9 @@ mod tests {
         let mut policy = BulkPolicy::new("broken");
         policy.assign(UserId(0), Rect::new(4, 4, 8, 8).into()); // misses (1,1)
         let violations = verify_policy_aware(&policy, &d, 1).unwrap_err();
-        assert!(violations.iter().any(|v| matches!(v, AnonymityViolation::NotMasking { user, .. } if *user == UserId(0))));
+        assert!(violations.iter().any(
+            |v| matches!(v, AnonymityViolation::NotMasking { user, .. } if *user == UserId(0))
+        ));
         assert!(violations.contains(&AnonymityViolation::Unassigned(UserId(1))));
     }
 
@@ -205,11 +204,9 @@ mod tests {
     #[test]
     fn infeasible_instance_has_no_configuration() {
         let d = db(&[(1, 1), (6, 6)]);
-        let tree = SpatialTree::build(
-            &d,
-            TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, 8), 3),
-        )
-        .unwrap();
+        let tree =
+            SpatialTree::build(&d, TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, 8), 3))
+                .unwrap();
         assert_eq!(brute_force_optimal_cost(&tree, 3), None);
     }
 }

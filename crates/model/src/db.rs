@@ -135,11 +135,7 @@ impl LocationDb {
     /// Users located inside `region` — the candidate-sender set a
     /// policy-unaware attacker can reconstruct from a cloak (Section III).
     pub fn users_in(&self, region: &Region) -> Vec<UserId> {
-        self.rows
-            .iter()
-            .filter(|(_, p)| region.contains(p))
-            .map(|&(u, _)| u)
-            .collect()
+        self.rows.iter().filter(|(_, p)| region.contains(p)).map(|&(u, _)| u).collect()
     }
 
     /// Number of users located inside `rect` — `d(m)` of Definition 7 when
@@ -213,9 +209,7 @@ impl LocationDbBuilder {
     pub fn add(&mut self, point: Point) -> UserId {
         let user = UserId(self.next_id);
         self.next_id += 1;
-        self.db
-            .insert(user, point)
-            .expect("builder ids are sequential, cannot collide");
+        self.db.insert(user, point).expect("builder ids are sequential, cannot collide");
         user
     }
 
@@ -240,11 +234,9 @@ mod tests {
 
     #[test]
     fn duplicate_user_rejected() {
-        let err = LocationDb::from_rows([
-            (UserId(1), Point::new(0, 0)),
-            (UserId(1), Point::new(1, 1)),
-        ])
-        .unwrap_err();
+        let err =
+            LocationDb::from_rows([(UserId(1), Point::new(0, 0)), (UserId(1), Point::new(1, 1))])
+                .unwrap_err();
         assert_eq!(err, ModelError::DuplicateUser(UserId(1)));
     }
 
@@ -262,8 +254,7 @@ mod tests {
     #[test]
     fn moves_update_locations() {
         let mut db = db3();
-        db.apply_moves(&[Move { user: UserId(2), to: Point::new(7, 7) }])
-            .unwrap();
+        db.apply_moves(&[Move { user: UserId(2), to: Point::new(7, 7) }]).unwrap();
         assert_eq!(db.location(UserId(2)), Some(Point::new(7, 7)));
     }
 

@@ -121,9 +121,7 @@ impl BulkPolicy {
     /// user of `db` has a cloak — i.e. the policy is masking and total.
     pub fn is_masking_and_total(&self, db: &LocationDb) -> bool {
         db.iter().all(|(user, point)| {
-            self.cloaks
-                .get(&user)
-                .is_some_and(|region| region.contains(&point))
+            self.cloaks.get(&user).is_some_and(|region| region.contains(&point))
         })
     }
 
@@ -131,10 +129,7 @@ impl BulkPolicy {
     /// areas. Returns `None` if any cloak is non-rectangular (circular
     /// cloak costs are compared via [`BulkPolicy::cost_f64`]).
     pub fn cost_exact(&self) -> Option<Area> {
-        self.cloaks
-            .values()
-            .map(|r| r.rect().map(|rect| rect.area()))
-            .sum()
+        self.cloaks.values().map(|r| r.rect().map(|rect| rect.area())).sum()
     }
 
     /// `Cost(P, D)` as `f64`, defined for all cloak shapes.

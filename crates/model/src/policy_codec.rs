@@ -181,10 +181,7 @@ mod tests {
         // Rect::new.
         let rect_x1_pos = raw.len() - 16;
         raw[rect_x1_pos..rect_x1_pos + 8].copy_from_slice(&0i64.to_le_bytes());
-        assert!(matches!(
-            decode_policy(Bytes::from(raw)),
-            Err(ModelError::CorruptSnapshot(_))
-        ));
+        assert!(matches!(decode_policy(Bytes::from(raw)), Err(ModelError::CorruptSnapshot(_))));
     }
 
     #[test]

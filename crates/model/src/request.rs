@@ -12,12 +12,7 @@ pub struct RequestParams(pub Vec<(String, String)>);
 impl RequestParams {
     /// Builds params from `(name, value)` string pairs.
     pub fn from_pairs<const N: usize>(pairs: [(&str, &str); N]) -> Self {
-        RequestParams(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_owned(), v.to_owned()))
-                .collect(),
-        )
+        RequestParams(pairs.into_iter().map(|(k, v)| (k.to_owned(), v.to_owned())).collect())
     }
 }
 
@@ -101,11 +96,8 @@ mod tests {
     use lbs_geom::Rect;
 
     fn db() -> LocationDb {
-        LocationDb::from_rows([
-            (UserId(1), Point::new(1, 1)),
-            (UserId(2), Point::new(1, 2)),
-        ])
-        .unwrap()
+        LocationDb::from_rows([(UserId(1), Point::new(1, 1)), (UserId(2), Point::new(1, 2))])
+            .unwrap()
     }
 
     #[test]
@@ -128,7 +120,8 @@ mod tests {
         assert!(ar.masks(&sr));
 
         let other_params = RequestParams::from_pairs([("poi", "groc")]);
-        let ar2 = AnonymizedRequest::new(RequestId(168), Rect::new(0, 0, 2, 3).into(), other_params);
+        let ar2 =
+            AnonymizedRequest::new(RequestId(168), Rect::new(0, 0, 2, 3).into(), other_params);
         assert!(!ar2.masks(&sr), "different V");
 
         let far = ServiceRequest::new(UserId(2), Point::new(9, 9), sr.params.clone());

@@ -89,19 +89,13 @@ mod tests {
     fn truncated_payload_rejected() {
         let bytes = encode_snapshot(&sample());
         let cut = bytes.slice(0..bytes.len() - 3);
-        assert!(matches!(
-            decode_snapshot(cut),
-            Err(ModelError::CorruptSnapshot(_))
-        ));
+        assert!(matches!(decode_snapshot(cut), Err(ModelError::CorruptSnapshot(_))));
     }
 
     #[test]
     fn bad_magic_rejected() {
         let mut raw = encode_snapshot(&sample()).to_vec();
         raw[0] ^= 0xFF;
-        assert!(matches!(
-            decode_snapshot(Bytes::from(raw)),
-            Err(ModelError::CorruptSnapshot(_))
-        ));
+        assert!(matches!(decode_snapshot(Bytes::from(raw)), Err(ModelError::CorruptSnapshot(_))));
     }
 }

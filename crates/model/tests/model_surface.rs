@@ -4,8 +4,8 @@
 
 use lbs_geom::{Circle, Point, Rect, Region};
 use lbs_model::{
-    decode_snapshot, encode_snapshot, BulkPolicy, LocationDb, ModelError, RequestId,
-    RequestParams, UserId,
+    decode_snapshot, encode_snapshot, BulkPolicy, LocationDb, ModelError, RequestId, RequestParams,
+    UserId,
 };
 
 fn policy() -> BulkPolicy {
@@ -48,18 +48,12 @@ fn display_formats_are_stable() {
     assert_eq!(Point::new(-4, 9).to_string(), "(-4, 9)");
     let region: Region = Rect::new(0, 0, 1, 1).into();
     assert_eq!(region.to_string(), "[0,1)x[0,1)");
-    assert_eq!(
-        RequestParams::from_pairs([("poi", "gas")]).to_string(),
-        "[(poi, gas)]"
-    );
+    assert_eq!(RequestParams::from_pairs([("poi", "gas")]).to_string(), "[(poi, gas)]");
 }
 
 #[test]
 fn error_messages_name_the_culprit() {
-    assert_eq!(
-        ModelError::DuplicateUser(UserId(5)).to_string(),
-        "duplicate user u5 in snapshot"
-    );
+    assert_eq!(ModelError::DuplicateUser(UserId(5)).to_string(), "duplicate user u5 in snapshot");
     assert_eq!(ModelError::UnknownUser(UserId(1)).to_string(), "unknown user u1");
     assert!(ModelError::OutOfBounds { user: UserId(2), x: 9, y: -1 }
         .to_string()

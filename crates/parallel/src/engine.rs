@@ -1,0 +1,487 @@
+//! Work-stealing execution engine for jurisdiction anonymization.
+//!
+//! [`anonymize_partitioned`](crate::anonymize_partitioned) runs servers
+//! one after another; this module runs them on a fixed pool of worker
+//! threads pulling [`JurisdictionTask`]s from a shared
+//! [`crossbeam::deque::Injector`]. Each worker owns a LIFO deque plus a
+//! reusable [`DpScratch`] arena, and steals from siblings when both its
+//! deque and the injector run dry — the classic work-stealing discipline.
+//!
+//! Two properties the tests pin down:
+//!
+//! * **Determinism** — task results carry their partition index and are
+//!   merged in index order, so the produced [`BulkPolicy`] is
+//!   *bit-identical* to the sequential run for any worker count and any
+//!   steal interleaving.
+//! * **Skew tolerance** — tasks are injected largest-population-first
+//!   (LPT scheduling), so one giant jurisdiction cannot strand the pool:
+//!   it starts first while the small tasks back-fill the other workers.
+//!
+//! Worker panics are caught per task and surfaced as
+//! [`CoreError::WorkerPanic`] instead of aborting the run; the
+//! [`Metrics`] sink (optional everywhere) counts injections, executions,
+//! steals, scratch reuses, panics, and per-task queue-wait time.
+
+use crate::{greedy_partition, split_db, ParallelOutcome, ServerReport};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use crossbeam::utils::Backoff;
+use lbs_core::{Anonymizer, CoreError, DpScratch};
+use lbs_geom::{Area, Rect, Region};
+use lbs_metrics::{Counter, Metrics, Stage};
+use lbs_model::{BulkPolicy, LocationDb, UserId};
+use lbs_tree::{SpatialTree, TreeConfig, TreeKind};
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// Tuning knobs of the work-stealing pool.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads. `0` means "ask the OS" (`available_parallelism`),
+    /// and the pool never spawns more workers than there are tasks.
+    pub workers: usize,
+    /// Inject tasks largest-population-first (LPT). Keeps a single huge
+    /// jurisdiction from becoming the tail of the schedule. Disable to
+    /// keep the partition order (useful when benchmarking the skew
+    /// pathology itself).
+    pub largest_first: bool,
+    /// Forward the Lemma-5 pass-up bound to each worker's DP scratch.
+    /// Disabling it is the Section-V ablation; results are identical.
+    pub use_lemma5: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { workers: 0, largest_first: true, use_lemma5: true }
+    }
+}
+
+impl EngineConfig {
+    /// The number of worker threads the pool will actually spawn for
+    /// `tasks` queued tasks: the configured count (or the OS parallelism
+    /// for `0`), clamped to `1..=tasks`.
+    pub fn effective_workers(&self, tasks: usize) -> usize {
+        let requested = if self.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.workers
+        };
+        requested.clamp(1, tasks.max(1))
+    }
+}
+
+/// One unit of work: anonymize a jurisdiction's sub-database.
+#[derive(Debug, Clone)]
+pub struct JurisdictionTask {
+    /// Position in the partition order (results are merged by this).
+    pub index: usize,
+    /// The server's jurisdiction rectangle.
+    pub jurisdiction: Rect,
+    /// Users inside the jurisdiction.
+    pub db: LocationDb,
+    /// When the task entered the injector (queue-wait metric baseline).
+    pub injected_at: Instant,
+}
+
+impl JurisdictionTask {
+    /// Creates a task; `injected_at` is stamped (again) at injection.
+    pub fn new(index: usize, jurisdiction: Rect, db: LocationDb) -> Self {
+        JurisdictionTask { index, jurisdiction, db, injected_at: Instant::now() }
+    }
+}
+
+/// Per-task result: the server report plus the user→cloak assignments,
+/// returned in partition (index) order.
+pub type TaskResult = (ServerReport, Vec<(UserId, Region)>);
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Pops the next task: own deque first (hot, LIFO), then a batch from the
+/// injector, then a steal sweep over the sibling deques. `None` once every
+/// queue is observed empty — tasks never spawn subtasks, so empty
+/// everywhere means the pool is done.
+fn find_task(
+    me: usize,
+    local: &Worker<JurisdictionTask>,
+    injector: &Injector<JurisdictionTask>,
+    stealers: &[Stealer<JurisdictionTask>],
+    metrics: Option<&Metrics>,
+) -> Option<JurisdictionTask> {
+    if let Some(task) = local.pop() {
+        return Some(task);
+    }
+    let mut backoff = Backoff::new();
+    loop {
+        let mut saw_retry = false;
+        match injector.steal_batch_and_pop(local) {
+            Steal::Success(task) => return Some(task),
+            Steal::Retry => saw_retry = true,
+            Steal::Empty => {}
+        }
+        for (victim, stealer) in stealers.iter().enumerate() {
+            if victim == me {
+                continue;
+            }
+            match stealer.steal() {
+                Steal::Success(task) => {
+                    if let Some(m) = metrics {
+                        m.incr(Counter::TasksStolen);
+                    }
+                    return Some(task);
+                }
+                Steal::Retry => saw_retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !saw_retry {
+            return None;
+        }
+        backoff.snooze();
+    }
+}
+
+/// Runs `tasks` on a work-stealing pool of [`EngineConfig::effective_workers`]
+/// threads, calling `server` for each task with that worker's reusable
+/// [`DpScratch`] arena. Results come back **sorted by task index**, so the
+/// output is independent of scheduling.
+///
+/// A panicking `server` call is caught, counted under
+/// [`Counter::WorkerPanics`], and surfaced as the run's error; the worker
+/// replaces its scratch arena (the old one may be mid-mutation) and keeps
+/// draining the queue so sibling tasks still complete.
+///
+/// # Errors
+/// The first server error or panic (by completion order) is returned.
+pub fn run_tasks<F>(
+    tasks: Vec<JurisdictionTask>,
+    config: &EngineConfig,
+    server: F,
+    metrics: Option<&Metrics>,
+) -> Result<Vec<TaskResult>, CoreError>
+where
+    F: Fn(&mut DpScratch, &JurisdictionTask) -> Result<BulkPolicy, CoreError> + Sync,
+{
+    let task_count = tasks.len();
+    let workers = config.effective_workers(task_count);
+    let injector = Injector::new();
+
+    // LPT: biggest sub-database first, so the long pole starts immediately.
+    let mut queue = tasks;
+    if config.largest_first {
+        queue.sort_by(|a, b| b.db.len().cmp(&a.db.len()).then(a.index.cmp(&b.index)));
+    }
+    for mut task in queue {
+        task.injected_at = Instant::now();
+        injector.push(task);
+    }
+    if let Some(m) = metrics {
+        m.add(Counter::TasksInjected, task_count as u64);
+    }
+
+    let locals: Vec<Worker<JurisdictionTask>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<JurisdictionTask>> = locals.iter().map(Worker::stealer).collect();
+
+    let results: Mutex<Vec<(usize, TaskResult)>> = Mutex::new(Vec::with_capacity(task_count));
+    let first_error: Mutex<Option<CoreError>> = Mutex::new(None);
+
+    crossbeam::scope(|scope| {
+        for (me, local) in locals.iter().enumerate() {
+            let injector = &injector;
+            let stealers = &stealers[..];
+            let results = &results;
+            let first_error = &first_error;
+            let server = &server;
+            scope.spawn(move |_| {
+                let mut scratch = DpScratch::with_lemma5(config.use_lemma5);
+                let mut executed_here = 0usize;
+                while let Some(task) = find_task(me, local, injector, stealers, metrics) {
+                    if let Some(m) = metrics {
+                        m.record(Stage::QueueWait, task.injected_at.elapsed());
+                        m.incr(Counter::TasksExecuted);
+                        if executed_here > 0 {
+                            m.incr(Counter::ScratchReuses);
+                        }
+                    }
+                    let started = Instant::now();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| server(&mut scratch, &task)));
+                    match outcome {
+                        Ok(Ok(policy)) => {
+                            let report = ServerReport {
+                                jurisdiction: task.jurisdiction,
+                                users: task.db.len(),
+                                cost: policy.cost_exact().unwrap_or(0),
+                                elapsed: started.elapsed(),
+                            };
+                            let assignments: Vec<(UserId, Region)> =
+                                policy.iter().map(|(u, r)| (u, *r)).collect();
+                            results.lock().push((task.index, (report, assignments)));
+                        }
+                        Ok(Err(e)) => {
+                            if let Some(m) = metrics {
+                                m.incr(Counter::ServerErrors);
+                            }
+                            first_error.lock().get_or_insert(e);
+                        }
+                        Err(payload) => {
+                            if let Some(m) = metrics {
+                                m.incr(Counter::WorkerPanics);
+                            }
+                            first_error
+                                .lock()
+                                .get_or_insert(CoreError::WorkerPanic(panic_message(payload)));
+                            // The arena may hold a half-written row; discard it.
+                            scratch = DpScratch::with_lemma5(config.use_lemma5);
+                        }
+                    }
+                    executed_here += 1;
+                }
+            });
+        }
+    })
+    .map_err(|payload| CoreError::WorkerPanic(panic_message(payload)))?;
+
+    if let Some(err) = first_error.into_inner() {
+        return Err(err);
+    }
+    let mut gathered = results.into_inner();
+    gathered.sort_by_key(|(index, _)| *index);
+    Ok(gathered.into_iter().map(|(_, result)| result).collect())
+}
+
+/// Partitioned bulk anonymization on the work-stealing pool: the
+/// concurrent counterpart of
+/// [`anonymize_partitioned`](crate::anonymize_partitioned), producing a
+/// **bit-identical** [`ParallelOutcome::policy`] and `total_cost` for any
+/// worker count.
+///
+/// Stages recorded when `metrics` is given: [`Stage::Partition`] (tree +
+/// greedy split), per-server [`Stage::TreeBuild`]/[`Stage::Dp`]/
+/// [`Stage::Extract`] (via the instrumented [`Anonymizer`] build),
+/// [`Stage::QueueWait`], and [`Stage::Merge`].
+///
+/// # Errors
+/// As [`anonymize_partitioned`](crate::anonymize_partitioned); a worker
+/// panic additionally surfaces as [`CoreError::WorkerPanic`].
+pub fn anonymize_work_stealing(
+    db: &LocationDb,
+    map: Rect,
+    k: usize,
+    servers: usize,
+    config: &EngineConfig,
+    metrics: Option<&Metrics>,
+) -> Result<ParallelOutcome, CoreError> {
+    fn staged<T>(metrics: Option<&Metrics>, stage: Stage, f: impl FnOnce() -> T) -> T {
+        match metrics {
+            Some(m) => m.time(stage, f),
+            None => f(),
+        }
+    }
+
+    let partition_started = Instant::now();
+    let (tree, jurisdictions, subs) = staged(metrics, Stage::Partition, || {
+        let tree = SpatialTree::build(db, TreeConfig::lazy(TreeKind::Binary, map, k))
+            .map_err(CoreError::Tree)?;
+        let jurisdictions = greedy_partition(&tree, servers, k);
+        let subs = split_db(&tree, &jurisdictions);
+        Ok::<_, CoreError>((tree, jurisdictions, subs))
+    })?;
+    let partition_time = partition_started.elapsed();
+
+    let tasks: Vec<JurisdictionTask> = jurisdictions
+        .iter()
+        .zip(subs)
+        .enumerate()
+        .map(|(i, (&jid, sub))| JurisdictionTask::new(i, tree.node(jid).rect, sub))
+        .collect();
+    let workers = config.effective_workers(tasks.len());
+
+    let server = |scratch: &mut DpScratch, task: &JurisdictionTask| {
+        if task.db.is_empty() {
+            return Ok(BulkPolicy::new("empty"));
+        }
+        let tree_config = TreeConfig::lazy(TreeKind::Binary, task.jurisdiction, k);
+        let engine =
+            Anonymizer::build_instrumented(&task.db, tree_config, k, Some(scratch), metrics)?;
+        Ok(engine.policy().clone())
+    };
+
+    let run_started = Instant::now();
+    let task_results = run_tasks(tasks, config, server, metrics)?;
+    let server_wall_time = run_started.elapsed();
+
+    let outcome = staged(metrics, Stage::Merge, || {
+        let mut policy =
+            BulkPolicy::new(format!("parallel(k={k},servers={})", jurisdictions.len()));
+        let mut reports = Vec::with_capacity(task_results.len());
+        let mut total_cost: Area = 0;
+        for (report, assignments) in task_results {
+            total_cost += report.cost;
+            reports.push(report);
+            for (user, region) in assignments {
+                policy.assign(user, region);
+            }
+        }
+        ParallelOutcome {
+            policy,
+            total_cost,
+            servers: reports,
+            partition_time,
+            server_wall_time,
+            workers,
+        }
+    });
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anonymize_partitioned;
+    use lbs_core::verify_policy_aware;
+    use lbs_geom::Point;
+    use lbs_workload::{generate_master, BayAreaConfig};
+
+    fn workload(n: usize) -> (LocationDb, Rect) {
+        let mut cfg = BayAreaConfig::scaled_to(n);
+        cfg.map_side = 1 << 14;
+        let db = generate_master(&cfg);
+        (db, cfg.map())
+    }
+
+    #[test]
+    fn effective_workers_clamps_to_task_count() {
+        let cfg = EngineConfig { workers: 16, ..EngineConfig::default() };
+        assert_eq!(cfg.effective_workers(3), 3);
+        assert_eq!(cfg.effective_workers(0), 1);
+        assert_eq!(cfg.effective_workers(100), 16);
+        let auto = EngineConfig::default();
+        assert!(auto.effective_workers(64) >= 1);
+    }
+
+    #[test]
+    fn work_stealing_matches_sequential_bit_for_bit_at_any_worker_count() {
+        let (db, map) = workload(1_500);
+        let k = 10;
+        let seq = anonymize_partitioned(&db, map, k, 8).unwrap();
+        for workers in [1, 2, 4, 8] {
+            let cfg = EngineConfig { workers, ..EngineConfig::default() };
+            let ws = anonymize_work_stealing(&db, map, k, 8, &cfg, None).unwrap();
+            assert_eq!(ws.total_cost, seq.total_cost, "cost at {workers} workers");
+            assert_eq!(ws.policy.len(), seq.policy.len());
+            assert_eq!(ws.workers, cfg.effective_workers(ws.servers.len()));
+            for (user, region) in seq.policy.iter() {
+                assert_eq!(
+                    ws.policy.cloak_of(user),
+                    Some(region),
+                    "cloak of {user:?} at {workers} workers"
+                );
+            }
+            for (a, b) in seq.servers.iter().zip(&ws.servers) {
+                assert_eq!(a.jurisdiction, b.jurisdiction, "report order is partition order");
+                assert_eq!(a.users, b.users);
+                assert_eq!(a.cost, b.cost);
+            }
+            assert!(verify_policy_aware(&ws.policy, &db, k).is_ok());
+        }
+    }
+
+    #[test]
+    fn metrics_count_tasks_and_users() {
+        let (db, map) = workload(1_200);
+        let k = 10;
+        let metrics = Metrics::new();
+        let cfg = EngineConfig { workers: 4, ..EngineConfig::default() };
+        let outcome = anonymize_work_stealing(&db, map, k, 8, &cfg, Some(&metrics)).unwrap();
+        let tasks = outcome.servers.len() as u64;
+        assert_eq!(metrics.get(Counter::TasksInjected), tasks);
+        assert_eq!(metrics.get(Counter::TasksExecuted), tasks);
+        assert_eq!(metrics.get(Counter::UsersAnonymized), db.len() as u64);
+        assert_eq!(metrics.get(Counter::WorkerPanics), 0);
+        assert_eq!(metrics.get(Counter::ServerErrors), 0);
+        assert_eq!(metrics.stage_calls(Stage::Partition), 1);
+        assert_eq!(metrics.stage_calls(Stage::Merge), 1);
+        assert_eq!(metrics.stage_calls(Stage::QueueWait), tasks);
+        // Every task beyond each worker's first reuses that worker's arena.
+        assert!(metrics.get(Counter::ScratchReuses) <= tasks.saturating_sub(1));
+    }
+
+    #[test]
+    fn panicking_server_surfaces_as_worker_panic_error() {
+        let tasks: Vec<JurisdictionTask> = (0..6)
+            .map(|i| {
+                let db = LocationDb::from_rows([(UserId(i as u64), Point::new(1, 1))]).unwrap();
+                JurisdictionTask::new(i, Rect::square(0, 0, 16), db)
+            })
+            .collect();
+        let metrics = Metrics::new();
+        let cfg = EngineConfig { workers: 2, ..EngineConfig::default() };
+        let err = run_tasks(
+            tasks,
+            &cfg,
+            |_, task| {
+                if task.index == 3 {
+                    panic!("injected failure in task 3");
+                }
+                Ok(BulkPolicy::new("ok"))
+            },
+            Some(&metrics),
+        )
+        .unwrap_err();
+        match err {
+            CoreError::WorkerPanic(msg) => assert!(msg.contains("injected failure")),
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        assert_eq!(metrics.get(Counter::WorkerPanics), 1);
+        // The pool drains the queue even after a panic.
+        assert_eq!(metrics.get(Counter::TasksExecuted), 6);
+    }
+
+    #[test]
+    fn server_error_is_propagated_not_panicked() {
+        let tasks = vec![JurisdictionTask::new(
+            0,
+            Rect::square(0, 0, 16),
+            LocationDb::from_rows([(UserId(0), Point::new(1, 1))]).unwrap(),
+        )];
+        let err = run_tasks(tasks, &EngineConfig::default(), |_, _| Err(CoreError::InvalidK), None)
+            .unwrap_err();
+        assert_eq!(err, CoreError::InvalidK);
+    }
+
+    #[test]
+    fn skewed_load_completes_with_all_tasks_executed() {
+        // One giant jurisdiction plus many tiny ones: LPT injection must
+        // schedule the giant first and the pool must still drain the rest.
+        let (db, map) = workload(2_500);
+        let k = 5;
+        let metrics = Metrics::new();
+        let cfg = EngineConfig { workers: 3, ..EngineConfig::default() };
+        let outcome = anonymize_work_stealing(&db, map, k, 24, &cfg, Some(&metrics)).unwrap();
+        assert!(outcome.servers.len() > 4, "skew workload should split");
+        let users: usize = outcome.servers.iter().map(|s| s.users).sum();
+        assert_eq!(users, db.len());
+        assert_eq!(metrics.get(Counter::TasksExecuted), outcome.servers.len() as u64);
+        assert!(verify_policy_aware(&outcome.policy, &db, k).is_ok());
+    }
+
+    #[test]
+    fn lemma5_ablation_is_bit_identical() {
+        let (db, map) = workload(900);
+        let k = 6;
+        let on = anonymize_work_stealing(&db, map, k, 4, &EngineConfig::default(), None).unwrap();
+        let off_cfg = EngineConfig { use_lemma5: false, ..EngineConfig::default() };
+        let off = anonymize_work_stealing(&db, map, k, 4, &off_cfg, None).unwrap();
+        assert_eq!(on.total_cost, off.total_cost);
+        for (user, region) in on.policy.iter() {
+            assert_eq!(off.policy.cloak_of(user), Some(region));
+        }
+    }
+}

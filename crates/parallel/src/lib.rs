@@ -17,16 +17,23 @@
 //! [`anonymize_partitioned`] times each server individually and reports
 //! `max(per-server time)` as the simulated parallel wall time — exact for
 //! shared-nothing servers — while [`anonymize_threaded`] actually runs the
-//! servers on OS threads to exercise the concurrent code path.
+//! servers on OS threads to exercise the concurrent code path. The
+//! threaded path is the [`engine`] module's work-stealing pool: a fixed
+//! set of workers pulling jurisdiction tasks from a `crossbeam` injector,
+//! each with a reusable DP scratch arena, producing bit-identical output
+//! to the sequential run (see [`anonymize_work_stealing`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
+
+pub use engine::{anonymize_work_stealing, run_tasks, EngineConfig, JurisdictionTask, TaskResult};
+
 use lbs_core::{Anonymizer, CoreError};
 use lbs_geom::{Area, Rect};
-use lbs_model::{BulkPolicy, LocationDb, UserId};
+use lbs_model::{BulkPolicy, LocationDb};
 use lbs_tree::{NodeId, SpatialTree, TreeConfig, TreeKind};
-use parking_lot::Mutex;
 use std::time::{Duration, Instant};
 
 /// Per-server outcome of a partitioned run.
@@ -54,13 +61,19 @@ pub struct ParallelOutcome {
     pub servers: Vec<ServerReport>,
     /// Time spent building the partition tree and choosing jurisdictions.
     pub partition_time: Duration,
+    /// Wall time of the server phase as actually executed (sequentially
+    /// for [`anonymize_partitioned`], on the work-stealing pool for
+    /// [`anonymize_work_stealing`] / [`anonymize_threaded`]).
+    pub server_wall_time: Duration,
+    /// Worker threads used for the server phase (1 for the sequential
+    /// runner).
+    pub workers: usize,
 }
 
 impl ParallelOutcome {
     /// Simulated parallel wall time: partitioning plus the slowest server.
     pub fn simulated_wall_time(&self) -> Duration {
-        self.partition_time
-            + self.servers.iter().map(|s| s.elapsed).max().unwrap_or_default()
+        self.partition_time + self.servers.iter().map(|s| s.elapsed).max().unwrap_or_default()
     }
 
     /// Cost divergence vs. a reference (single-server) optimal cost, as a
@@ -82,11 +95,7 @@ pub fn greedy_partition(tree: &SpatialTree, servers: usize, k: usize) -> Vec<Nod
     let splittable = |id: NodeId| {
         let node = tree.node(id);
         !node.is_leaf()
-            && node
-                .children
-                .as_slice()
-                .iter()
-                .all(|&c| tree.count(c) == 0 || tree.count(c) >= k)
+            && node.children.as_slice().iter().all(|&c| tree.count(c) == 0 || tree.count(c) >= k)
     };
     let mut jurisdictions = vec![tree.root()];
     while jurisdictions.len() < servers {
@@ -103,12 +112,10 @@ pub fn greedy_partition(tree: &SpatialTree, servers: usize, k: usize) -> Vec<Nod
 }
 
 /// Splits `db` into per-jurisdiction sub-databases (in jurisdiction order).
-fn split_db(tree: &SpatialTree, jurisdictions: &[NodeId]) -> Vec<LocationDb> {
+pub(crate) fn split_db(tree: &SpatialTree, jurisdictions: &[NodeId]) -> Vec<LocationDb> {
     jurisdictions
         .iter()
-        .map(|&id| {
-            LocationDb::from_rows(tree.subtree_users(id)).expect("unique ids in snapshot")
-        })
+        .map(|&id| LocationDb::from_rows(tree.subtree_users(id)).expect("unique ids in snapshot"))
         .collect()
 }
 
@@ -132,6 +139,7 @@ pub fn anonymize_partitioned(
     let subs = split_db(&tree, &jurisdictions);
     let partition_time = partition_started.elapsed();
 
+    let servers_started = Instant::now();
     let mut policy = BulkPolicy::new(format!("parallel(k={k},servers={})", jurisdictions.len()));
     let mut reports = Vec::with_capacity(jurisdictions.len());
     let mut total_cost: Area = 0;
@@ -157,84 +165,34 @@ pub fn anonymize_partitioned(
             elapsed: started.elapsed(),
         });
     }
-    Ok(ParallelOutcome { policy, total_cost, servers: reports, partition_time })
+    Ok(ParallelOutcome {
+        policy,
+        total_cost,
+        servers: reports,
+        partition_time,
+        server_wall_time: servers_started.elapsed(),
+        workers: 1,
+    })
 }
 
-/// As [`anonymize_partitioned`], but actually running the servers on OS
-/// threads (crossbeam scoped threads; results gathered under a mutex).
-/// Per-server timings include scheduler interference, so use the
-/// sequential variant for the timing experiments.
+/// As [`anonymize_partitioned`], but actually running the servers on the
+/// work-stealing pool with default [`EngineConfig`] (one worker per
+/// available core, capped by jurisdiction count). Per-server timings
+/// include scheduler interference, so use the sequential variant for the
+/// timing experiments. The resulting policy is bit-identical to the
+/// sequential one.
 ///
 /// # Errors
-/// First server error wins; others are discarded.
+/// First server error wins; others are discarded. A panicking server
+/// surfaces as [`CoreError::WorkerPanic`] instead of aborting the
+/// process.
 pub fn anonymize_threaded(
     db: &LocationDb,
     map: Rect,
     k: usize,
     servers: usize,
 ) -> Result<ParallelOutcome, CoreError> {
-    let partition_started = Instant::now();
-    let tree = SpatialTree::build(db, TreeConfig::lazy(TreeKind::Binary, map, k))
-        .map_err(CoreError::Tree)?;
-    let jurisdictions = greedy_partition(&tree, servers, k);
-    let subs = split_db(&tree, &jurisdictions);
-    let partition_time = partition_started.elapsed();
-
-    type ServerResult = (usize, ServerReport, Vec<(UserId, lbs_geom::Region)>);
-    let results: Mutex<Vec<ServerResult>> = Mutex::new(Vec::new());
-    let first_error: Mutex<Option<CoreError>> = Mutex::new(None);
-
-    crossbeam::scope(|scope| {
-        for (i, (&jid, sub)) in jurisdictions.iter().zip(&subs).enumerate() {
-            let jurisdiction = tree.node(jid).rect;
-            let results = &results;
-            let first_error = &first_error;
-            scope.spawn(move |_| {
-                let started = Instant::now();
-                let server_policy = if sub.is_empty() {
-                    Ok(BulkPolicy::new("empty"))
-                } else {
-                    let config = TreeConfig::lazy(TreeKind::Binary, jurisdiction, k);
-                    Anonymizer::build_with_config(sub, config, k)
-                        .map(|engine| engine.policy().clone())
-                };
-                match server_policy {
-                    Ok(p) => {
-                        let report = ServerReport {
-                            jurisdiction,
-                            users: sub.len(),
-                            cost: p.cost_exact().unwrap_or(0),
-                            elapsed: started.elapsed(),
-                        };
-                        let assignments: Vec<_> =
-                            p.iter().map(|(u, r)| (u, *r)).collect();
-                        results.lock().push((i, report, assignments));
-                    }
-                    Err(e) => {
-                        first_error.lock().get_or_insert(e);
-                    }
-                }
-            });
-        }
-    })
-    .expect("server threads do not panic");
-
-    if let Some(err) = first_error.into_inner() {
-        return Err(err);
-    }
-    let mut gathered = results.into_inner();
-    gathered.sort_by_key(|(i, ..)| *i);
-    let mut policy = BulkPolicy::new(format!("parallel(k={k},servers={})", jurisdictions.len()));
-    let mut reports = Vec::with_capacity(gathered.len());
-    let mut total_cost: Area = 0;
-    for (_, report, assignments) in gathered {
-        total_cost += report.cost;
-        reports.push(report);
-        for (user, region) in assignments {
-            policy.assign(user, region);
-        }
-    }
-    Ok(ParallelOutcome { policy, total_cost, servers: reports, partition_time })
+    anonymize_work_stealing(db, map, k, servers, &EngineConfig::default(), None)
 }
 
 #[cfg(test)]

@@ -98,10 +98,7 @@ mod tests {
     use lbs_geom::Rect;
 
     fn key() -> (Region, RequestParams) {
-        (
-            Rect::new(0, 0, 4, 4).into(),
-            RequestParams::from_pairs([("poi", "rest")]),
-        )
+        (Rect::new(0, 0, 4, 4).into(), RequestParams::from_pairs([("poi", "rest")]))
     }
 
     #[test]

@@ -4,9 +4,7 @@ use lbs_geom::{Point, Rect};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a point of interest.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct PoiId(pub u64);
 
 impl std::fmt::Display for PoiId {
@@ -137,10 +135,10 @@ impl PoiStore {
     /// cells), or `None` when the category is absent.
     pub fn nearest(&self, p: &Point, category: &str) -> Option<&Poi> {
         let mut best: Option<(&Poi, u128)> = None;
-        let pcx = ((p.x.clamp(self.map.x0, self.map.x1 - 1) - self.map.x0) / self.cell_side)
-            as isize;
-        let pcy = ((p.y.clamp(self.map.y0, self.map.y1 - 1) - self.map.y0) / self.cell_side)
-            as isize;
+        let pcx =
+            ((p.x.clamp(self.map.x0, self.map.x1 - 1) - self.map.x0) / self.cell_side) as isize;
+        let pcy =
+            ((p.y.clamp(self.map.y0, self.map.y1 - 1) - self.map.y0) / self.cell_side) as isize;
         let max_ring = self.cols.max(self.rows) as isize;
         for ring in 0..=max_ring {
             // Once a candidate is known, stop after the first ring whose
@@ -170,13 +168,7 @@ impl PoiStore {
 
 /// The cells at Chebyshev distance `ring` from `(cx, cy)`, clipped to the
 /// grid.
-fn ring_cells(
-    cx: isize,
-    cy: isize,
-    ring: isize,
-    cols: isize,
-    rows: isize,
-) -> Vec<(isize, isize)> {
+fn ring_cells(cx: isize, cy: isize, ring: isize, cols: isize, rows: isize) -> Vec<(isize, isize)> {
     let mut out = Vec::new();
     if ring == 0 {
         if cx >= 0 && cy >= 0 && cx < cols && cy < rows {
@@ -269,11 +261,7 @@ mod tests {
 
     #[test]
     fn off_map_poi_rejected() {
-        let bad = vec![Poi {
-            id: PoiId(9),
-            location: Point::new(999, 0),
-            category: "rest".into(),
-        }];
+        let bad = vec![Poi { id: PoiId(9), location: Point::new(999, 0), category: "rest".into() }];
         assert!(PoiStore::build(Rect::square(0, 0, 128), 16, bad).is_err());
         assert!(PoiStore::build(Rect::square(0, 0, 128), 0, vec![]).is_err());
     }

@@ -3,7 +3,9 @@
 
 use crate::{nn_candidates, AnswerCache, Poi, PoiId, PoiStore};
 use lbs_geom::Point;
+use lbs_metrics::{Counter, Metrics, Stage};
 use lbs_model::AnonymizedRequest;
+use std::sync::Arc;
 
 /// What the mobile client ends up with after local filtering.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,12 +26,22 @@ pub struct ClientAnswer {
 pub struct CloakedLbs {
     store: PoiStore,
     cache: AnswerCache,
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl CloakedLbs {
     /// Wraps a POI store.
     pub fn new(store: PoiStore) -> Self {
-        CloakedLbs { store, cache: AnswerCache::new() }
+        CloakedLbs { store, cache: AnswerCache::new(), metrics: None }
+    }
+
+    /// Attaches a metrics sink: every [`CloakedLbs::nearest_for`] call is
+    /// timed under [`Stage::Serve`] and counted under
+    /// [`Counter::RequestsServed`], with cache outcomes split into
+    /// [`Counter::CacheHits`] / [`Counter::CacheMisses`].
+    pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The underlying POI store.
@@ -46,6 +58,8 @@ impl CloakedLbs {
     /// category, then filters at the "client" with the sender's true
     /// location. The LBS half sees only `ar.region` and `ar.params`.
     pub fn nearest_for(&mut self, ar: &AnonymizedRequest, true_location: Point) -> ClientAnswer {
+        let timer = self.metrics.as_ref().map(Arc::clone);
+        let _span = timer.as_deref().map(|m| m.start(Stage::Serve));
         let category = ar
             .params
             .0
@@ -65,6 +79,11 @@ impl CloakedLbs {
                 (ids, false)
             }
         };
+
+        if let Some(m) = self.metrics.as_deref() {
+            m.incr(Counter::RequestsServed);
+            m.incr(if cache_hit { Counter::CacheHits } else { Counter::CacheMisses });
+        }
 
         // Client-side exact filtering.
         let nearest = ids
@@ -120,6 +139,21 @@ mod tests {
         let answer = lbs.nearest_for(&request(cloak, "cinema"), Point::new(5, 5));
         assert_eq!(answer.nearest, None);
         assert_eq!(answer.candidates_fetched, 0);
+    }
+
+    #[test]
+    fn metrics_sink_counts_serves_and_cache_outcomes() {
+        let metrics = Arc::new(Metrics::new());
+        let mut lbs = lbs().with_metrics(Arc::clone(&metrics));
+        let cloak: Region = Rect::new(0, 0, 64, 64).into();
+        for i in 0..5 {
+            lbs.nearest_for(&request(cloak, "rest"), Point::new(10 + i, 10));
+        }
+        assert_eq!(metrics.get(Counter::RequestsServed), 5);
+        assert_eq!(metrics.get(Counter::CacheMisses), 1);
+        assert_eq!(metrics.get(Counter::CacheHits), 4);
+        assert_eq!(metrics.stage_calls(Stage::Serve), 5);
+        assert!(metrics.stage_total(Stage::Serve) > std::time::Duration::ZERO);
     }
 
     #[test]

@@ -24,9 +24,7 @@
 use lbs_attack::{audit_policy, FrequencyAttacker};
 use lbs_core::{CoreError, IncrementalAnonymizer};
 use lbs_geom::Point;
-use lbs_model::{
-    AnonymizedRequest, CloakingPolicy, RequestId, RequestParams, ServiceRequest,
-};
+use lbs_model::{AnonymizedRequest, CloakingPolicy, RequestId, RequestParams, ServiceRequest};
 use lbs_query::{CloakedLbs, Poi, PoiId, PoiStore};
 use lbs_tree::{TreeConfig, TreeKind};
 use lbs_workload::{generate_master, random_moves, BayAreaConfig};
@@ -186,7 +184,8 @@ impl From<CoreError> for SimError {
 /// errored, so tests can assert on them.
 pub fn run(config: &SimConfig) -> Result<SimReport, SimError> {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let bay = BayAreaConfig { seed: config.seed ^ 0xD15EA5E, ..BayAreaConfig::scaled_to(config.users) };
+    let bay =
+        BayAreaConfig { seed: config.seed ^ 0xD15EA5E, ..BayAreaConfig::scaled_to(config.users) };
     let mut db = generate_master(&bay);
     let map = bay.map();
 
@@ -202,7 +201,8 @@ pub fn run(config: &SimConfig) -> Result<SimReport, SimError> {
     let mut lbs = CloakedLbs::new(store);
 
     let tree_config = TreeConfig::lazy(TreeKind::Binary, map, config.k);
-    let (mut engine, initial_time) = timed(|| IncrementalAnonymizer::new(&db, tree_config, config.k))?;
+    let (mut engine, initial_time) =
+        timed(|| IncrementalAnonymizer::new(&db, tree_config, config.k))?;
     let mut next_rid = 0u64;
     let mut snapshots = Vec::with_capacity(config.snapshots);
 
@@ -211,8 +211,13 @@ pub fn run(config: &SimConfig) -> Result<SimReport, SimError> {
         let (moved, rows_recomputed, maintain_time) = if t == 0 {
             (0, engine.tree().live_len(), initial_time)
         } else {
-            let moves =
-                random_moves(&db, &map, config.mover_fraction, config.max_move_m, config.seed + t as u64);
+            let moves = random_moves(
+                &db,
+                &map,
+                config.mover_fraction,
+                config.max_move_m,
+                config.seed + t as u64,
+            );
             db.apply_moves(&moves).expect("moves generated from current db");
             let (report, elapsed) = timed(|| engine.apply_moves(&moves))?;
             (report.moved, report.rows_recomputed, elapsed)
@@ -234,11 +239,8 @@ pub fn run(config: &SimConfig) -> Result<SimReport, SimError> {
             let user = users[rng.gen_range(0..users.len())];
             let category = &config.categories[rng.gen_range(0..config.categories.len())];
             let location = db.location(user).expect("sampled from db");
-            let sr = ServiceRequest::new(
-                user,
-                location,
-                RequestParams::from_pairs([("poi", category)]),
-            );
+            let sr =
+                ServiceRequest::new(user, location, RequestParams::from_pairs([("poi", category)]));
             let ar = policy
                 .anonymize(&db, &sr, RequestId(next_rid))
                 .expect("valid request under a total policy");
@@ -254,9 +256,8 @@ pub fn run(config: &SimConfig) -> Result<SimReport, SimError> {
         }
 
         // 4. Frequency attack on what the LBS actually saw.
-        let frequency_exposures = FrequencyAttacker::new(policy.clone())
-            .full_exposures(&db, &lbs_log)
-            .len();
+        let frequency_exposures =
+            FrequencyAttacker::new(policy.clone()).full_exposures(&db, &lbs_log).len();
 
         snapshots.push(SnapshotMetrics {
             snapshot: t,

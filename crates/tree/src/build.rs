@@ -47,7 +47,14 @@ impl SpatialTree {
 
     fn alloc(&mut self, rect: Rect, depth: u16, parent: Option<NodeId>, count: usize) -> NodeId {
         let id = NodeId(u32::try_from(self.nodes.len()).expect("arena overflow"));
-        self.nodes.push(Node { rect, depth, parent, children: Children::None, count, detached: false });
+        self.nodes.push(Node {
+            rect,
+            depth,
+            parent,
+            children: Children::None,
+            count,
+            detached: false,
+        });
         self.users.push(Vec::new());
         id
     }
@@ -122,8 +129,7 @@ impl SpatialTree {
     fn choose_binary_axis(&self, rect: &Rect, items: &[(UserId, Point)]) -> lbs_geom::SplitAxis {
         use crate::Orientation;
         use lbs_geom::SplitAxis;
-        if rect.width() != rect.height() || self.config.orientation == Orientation::FixedVertical
-        {
+        if rect.width() != rect.height() || self.config.orientation == Orientation::FixedVertical {
             return rect.binary_split_axis();
         }
         let (west, _) = rect.split(SplitAxis::Vertical);
@@ -197,10 +203,7 @@ impl SpatialTree {
 
     /// All live leaf ids.
     pub fn leaves(&self) -> Vec<NodeId> {
-        self.postorder()
-            .into_iter()
-            .filter(|&id| self.node(id).is_leaf())
-            .collect()
+        self.postorder().into_iter().filter(|&id| self.node(id).is_leaf()).collect()
     }
 
     /// The leaf whose rect contains `p`, or `None` if `p` is off the map.
@@ -284,10 +287,12 @@ impl SpatialTree {
                     }
                 }
                 _ => {
-                    let sum: usize =
-                        node.children.as_slice().iter().map(|&c| self.count(c)).sum();
+                    let sum: usize = node.children.as_slice().iter().map(|&c| self.count(c)).sum();
                     if sum != node.count {
-                        return Err(format!("{id}: children counts sum {sum} != d(m) {}", node.count));
+                        return Err(format!(
+                            "{id}: children counts sum {sum} != d(m) {}",
+                            node.count
+                        ));
                     }
                     if !self.users[id.index()].is_empty() {
                         return Err(format!("{id}: internal node stores users"));
@@ -319,10 +324,7 @@ mod tests {
 
     fn db(points: &[(i64, i64)]) -> LocationDb {
         LocationDb::from_rows(
-            points
-                .iter()
-                .enumerate()
-                .map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
+            points.iter().enumerate().map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
         )
         .unwrap()
     }
@@ -343,8 +345,15 @@ mod tests {
         // and splits again; SE-ish quadrants hold < 2 and stay leaves.
         assert!(tree.live_len() > 1);
         for &leaf in &tree.leaves() {
-            assert!(tree.count(leaf) < 2 || tree.node(leaf).depth == cfg.max_depth
-                || !cfg.may_split(&tree.node(leaf).rect, tree.node(leaf).depth, tree.count(leaf)));
+            assert!(
+                tree.count(leaf) < 2
+                    || tree.node(leaf).depth == cfg.max_depth
+                    || !cfg.may_split(
+                        &tree.node(leaf).rect,
+                        tree.node(leaf).depth,
+                        tree.count(leaf)
+                    )
+            );
         }
     }
 
@@ -368,7 +377,9 @@ mod tests {
             let n = tree.node(id);
             let (w, h) = (n.rect.width(), n.rect.height());
             assert!(w == h || w == h / 2, "only squares and vertical semi-quadrants: {w}x{h}");
-            if let Children::Four(_) = n.children { panic!("binary tree produced quad node") }
+            if let Children::Four(_) = n.children {
+                panic!("binary tree produced quad node")
+            }
         }
     }
 

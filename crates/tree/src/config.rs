@@ -124,9 +124,11 @@ impl TreeConfig {
             return false;
         }
         let axis = match self.kind {
-            TreeKind::Quad => return rect.width() / 2 >= self.min_side
-                && rect.height() / 2 >= self.min_side
-                && count >= self.split_threshold,
+            TreeKind::Quad => {
+                return rect.width() / 2 >= self.min_side
+                    && rect.height() / 2 >= self.min_side
+                    && count >= self.split_threshold
+            }
             TreeKind::Binary => rect.binary_split_axis(),
         };
         let half = match axis {

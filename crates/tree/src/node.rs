@@ -8,9 +8,7 @@ use serde::{Deserialize, Serialize};
 /// Ids are stable for the lifetime of a [`crate::SpatialTree`]: incremental
 /// restructuring tombstones detached nodes instead of reusing slots, so DP
 /// matrices and policies may key on `NodeId` across snapshots.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 impl NodeId {

@@ -123,8 +123,10 @@ mod tests {
         assert_eq!(s.nodes, t.live_len());
         assert_eq!(s.leaves, t.leaves().len());
         assert_eq!(s.depth_histogram.iter().sum::<usize>(), s.nodes);
-        assert!(s.max_leaf_count < 2 || s.min_leaf_side == 1 || s.max_depth == 40,
-            "lazy invariant: big leaves only at granularity/depth caps");
+        assert!(
+            s.max_leaf_count < 2 || s.min_leaf_side == 1 || s.max_depth == 40,
+            "lazy invariant: big leaves only at granularity/depth caps"
+        );
         let total: f64 = s.avg_leaf_count * s.leaves as f64;
         assert!((total - 5.0).abs() < 1e-9, "all users live in leaves");
     }

@@ -69,15 +69,10 @@ impl SpatialTree {
 
     /// Removes `user` from its leaf and decrements counts up to the root.
     fn detach_user(&mut self, user: lbs_model::UserId) -> NodeId {
-        let leaf = self
-            .user_leaf
-            .remove(&user)
-            .expect("validated before application");
+        let leaf = self.user_leaf.remove(&user).expect("validated before application");
         let list = &mut self.users[leaf.index()];
-        let pos = list
-            .iter()
-            .position(|&(u, _)| u == user)
-            .expect("user index and leaf list agree");
+        let pos =
+            list.iter().position(|&(u, _)| u == user).expect("user index and leaf list agree");
         list.swap_remove(pos);
         let mut cur = Some(leaf);
         while let Some(id) = cur {
@@ -90,9 +85,7 @@ impl SpatialTree {
     /// Adds `user` at `p` to the current leaf containing `p` and increments
     /// counts up to the root.
     fn attach_user(&mut self, user: lbs_model::UserId, p: lbs_geom::Point) -> NodeId {
-        let leaf = self
-            .leaf_containing(&p)
-            .expect("validated to be on the map");
+        let leaf = self.leaf_containing(&p).expect("validated to be on the map");
         self.users[leaf.index()].push((user, p));
         self.user_leaf.insert(user, leaf);
         let mut cur = Some(leaf);
@@ -190,10 +183,7 @@ mod tests {
 
     fn db(points: &[(i64, i64)]) -> LocationDb {
         LocationDb::from_rows(
-            points
-                .iter()
-                .enumerate()
-                .map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
+            points.iter().enumerate().map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
         )
         .unwrap()
     }
@@ -210,9 +200,7 @@ mod tests {
         let db = db(&[(1, 1), (1, 2), (5, 5), (6, 6)]);
         let cfg = TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, 8), 2);
         let mut tree = SpatialTree::build(&db, cfg).unwrap();
-        let report = tree
-            .apply_moves(&[Move { user: UserId(0), to: Point::new(7, 7) }])
-            .unwrap();
+        let report = tree.apply_moves(&[Move { user: UserId(0), to: Point::new(7, 7) }]).unwrap();
         assert_eq!(report.moved, 1);
         tree.check_invariants().unwrap();
         assert_eq!(tree.count(tree.root()), 4);
@@ -282,9 +270,7 @@ mod tests {
         let db = db(&[(1, 1), (1, 2), (5, 5), (6, 6), (7, 1), (1, 7)]);
         let cfg = TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, 8), 2);
         let mut tree = SpatialTree::build(&db, cfg).unwrap();
-        let report = tree
-            .apply_moves(&[Move { user: UserId(4), to: Point::new(2, 2) }])
-            .unwrap();
+        let report = tree.apply_moves(&[Move { user: UserId(4), to: Point::new(2, 2) }]).unwrap();
         for &id in &report.dirty {
             if tree.node(id).detached {
                 continue;
@@ -316,15 +302,11 @@ mod tests {
             // Deduplicate users within the batch (last write wins) to keep
             // the reference application unambiguous.
             let mut seen = Set::new();
-            let moves: Vec<Move> = moves
-                .into_iter()
-                .rev()
-                .filter(|m| seen.insert(m.user))
-                .collect();
+            let moves: Vec<Move> =
+                moves.into_iter().rev().filter(|m| seen.insert(m.user)).collect();
             reference.apply_moves(&moves).unwrap();
             tree.apply_moves(&moves).unwrap();
-            tree.check_invariants()
-                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+            tree.check_invariants().unwrap_or_else(|e| panic!("round {round}: {e}"));
             let fresh = SpatialTree::build(&reference, cfg).unwrap();
             assert_eq!(rect_set(&tree), rect_set(&fresh), "round {round}");
         }

@@ -195,11 +195,8 @@ pub fn random_moves(
         .map(|(user, p)| {
             let dist = rng.gen_range(0.0..=max_dist_m);
             let angle = rng.gen_range(0.0..std::f64::consts::TAU);
-            let to = clamp_to_map(
-                map,
-                p.x as f64 + dist * angle.cos(),
-                p.y as f64 + dist * angle.sin(),
-            );
+            let to =
+                clamp_to_map(map, p.x as f64 + dist * angle.cos(), p.y as f64 + dist * angle.sin());
             Move { user, to }
         })
         .collect()
@@ -225,11 +222,7 @@ mod tests {
     use super::*;
 
     fn tiny_cfg() -> BayAreaConfig {
-        BayAreaConfig {
-            intersections: 500,
-            users_per_intersection: 10,
-            ..BayAreaConfig::default()
-        }
+        BayAreaConfig { intersections: 500, users_per_intersection: 10, ..BayAreaConfig::default() }
     }
 
     #[test]
@@ -267,10 +260,7 @@ mod tests {
         let counts: Vec<usize> = grid.into_iter().flatten().collect();
         let max = *counts.iter().max().unwrap();
         let mean = db.len() / counts.len();
-        assert!(
-            max > 8 * mean,
-            "urban peak {max} should dwarf the {mean} uniform mean"
-        );
+        assert!(max > 8 * mean, "urban peak {max} should dwarf the {mean} uniform mean");
         let empty = counts.iter().filter(|&&c| c == 0).count();
         assert!(empty > 0, "rural cells should exist");
     }

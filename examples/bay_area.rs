@@ -17,8 +17,12 @@ fn main() {
     let cfg = BayAreaConfig::scaled_to(n);
     let started = Instant::now();
     let db = generate_master(&cfg);
-    println!("generated {} users over a {} km map in {:?}",
-        db.len(), cfg.map_side / 1000, started.elapsed());
+    println!(
+        "generated {} users over a {} km map in {:?}",
+        db.len(),
+        cfg.map_side / 1000,
+        started.elapsed()
+    );
 
     let started = Instant::now();
     let mut engine = Anonymizer::build(&db, cfg.map(), k).unwrap();

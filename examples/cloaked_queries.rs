@@ -13,10 +13,8 @@ use policy_aware_lbs::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn main() {
-    let n_users: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50_000);
-    let n_pois: usize =
-        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let n_users: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50_000);
+    let n_pois: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(10_000);
     let k = 50;
 
     // Users and POIs over the synthetic Bay Area.
@@ -28,10 +26,7 @@ fn main() {
     let pois: Vec<Poi> = (0..n_pois)
         .map(|i| Poi {
             id: PoiId(i as u64),
-            location: Point::new(
-                rng.gen_range(map.x0..map.x1),
-                rng.gen_range(map.y0..map.y1),
-            ),
+            location: Point::new(rng.gen_range(map.x0..map.x1), rng.gen_range(map.y0..map.y1)),
             category: categories[i % categories.len()].to_string(),
         })
         .collect();
@@ -55,20 +50,15 @@ fn main() {
     for (i, &user) in users.iter().enumerate() {
         let true_loc = db.location(user).unwrap();
         let category = categories[i % categories.len()];
-        let sr = ServiceRequest::new(
-            user,
-            true_loc,
-            RequestParams::from_pairs([("poi", category)]),
-        );
+        let sr =
+            ServiceRequest::new(user, true_loc, RequestParams::from_pairs([("poi", category)]));
         let ar = engine.serve(&db, &sr).unwrap();
         let answer = lbs.nearest_for(&ar, true_loc);
         total_candidates += answer.candidates_fetched;
 
         // Ground truth: the globally nearest POI of that category.
-        let truth = lbs
-            .store()
-            .nearest(&true_loc, category)
-            .map(|poi| true_loc.dist2(&poi.location));
+        let truth =
+            lbs.store().nearest(&true_loc, category).map(|poi| true_loc.dist2(&poi.location));
         let got = answer
             .nearest
             .and_then(|id| lbs.store().get(id))

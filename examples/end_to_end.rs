@@ -12,8 +12,7 @@ use lbs_sim::{run, SimConfig};
 fn main() {
     let users: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50_000);
     let k: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(50);
-    let snapshots: usize =
-        std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let snapshots: usize = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(6);
 
     let config = SimConfig {
         users,

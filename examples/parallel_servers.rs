@@ -23,12 +23,7 @@ fn main() {
 
     for servers in [2usize, 4, 8, 16, 32] {
         let outcome = anonymize_partitioned(&db, map, k, servers).unwrap();
-        let slowest = outcome
-            .servers
-            .iter()
-            .map(|s| s.elapsed)
-            .max()
-            .unwrap_or_default();
+        let slowest = outcome.servers.iter().map(|s| s.elapsed).max().unwrap_or_default();
         println!(
             "{:>3} jurisdictions: wall {:?} (partition {:?} + slowest server {:?}), \
              cost divergence {:.3}%, busiest server {} users",

@@ -37,8 +37,7 @@ fn main() {
     // secret) inverts the user→cloak map itself: Example 1's breach.
     let breaches = audit_policy(&k_inside, &db, k);
     for breach in &breaches {
-        let exposed: Vec<&str> =
-            breach.candidates.iter().map(|u| names[u.0 as usize]).collect();
+        let exposed: Vec<&str> = breach.candidates.iter().map(|u| names[u.0 as usize]).collect();
         println!(
             "k-inside policy: policy-AWARE attacker identifies {} from cloak {} ✗",
             exposed.join(", "),
@@ -75,8 +74,6 @@ fn main() {
         request.params,
         anonymized.rid,
         anonymized.region,
-        PolicyAwareAttacker::new(policy.clone())
-            .possible_senders(&db, &anonymized)
-            .len()
+        PolicyAwareAttacker::new(policy.clone()).possible_senders(&db, &anonymized).len()
     );
 }

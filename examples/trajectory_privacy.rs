@@ -12,8 +12,7 @@ use policy_aware_lbs::prelude::*;
 fn main() {
     let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10_000);
     let k: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(20);
-    let snapshots: usize =
-        std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let snapshots: usize = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(6);
 
     let cfg = BayAreaConfig::scaled_to(n);
     let map = cfg.map();
@@ -76,7 +75,9 @@ fn main() {
              the intersection attack the paper leaves as future work."
         );
     } else {
-        println!("per-snapshot candidates still >= k (increase churn or snapshots to see the collapse)");
+        println!(
+            "per-snapshot candidates still >= k (increase churn or snapshots to see the collapse)"
+        );
     }
     assert!(final_b >= k, "sticky cohorts must keep >= k candidates");
     println!(

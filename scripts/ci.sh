@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, release build, full test suite.
+#
+# The workspace builds fully offline (external deps are vendored under
+# vendor/), so this script needs no network access. Run it from anywhere
+# inside the repository.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (workspace, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test (workspace) =="
+cargo test --release --workspace -q
+
+echo "CI OK"

@@ -24,7 +24,10 @@
 //!   circular k-inside, k-sharing, and the Theorem-1 circular solvers.
 //! * [`attack`] — policy-aware and policy-unaware attackers and auditing.
 //! * [`workload`] — the synthetic Bay-Area population generator.
-//! * [`parallel`] — jurisdiction partitioning and multi-server runs.
+//! * [`parallel`] — jurisdiction partitioning, the work-stealing
+//!   execution engine, and multi-server runs.
+//! * [`metrics`] — lock-free counters, stage timers, and the
+//!   serde-serializable [`metrics::MetricsSnapshot`] observability layer.
 //!
 //! ## Quickstart
 //!
@@ -56,6 +59,7 @@ pub use lbs_attack as attack;
 pub use lbs_baselines as baselines;
 pub use lbs_core as core;
 pub use lbs_geom as geom;
+pub use lbs_metrics as metrics;
 pub use lbs_model as model;
 pub use lbs_parallel as parallel;
 pub use lbs_query as query;
@@ -75,11 +79,15 @@ pub mod prelude {
         IncrementalAnonymizer, KRequirements, StickyAnonymizer,
     };
     pub use lbs_geom::{Circle, Point, Rect, Region};
+    pub use lbs_metrics::{Counter, Metrics, MetricsSnapshot, Stage};
     pub use lbs_model::{
-        AnonymizedRequest, BulkPolicy, CloakingPolicy, LocationDb, Move, RequestId,
-        RequestParams, ServiceRequest, UserId,
+        AnonymizedRequest, BulkPolicy, CloakingPolicy, LocationDb, Move, RequestId, RequestParams,
+        ServiceRequest, UserId,
     };
-    pub use lbs_parallel::{anonymize_partitioned, anonymize_threaded, greedy_partition};
+    pub use lbs_parallel::{
+        anonymize_partitioned, anonymize_threaded, anonymize_work_stealing, greedy_partition,
+        EngineConfig,
+    };
     pub use lbs_query::{
         nn_candidates, range_candidates, AnswerCache, ClientAnswer, CloakedLbs, Poi, PoiId,
         PoiStore,

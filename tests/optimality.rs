@@ -78,10 +78,7 @@ fn utility_overhead_within_paper_bound() {
     let pa = Anonymizer::build(&db, cfg.map(), k).unwrap();
     let casper = Casper::build(&db, cfg.map(), k).unwrap().materialize(&db);
     let ratio = pa.avg_cloak_area() / casper.avg_area_f64();
-    assert!(
-        ratio <= 1.7,
-        "policy-aware / casper = {ratio:.2} exceeds the paper's 1.7x bound"
-    );
+    assert!(ratio <= 1.7, "policy-aware / casper = {ratio:.2} exceeds the paper's 1.7x bound");
     assert!(ratio >= 1.0, "casper cannot lose to the strictly stronger guarantee");
 }
 

@@ -121,11 +121,8 @@ fn definition_6_every_request_keeps_k_senders() {
         let policy = engine.policy().clone();
         let attacker = PolicyAwareAttacker::new(policy);
         for (user, location) in db.iter() {
-            let sr = ServiceRequest::new(
-                user,
-                location,
-                RequestParams::from_pairs([("poi", "rest")]),
-            );
+            let sr =
+                ServiceRequest::new(user, location, RequestParams::from_pairs([("poi", "rest")]));
             let ar = engine.serve(&db, &sr).unwrap();
             assert!(ar.masks(&sr), "masking (Definition 3)");
             let senders = attacker.possible_senders(&db, &ar);

@@ -11,10 +11,7 @@ const SIDE: i64 = 64;
 fn arb_db() -> impl Strategy<Value = LocationDb> {
     prop::collection::vec((0..SIDE, 0..SIDE), 1..40).prop_map(|points| {
         LocationDb::from_rows(
-            points
-                .into_iter()
-                .enumerate()
-                .map(|(i, (x, y))| (UserId(i as u64), Point::new(x, y))),
+            points.into_iter().enumerate().map(|(i, (x, y))| (UserId(i as u64), Point::new(x, y))),
         )
         .unwrap()
     })

@@ -1,0 +1,250 @@
+//! Minimal offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Provides the API subset the workspace's `harness = false` bench
+//! targets use: `Criterion`, `benchmark_group` / `sample_size` /
+//! `bench_function` / `bench_with_input` / `finish`, `BenchmarkId`,
+//! `Bencher::iter` / `iter_batched`, `BatchSize`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Differences from upstream, by design:
+//! - **No statistics.** Each benchmark reports the mean wall-clock time
+//!   over `sample_size` iterations (after one warm-up iteration).
+//! - **Test mode skips.** Cargo runs bench targets under `cargo test`
+//!   without the `--bench` flag; in that mode `criterion_main!` exits
+//!   immediately so the test suite stays fast on constrained hosts.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; defers to `std::hint::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortises setup. Only a naming shim here: every
+/// variant runs setup once per measured invocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// True when the binary was invoked by `cargo bench` (which passes
+/// `--bench`). Under `cargo test` the flag is absent and benches skip.
+pub fn is_bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Measurement driver handed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    /// Mean duration of one iteration, recorded by `iter`/`iter_batched`.
+    measured: Option<Duration>,
+}
+
+impl Bencher {
+    fn new(iterations: u64) -> Self {
+        Bencher { iterations: iterations.max(1), measured: None }
+    }
+
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.measured = Some(start.elapsed() / self.iterations as u32);
+    }
+
+    /// Time `routine` with per-iteration inputs built by `setup`;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.measured = Some(total / self.iterations as u32);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    // One warm-up pass, then the measured pass.
+    let mut warmup = Bencher::new(1);
+    f(&mut warmup);
+    let mut bencher = Bencher::new(sample_size as u64);
+    f(&mut bencher);
+    match bencher.measured {
+        Some(mean) => println!("{label:<48} time: {mean:>12.3?}  (n={sample_size})"),
+        None => println!("{label:<48} time: <unmeasured>"),
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _criterion: self }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.sample_size, f);
+        self
+    }
+}
+
+/// A named family of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point for `harness = false` bench binaries. Skips entirely
+/// unless invoked by `cargo bench` (which passes `--bench`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if !$crate::is_bench_mode() {
+                // Under `cargo test` the target runs without `--bench`;
+                // skip so the suite stays fast.
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.bench_with_input(BenchmarkId::new("with", 3), &3u64, |b, &x| {
+            b.iter_batched(|| vec![x; 4], |v| v.iter().sum::<u64>(), BatchSize::LargeInput)
+        });
+        group.finish();
+        c.bench_function("top_level", |b| b.iter(|| black_box(42)));
+    }
+
+    criterion_group!(benches, noop_bench);
+
+    #[test]
+    fn group_machinery_runs() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(4);
+        b.iter(|| std::thread::sleep(std::time::Duration::from_micros(50)));
+        assert!(b.measured.unwrap() >= std::time::Duration::from_micros(40));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(10).id, "10");
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+    }
+}

@@ -1,0 +1,405 @@
+//! Offline stand-in for [`crossbeam`](https://docs.rs/crossbeam).
+//!
+//! Two pieces of the crossbeam API surface, rebuilt on `std`:
+//!
+//! * [`scope`] / [`thread::Scope`] — scoped threads whose panics are
+//!   *collected* rather than propagated: `scope(..)` returns `Err` if any
+//!   spawned thread panicked, matching `crossbeam::scope` semantics. Built
+//!   on `std::thread::scope` + per-thread `catch_unwind`.
+//! * [`deque`] — `Injector` / `Worker` / `Stealer` with the crossbeam
+//!   `Steal` protocol. The implementation uses a mutexed ring buffer
+//!   instead of the lock-free Chase–Lev deque: the workspace schedules
+//!   coarse jurisdiction tasks (milliseconds each), so queue-op cost is
+//!   noise, and the locked version keeps this crate `forbid(unsafe_code)`.
+//!   The *scheduling discipline* (LIFO worker queues, FIFO injector,
+//!   randomized stealing) matches crossbeam.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Scoped-thread support, mirroring `crossbeam::thread`.
+pub mod thread {
+    use super::*;
+
+    /// Result of joining a scope: `Err` carries the first panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle passed to scoped closures; spawns further scoped threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        panics: Arc<Mutex<Vec<Box<dyn Any + Send + 'static>>>>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a scope handle so
+        /// nested spawns are possible (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            let panics = Arc::clone(&self.panics);
+            let handle = inner.spawn(move || {
+                let scope = Scope { inner, panics: Arc::clone(&panics) };
+                match catch_unwind(AssertUnwindSafe(|| f(&scope))) {
+                    Ok(v) => Some(v),
+                    Err(payload) => {
+                        panics.lock().unwrap_or_else(PoisonError::into_inner).push(payload);
+                        None
+                    }
+                }
+            });
+            ScopedJoinHandle { handle }
+        }
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        handle: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Joins the thread; `Err` if it panicked (payload already captured
+        /// by the scope).
+        pub fn join(self) -> Result<T> {
+            match self.handle.join() {
+                Ok(Some(v)) => Ok(v),
+                Ok(None) => Err(Box::new("scoped thread panicked")),
+                Err(e) => Err(e),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; joins all scoped threads before
+    /// returning. Returns `Err` with the first collected panic payload if
+    /// any thread panicked, `Ok(f's result)` otherwise.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let panics: Arc<Mutex<Vec<Box<dyn Any + Send + 'static>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let result = {
+            let panics = Arc::clone(&panics);
+            catch_unwind(AssertUnwindSafe(move || {
+                std::thread::scope(|s| {
+                    let scope = Scope { inner: s, panics: Arc::clone(&panics) };
+                    f(&scope)
+                })
+            }))
+        };
+        let mut collected: Vec<Box<dyn Any + Send + 'static>> =
+            std::mem::take(&mut *panics.lock().unwrap_or_else(PoisonError::into_inner));
+        match result {
+            Ok(v) => {
+                if collected.is_empty() {
+                    Ok(v)
+                } else {
+                    Err(collected.swap_remove(0))
+                }
+            }
+            Err(payload) => {
+                // The closure itself panicked (std::thread::scope re-raises
+                // child panics of unjoined threads as its own panic too).
+                if collected.is_empty() {
+                    Err(payload)
+                } else {
+                    Err(collected.swap_remove(0))
+                }
+            }
+        }
+    }
+}
+
+pub use thread::scope;
+
+/// Work-stealing queues, mirroring `crossbeam::deque`.
+pub mod deque {
+    use super::*;
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// A race was lost; try again.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// `Some(task)` on success.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// A FIFO injector queue shared by all workers.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector { queue: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Pushes a task (FIFO order).
+        pub fn push(&self, task: T) {
+            self.lock().push_back(task);
+        }
+
+        /// Steals one task from the front.
+        pub fn steal(&self) -> Steal<T> {
+            match self.lock().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch of tasks into `dest`, returning one of them.
+        /// Mirrors crossbeam's `steal_batch_and_pop`: moves up to half the
+        /// injector (capped by the worker's spare capacity heuristic).
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = self.lock();
+            let n = q.len();
+            if n == 0 {
+                return Steal::Empty;
+            }
+            let take = (n / 2).clamp(1, 32);
+            let mut first = None;
+            for i in 0..take {
+                match q.pop_front() {
+                    Some(t) if i == 0 => first = Some(t),
+                    Some(t) => dest.push(t),
+                    None => break,
+                }
+            }
+            match first {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the injector was observed empty.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        /// Number of queued tasks at the instant of observation.
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// A worker-local deque: LIFO for the owner, FIFO for stealers.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a LIFO worker queue (crossbeam's `new_lifo`).
+        pub fn new_lifo() -> Self {
+            Worker { queue: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        /// Creates a FIFO worker queue. The stand-in's owner pops from the
+        /// back in both flavors; FIFO callers should prefer the injector.
+        pub fn new_fifo() -> Self {
+            Self::new_lifo()
+        }
+
+        /// Pushes a task onto the owner end.
+        pub fn push(&self, task: T) {
+            self.lock().push_back(task);
+        }
+
+        /// Pops from the owner end (LIFO).
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_back()
+        }
+
+        /// Whether the deque was observed empty.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        /// Number of queued tasks at the instant of observation.
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        /// Creates a stealer handle for other workers.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { queue: Arc::clone(&self.queue) }
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Steals from another worker's deque (victim's FIFO end).
+    #[derive(Debug, Clone)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the victim's cold end.
+        pub fn steal(&self) -> Steal<T> {
+            match self.lock().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the victim's deque was observed empty.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+}
+
+/// Concurrency utilities, mirroring `crossbeam::utils`.
+pub mod utils {
+    /// Exponential backoff for contended loops.
+    #[derive(Debug, Default)]
+    pub struct Backoff {
+        step: u32,
+    }
+
+    impl Backoff {
+        /// Creates a fresh backoff.
+        pub fn new() -> Self {
+            Backoff::default()
+        }
+
+        /// Spins briefly (hint only).
+        pub fn spin(&mut self) {
+            for _ in 0..(1 << self.step.min(6)) {
+                std::hint::spin_loop();
+            }
+            self.step += 1;
+        }
+
+        /// Yields the thread once contention persists.
+        pub fn snooze(&mut self) {
+            if self.step <= 3 {
+                self.spin();
+            } else {
+                std::thread::yield_now();
+            }
+            self.step += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn scope_collects_results_and_panics() {
+        let sum: i32 = super::scope(|s| {
+            let h1 = s.spawn(|_| 20);
+            let h2 = s.spawn(|_| 22);
+            h1.join().unwrap() + h2.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 42);
+
+        let err = super::scope(|s| {
+            s.spawn(|_| panic!("child panic"));
+        });
+        assert!(err.is_err(), "child panic must surface as Err");
+    }
+
+    #[test]
+    fn injector_is_fifo_and_batch_steals() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        assert_eq!(inj.steal(), Steal::Success(0));
+        let w = Worker::new_lifo();
+        let first = inj.steal_batch_and_pop(&w);
+        assert_eq!(first, Steal::Success(1));
+        assert!(!w.is_empty() || inj.len() == 8 - w.len());
+        let mut drained = Vec::new();
+        while let Some(t) = w.pop() {
+            drained.push(t);
+        }
+        while let Steal::Success(t) = inj.steal() {
+            drained.push(t);
+        }
+        drained.sort_unstable();
+        assert_eq!(drained, (2..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_lifo_and_stealer_fifo_ends() {
+        let w = Worker::new_lifo();
+        let st = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(st.steal(), Steal::Success(1), "stealers take the cold end");
+        assert_eq!(w.pop(), Some(3), "owner pops the hot end");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(st.is_empty());
+    }
+
+    #[test]
+    fn cross_thread_stealing_loses_no_tasks() {
+        let inj = std::sync::Arc::new(Injector::new());
+        const N: usize = 1000;
+        for i in 0..N {
+            inj.push(i);
+        }
+        let counted: usize = super::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let inj = std::sync::Arc::clone(&inj);
+                    s.spawn(move |_| {
+                        let mut local = 0usize;
+                        while let Steal::Success(_) = inj.steal() {
+                            local += 1;
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(counted, N);
+    }
+}

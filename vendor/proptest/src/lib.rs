@@ -1,0 +1,558 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! The real crate is unavailable in this hermetic build environment, so
+//! this reimplementation provides the subset of the API the workspace
+//! uses: `Strategy` (ranges, tuples, `prop_map`, `Just`, `any`),
+//! `prop::collection::vec`, the `proptest!` macro with an optional
+//! `#![proptest_config(..)]` header, `prop_assume!` / `prop_assert!` /
+//! `prop_assert_eq!`, and a deterministic `TestRunner`.
+//!
+//! Differences from upstream, by design:
+//! - **No shrinking.** A failing case reports the assertion message but
+//!   does not minimise the input. `ValueTree::current` exists so code
+//!   that drives strategies manually keeps compiling.
+//! - **Deterministic seeding.** Every test fn starts from the same fixed
+//!   seed, so failures reproduce exactly across runs and machines.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    use crate::test_runner::TestRunner;
+
+    /// A generated value wrapper. The real crate uses this for shrinking;
+    /// here it simply holds the current value.
+    pub trait ValueTree {
+        type Value;
+        fn current(&self) -> Self::Value;
+    }
+
+    /// Trivial [`ValueTree`] that owns a single generated value.
+    pub struct SimpleValueTree<T> {
+        value: T,
+    }
+
+    impl<T: Clone> ValueTree for SimpleValueTree<T> {
+        type Value = T;
+        fn current(&self) -> T {
+            self.value.clone()
+        }
+    }
+
+    /// A source of random values of a given type.
+    pub trait Strategy {
+        type Value;
+
+        /// Draw one value from this strategy.
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Compatibility shim for code that drives strategies manually.
+        fn new_tree(
+            &self,
+            runner: &mut TestRunner,
+        ) -> Result<SimpleValueTree<Self::Value>, String> {
+            Ok(SimpleValueTree { value: self.generate(runner) })
+        }
+
+        /// Transform generated values with a pure function.
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, map }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, runner: &mut TestRunner) -> O {
+            (self.map)(self.source.generate(runner))
+        }
+    }
+
+    /// Strategy that always yields a clone of one fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategies {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    use rand::Rng;
+                    runner.rng().gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    use rand::Rng;
+                    runner.rng().gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategies {
+        ($(($($S:ident . $idx:tt),+))*) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    ($(self.$idx.generate(runner),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use core::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    /// Strategy over the full domain of `A`.
+    pub struct Any<A>(PhantomData<A>);
+
+    /// The canonical strategy for any [`Arbitrary`] type.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, runner: &mut TestRunner) -> A {
+            A::arbitrary(runner)
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(runner: &mut TestRunner) -> $t {
+                    use rand::Rng;
+                    runner.rng().next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(runner: &mut TestRunner) -> bool {
+            use rand::Rng;
+            runner.rng().next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(runner: &mut TestRunner) -> f64 {
+            use rand::Rng;
+            runner.rng().gen_range(-1.0e9..1.0e9)
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(runner: &mut TestRunner) -> f32 {
+            use rand::Rng;
+            runner.rng().gen_range(-1.0e9f32..1.0e9)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    /// Length bounds accepted by [`vec`]: a `usize`, `a..b`, or `a..=b`.
+    pub trait IntoSizeRange {
+        /// Returns `(min, max_inclusive)`.
+        fn size_bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn size_bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn size_bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn size_bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length inside the given bounds.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generate vectors of values from `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.size_bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            use rand::Rng;
+            let len = runner.rng().gen_range(self.min..=self.max);
+            (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases each test must run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case was vetoed by `prop_assume!` and should not count.
+        Reject(String),
+        /// The case genuinely failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            match self {
+                TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+                TestCaseError::Fail(r) => write!(f, "failed: {r}"),
+            }
+        }
+    }
+
+    /// Result of one generated test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic driver holding the RNG that feeds all strategies.
+    pub struct TestRunner {
+        rng: StdRng,
+        config: ProptestConfig,
+    }
+
+    /// Fixed seed so failures reproduce bit-for-bit across runs.
+    const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { rng: StdRng::seed_from_u64(SEED), config }
+        }
+
+        /// Runner with the default configuration and the fixed seed.
+        pub fn deterministic() -> Self {
+            TestRunner::new(ProptestConfig::default())
+        }
+
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+
+        pub fn config(&self) -> &ProptestConfig {
+            &self.config
+        }
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            TestRunner::deterministic()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Veto the current case; it is re-drawn without counting toward `cases`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::std::concat!("assumption failed: ", ::std::stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Like `assert!` but fails the current case via `TestCaseError::Fail`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::std::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!` but fails the current case via `TestCaseError::Fail`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    left,
+                    right,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "{}: `{:?}` != `{:?}`",
+                    ::std::format!($($fmt)+),
+                    left,
+                    right,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Like `assert_ne!` but fails the current case via `TestCaseError::Fail`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} != {}`\n  both: `{:?}`",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    left,
+                ),
+            ));
+        }
+    }};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let cases = config.cases;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = cases.saturating_mul(16).max(1024);
+            while accepted < cases {
+                ::std::assert!(
+                    attempts < max_attempts,
+                    "proptest: too many rejected cases ({accepted} accepted of {cases} wanted \
+                     after {attempts} attempts)",
+                );
+                attempts += 1;
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut runner);)+
+                let outcome = (move || -> ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        ::std::panic!(
+                            "proptest case {}/{} failed: {}",
+                            accepted + 1,
+                            cases,
+                            msg,
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Declare property tests. Accepts an optional
+/// `#![proptest_config(expr)]` header followed by `#[test] fn` items
+/// whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..200 {
+            let v = Strategy::generate(&(5i64..10), &mut runner);
+            assert!((5..10).contains(&v));
+            let w = Strategy::generate(&(0u32..=3), &mut runner);
+            assert!(w <= 3);
+            let f = Strategy::generate(&(0.25f64..0.75), &mut runner);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let strat = (0u32..4, 10i64..20).prop_map(|(a, b)| a as i64 + b);
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..100 {
+            let v = strat.generate(&mut runner);
+            assert!((10..24).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_respects_length_bounds() {
+        let strat = prop::collection::vec(0u8..=255, 2..5);
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..100 {
+            let v = strat.generate(&mut runner);
+            assert!((2..=4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let strat = prop::collection::vec(0u64..1_000_000, 8);
+        let a = strat.generate(&mut TestRunner::deterministic());
+        let b = strat.generate(&mut TestRunner::deterministic());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn value_tree_current_matches_generation() {
+        use crate::strategy::ValueTree;
+        let mut r1 = TestRunner::deterministic();
+        let mut r2 = TestRunner::deterministic();
+        let strat = 0u64..1_000;
+        let tree = strat.new_tree(&mut r1).unwrap();
+        assert_eq!(tree.current(), Strategy::generate(&strat, &mut r2));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro wires assume/assert/assert_eq correctly.
+        #[test]
+        fn macro_smoke(a in 0u32..100, b in 0u32..100) {
+            prop_assume!(a != b);
+            prop_assert!(a < 100 && b < 100);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    proptest! {
+        /// Default config variant also parses.
+        #[test]
+        fn macro_default_config(x in any::<u64>()) {
+            prop_assert_eq!(x ^ x, 0);
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Offline stand-in for [`rand`](https://docs.rs/rand) 0.8.
+//!
+//! Implements the subset of the `rand` 0.8 API the workspace uses —
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`], [`Rng::gen_bool`],
+//! [`Rng::gen`], and [`seq::SliceRandom`] — over a xoshiro256++ generator
+//! seeded through splitmix64. Streams are deterministic per seed (the
+//! repo's experiments quote seeds), but do **not** bit-match the real
+//! `StdRng` (ChaCha12); all in-repo consumers only rely on determinism.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministically seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// xoshiro256++ core.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for Xoshiro256 {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Xoshiro256 {
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
+        }
+    }
+}
+
+/// Random value generation, mirroring `rand::Rng`.
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    /// On empty ranges, like the real `rand`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// If `p` is not within `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool({p}) out of range");
+        f64_unit(self.next_u64()) < p
+    }
+
+    /// A uniformly random value of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+/// Uniform `[0,1)` from 64 random bits (53-bit mantissa method).
+fn f64_unit(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types samplable uniformly from a range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Samples uniformly from `[low, high)`; `high > low`.
+    fn sample_half_open<R: Rng>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// The successor used to widen inclusive ranges (`None` at the type max).
+    fn successor(self) -> Option<Self>;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as $wide).wrapping_sub(low as $wide) as u128;
+                // Rejection-free Lemire-style reduction is overkill here:
+                // widening multiply keeps bias below 2^-64 for the spans the
+                // workspace uses.
+                let r = rng.next_u64() as u128;
+                let offset = (r * span) >> 64;
+                ((low as $wide).wrapping_add(offset as $wide)) as $t
+            }
+            fn successor(self) -> Option<Self> {
+                self.checked_add(1)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: Rng>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        low + f64_unit(rng.next_u64()) * (high - low)
+    }
+    fn successor(self) -> Option<Self> {
+        None
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<R: Rng>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        low + (f64_unit(rng.next_u64()) as f32) * (high - low)
+    }
+    fn successor(self) -> Option<Self> {
+        None
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        match high.successor() {
+            Some(h) => T::sample_half_open(rng, low, h),
+            // Inclusive range touching the type max: fold the extra value in
+            // by sampling the half-open range and mapping one extra draw.
+            None => {
+                if rng.next_u64() == 0 {
+                    high
+                } else {
+                    T::sample_half_open(rng, low, high)
+                }
+            }
+        }
+    }
+}
+
+/// Types with a "standard" distribution for [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one sample.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        f64_unit(rng.next_u64())
+    }
+}
+
+/// Generator types, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::*;
+
+    /// The workspace's standard deterministic generator.
+    ///
+    /// Unlike the real `StdRng` (ChaCha12) this is xoshiro256++; streams are
+    /// stable across runs and platforms but differ from upstream `rand`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng(pub(crate) Xoshiro256);
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng(Xoshiro256::seed_from_u64(seed))
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Alias of [`StdRng`] in this stand-in.
+    pub type SmallRng = StdRng;
+}
+
+/// Slice sampling helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::*;
+
+    /// Random selection from slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+        /// A uniformly random element, `None` when empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+        /// Shuffles in place (Fisher–Yates).
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
+
+/// A non-deterministically seeded generator (seeded from system time).
+pub fn thread_rng() -> rngs::StdRng {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos =
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos() as u64).unwrap_or(0x5EED);
+    SeedableRng::seed_from_u64(nanos ^ (std::process::id() as u64) << 32)
+}
+
+/// Commonly imported items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::rngs::{SmallRng, StdRng};
+    pub use crate::seq::SliceRandom;
+    pub use crate::{thread_rng, Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0usize..8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 values hit in 1000 draws");
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let w = rng.gen_range(0.0f64..2.0);
+            assert!((0.0..2.0).contains(&w));
+            let x = rng.gen_range(3u64..=4);
+            assert!((3..=4).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "{heads} heads looks biased");
+    }
+
+    #[test]
+    fn slice_random_choose_and_shuffle() {
+        use seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs = [10, 20, 30];
+        assert!(xs.choose(&mut rng).is_some());
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let mut ys: Vec<u32> = (0..50).collect();
+        ys.shuffle(&mut rng);
+        let mut sorted = ys.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(ys, sorted, "50 elements almost surely permuted");
+    }
+}

@@ -1,0 +1,657 @@
+//! Offline stand-in for [`serde`](https://docs.rs/serde).
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! self-contained serialization framework exposing the *names* the real
+//! serde API exports — `Serialize`, `Deserialize`, `Serializer`,
+//! `Deserializer`, `de::Error` — over a much simpler data model: every
+//! serializable value lowers to a [`Value`] tree, and every deserializable
+//! type rebuilds itself from one. The derive macros (re-exported from the
+//! in-repo `serde_derive`) generate `to_value`/`from_value` pairs.
+//!
+//! Fidelity notes vs. real serde:
+//! * Struct field order and `#[serde(skip)]` behave identically.
+//! * Newtype structs are transparent; enums use external tagging
+//!   (`"Variant"` / `{"Variant": value}`), matching serde's defaults, so
+//!   JSON produced here matches what real serde_json would emit.
+//! * There is no zero-copy deserialization and no non-self-describing
+//!   format support; `lbs` only serializes to JSON, which is fine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The universal value tree every type serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / `Option::None` / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer up to 64 bits.
+    U64(u64),
+    /// Unsigned integer above 64 bits (exact `u128` areas).
+    U128(u128),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, tuples, `Vec`).
+    Seq(Vec<Value>),
+    /// Ordered key–value pairs (structs, maps; order preserved).
+    Map(Vec<(Value, Value)>),
+}
+
+impl Value {
+    /// The map entries if this is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&[(Value, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is a [`Value::Seq`].
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Any integer variant widened to `i128` (also accepts integral floats
+    /// and numeric strings — JSON object keys arrive as strings).
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Value::I64(v) => Some(*v as i128),
+            Value::U64(v) => Some(*v as i128),
+            Value::U128(v) => i128::try_from(*v).ok(),
+            Value::F64(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => Some(*f as i128),
+            Value::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Any numeric variant as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(v) => Some(*v as f64),
+            Value::U64(v) => Some(*v as f64),
+            Value::U128(v) => Some(*v as f64),
+            Value::F64(f) => Some(*f),
+            Value::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Short name of the variant for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) | Value::U128(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Looks up `key` in struct-style map entries (string keys).
+pub fn value_lookup<'v>(entries: &'v [(Value, Value)], key: &str) -> Option<&'v Value> {
+    entries.iter().find(|(k, _)| k.as_str() == Some(key)).map(|(_, v)| v)
+}
+
+/// Serialization half.
+pub mod ser {
+    use super::Value;
+
+    /// A type that can lower itself into a [`Value`].
+    pub trait Serialize {
+        /// Lowers `self` into the value tree.
+        fn to_value(&self) -> Value;
+
+        /// Drives `serializer` with the lowered value (real-serde-shaped
+        /// entry point).
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_value(self.to_value())
+        }
+    }
+
+    /// A sink consuming one [`Value`] tree.
+    pub trait Serializer: Sized {
+        /// Successful output.
+        type Ok;
+        /// Failure type.
+        type Error;
+        /// Consumes the lowered value.
+        fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+/// Deserialization half.
+pub mod de {
+    use super::Value;
+
+    /// Error constraint for [`Deserializer`]s, mirroring `serde::de::Error`.
+    pub trait Error: Sized {
+        /// Builds an error from a message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// The concrete error produced by [`Deserialize::from_value`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct DeError(String);
+
+    impl DeError {
+        /// Creates an error with `msg`.
+        pub fn new(msg: impl Into<String>) -> Self {
+            DeError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for DeError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for DeError {}
+
+    impl Error for DeError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            DeError(msg.to_string())
+        }
+    }
+
+    /// A source yielding one [`Value`] tree.
+    pub trait Deserializer<'de>: Sized {
+        /// Failure type.
+        type Error: Error;
+        /// Produces the value tree to rebuild from.
+        fn take_value(self) -> Result<Value, Self::Error>;
+    }
+
+    /// A type that can rebuild itself from a [`Value`].
+    pub trait Deserialize<'de>: Sized {
+        /// Rebuilds from `deserializer`'s value tree.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+
+        /// Rebuilds directly from a borrowed [`Value`].
+        fn from_value(value: &Value) -> Result<Self, DeError> {
+            Self::deserialize(ValueDeserializer(value.clone()))
+        }
+    }
+
+    /// A [`Deserializer`] over an owned [`Value`].
+    #[derive(Debug, Clone)]
+    pub struct ValueDeserializer(pub Value);
+
+    impl<'de> Deserializer<'de> for ValueDeserializer {
+        type Error = DeError;
+        fn take_value(self) -> Result<Value, DeError> {
+            Ok(self.0)
+        }
+    }
+}
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// ---------------------------------------------------------------------------
+// Primitive and std-type impls.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl ser::Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl<'de> de::Deserialize<'de> for $t {
+            fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                from_taken(d)
+            }
+            fn from_value(v: &Value) -> Result<Self, de::DeError> {
+                let wide = v.as_i128().ok_or_else(|| expected("integer", v))?;
+                <$t>::try_from(wide)
+                    .map_err(|_| de::DeError::new(format!("{} out of range for {}", wide, stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl ser::Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl<'de> de::Deserialize<'de> for $t {
+            fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                from_taken(d)
+            }
+            fn from_value(v: &Value) -> Result<Self, de::DeError> {
+                let wide = v.as_i128().ok_or_else(|| expected("integer", v))?;
+                <$t>::try_from(wide)
+                    .map_err(|_| de::DeError::new(format!("{} out of range for {}", wide, stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_signed!(i8, i16, i32, i64, isize);
+impl_serde_unsigned!(u8, u16, u32, u64, usize);
+
+impl ser::Serialize for u128 {
+    fn to_value(&self) -> Value {
+        Value::U128(*self)
+    }
+}
+
+impl<'de> de::Deserialize<'de> for u128 {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        from_taken(d)
+    }
+    fn from_value(v: &Value) -> Result<Self, de::DeError> {
+        match v {
+            Value::U128(x) => Ok(*x),
+            other => {
+                let wide = other.as_i128().ok_or_else(|| expected("integer", other))?;
+                u128::try_from(wide)
+                    .map_err(|_| de::DeError::new(format!("{wide} out of range for u128")))
+            }
+        }
+    }
+}
+
+impl ser::Serialize for i128 {
+    fn to_value(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(v) => Value::I64(v),
+            Err(_) => match u128::try_from(*self) {
+                Ok(v) => Value::U128(v),
+                Err(_) => Value::F64(*self as f64),
+            },
+        }
+    }
+}
+
+impl<'de> de::Deserialize<'de> for i128 {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        from_taken(d)
+    }
+    fn from_value(v: &Value) -> Result<Self, de::DeError> {
+        v.as_i128().ok_or_else(|| expected("integer", v))
+    }
+}
+
+impl ser::Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl<'de> de::Deserialize<'de> for f64 {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        from_taken(d)
+    }
+    fn from_value(v: &Value) -> Result<Self, de::DeError> {
+        v.as_f64().ok_or_else(|| expected("number", v))
+    }
+}
+
+impl ser::Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl<'de> de::Deserialize<'de> for f32 {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        from_taken(d)
+    }
+    fn from_value(v: &Value) -> Result<Self, de::DeError> {
+        v.as_f64().map(|f| f as f32).ok_or_else(|| expected("number", v))
+    }
+}
+
+impl ser::Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> de::Deserialize<'de> for bool {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        from_taken(d)
+    }
+    fn from_value(v: &Value) -> Result<Self, de::DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(expected("bool", other)),
+        }
+    }
+}
+
+impl ser::Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> de::Deserialize<'de> for String {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        from_taken(d)
+    }
+    fn from_value(v: &Value) -> Result<Self, de::DeError> {
+        v.as_str().map(str::to_owned).ok_or_else(|| expected("string", v))
+    }
+}
+
+impl ser::Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl ser::Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> de::Deserialize<'de> for char {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        from_taken(d)
+    }
+    fn from_value(v: &Value) -> Result<Self, de::DeError> {
+        let s = v.as_str().ok_or_else(|| expected("single-char string", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(expected("single-char string", v)),
+        }
+    }
+}
+
+impl<T: ser::Serialize + ?Sized> ser::Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: ser::Serialize> ser::Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T: de::Deserialize<'de>> de::Deserialize<'de> for Box<T> {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        from_taken(d)
+    }
+    fn from_value(v: &Value) -> Result<Self, de::DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl ser::Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<'de> de::Deserialize<'de> for () {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        from_taken(d)
+    }
+    fn from_value(_: &Value) -> Result<Self, de::DeError> {
+        Ok(())
+    }
+}
+
+impl<T: ser::Serialize> ser::Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<'de, T: de::Deserialize<'de>> de::Deserialize<'de> for Option<T> {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        from_taken(d)
+    }
+    fn from_value(v: &Value) -> Result<Self, de::DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: ser::Serialize> ser::Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(ser::Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: de::Deserialize<'de>> de::Deserialize<'de> for Vec<T> {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        from_taken(d)
+    }
+    fn from_value(v: &Value) -> Result<Self, de::DeError> {
+        v.as_seq().ok_or_else(|| expected("sequence", v))?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: ser::Serialize> ser::Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(ser::Serialize::to_value).collect())
+    }
+}
+
+impl<T: ser::Serialize, const N: usize> ser::Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(ser::Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: de::Deserialize<'de>, const N: usize> de::Deserialize<'de> for [T; N] {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        from_taken(d)
+    }
+    fn from_value(v: &Value) -> Result<Self, de::DeError> {
+        let vec: Vec<T> = Vec::from_value(v)?;
+        let len = vec.len();
+        <[T; N]>::try_from(vec)
+            .map_err(|_| de::DeError::new(format!("expected {N} elements, found {len}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: ser::Serialize),+> ser::Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($t: de::Deserialize<'de>),+> de::Deserialize<'de> for ($($t,)+) {
+            fn deserialize<De: de::Deserializer<'de>>(d: De) -> Result<Self, De::Error> {
+                from_taken(d)
+            }
+            fn from_value(v: &Value) -> Result<Self, de::DeError> {
+                let seq = v.as_seq().ok_or_else(|| expected("tuple sequence", v))?;
+                let expected_len = [$($idx),+].len();
+                if seq.len() != expected_len {
+                    return Err(de::DeError::new(format!(
+                        "expected a tuple of {expected_len}, found {} elements", seq.len()
+                    )));
+                }
+                Ok(($($t::from_value(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+impl<K: ser::Serialize, V: ser::Serialize, S> ser::Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.to_value(), v.to_value())).collect())
+    }
+}
+
+impl<'de, K, V, S> de::Deserialize<'de> for HashMap<K, V, S>
+where
+    K: de::Deserialize<'de> + Eq + Hash,
+    V: de::Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        from_taken(d)
+    }
+    fn from_value(v: &Value) -> Result<Self, de::DeError> {
+        map_pairs(v)?
+            .map(|kv| kv.and_then(|(k, v)| Ok((K::from_value(k)?, V::from_value(v)?))))
+            .collect()
+    }
+}
+
+impl<K: ser::Serialize, V: ser::Serialize> ser::Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.to_value(), v.to_value())).collect())
+    }
+}
+
+impl<'de, K, V> de::Deserialize<'de> for BTreeMap<K, V>
+where
+    K: de::Deserialize<'de> + Ord,
+    V: de::Deserialize<'de>,
+{
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        from_taken(d)
+    }
+    fn from_value(v: &Value) -> Result<Self, de::DeError> {
+        map_pairs(v)?
+            .map(|kv| kv.and_then(|(k, v)| Ok((K::from_value(k)?, V::from_value(v)?))))
+            .collect()
+    }
+}
+
+/// Iterates `(key, value)` pairs of either a map value or a sequence of
+/// two-element sequences (both encodings round-trip through JSON).
+#[allow(clippy::type_complexity)]
+fn map_pairs(
+    v: &Value,
+) -> Result<Box<dyn Iterator<Item = Result<(&Value, &Value), de::DeError>> + '_>, de::DeError> {
+    match v {
+        Value::Map(entries) => Ok(Box::new(entries.iter().map(|(k, v)| Ok((k, v))))),
+        Value::Seq(items) => Ok(Box::new(items.iter().map(|item| {
+            let pair = item.as_seq().ok_or_else(|| expected("[key, value] pair", item))?;
+            if pair.len() != 2 {
+                return Err(expected("[key, value] pair", item));
+            }
+            Ok((&pair[0], &pair[1]))
+        }))),
+        other => Err(expected("map", other)),
+    }
+}
+
+impl ser::Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        // Matches real serde's {secs, nanos} struct encoding.
+        Value::Map(vec![
+            (Value::Str("secs".into()), Value::U64(self.as_secs())),
+            (Value::Str("nanos".into()), Value::U64(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl<'de> de::Deserialize<'de> for std::time::Duration {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        from_taken(d)
+    }
+    fn from_value(v: &Value) -> Result<Self, de::DeError> {
+        let entries = v.as_map().ok_or_else(|| expected("duration map", v))?;
+        let secs = value_lookup(entries, "secs")
+            .and_then(Value::as_i128)
+            .ok_or_else(|| de::DeError::new("duration missing `secs`"))?;
+        let nanos = value_lookup(entries, "nanos")
+            .and_then(Value::as_i128)
+            .ok_or_else(|| de::DeError::new("duration missing `nanos`"))?;
+        Ok(std::time::Duration::new(secs as u64, nanos as u32))
+    }
+}
+
+/// Shared default-deserialize plumbing: pull the value, rebuild, convert
+/// the error.
+fn from_taken<'de, T: de::Deserialize<'de>, D: de::Deserializer<'de>>(d: D) -> Result<T, D::Error> {
+    let v = d.take_value()?;
+    T::from_value(&v).map_err(<D::Error as de::Error>::custom)
+}
+
+fn expected(what: &str, got: &Value) -> de::DeError {
+    de::DeError::new(format!("expected {what}, found {}", got.kind()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_values() {
+        assert_eq!(i64::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(u128::from_value(&Value::U128(1 << 100)).unwrap(), 1 << 100);
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u8>::from_value(&3u8.to_value()).unwrap(), Some(3));
+        assert_eq!(
+            <(i64, String)>::from_value(&(7i64, "x".to_string()).to_value()).unwrap(),
+            (7, "x".to_string())
+        );
+        let arr: [u8; 3] = <[u8; 3]>::from_value(&[1u8, 2, 3].to_value()).unwrap();
+        assert_eq!(arr, [1, 2, 3]);
+        assert!(u8::from_value(&Value::I64(300)).is_err(), "range check");
+        assert!(bool::from_value(&Value::I64(1)).is_err(), "no int->bool coercion");
+    }
+
+    #[test]
+    fn maps_round_trip_and_accept_string_keys() {
+        let mut m = HashMap::new();
+        m.insert(5u64, "five".to_string());
+        let v = m.to_value();
+        let back: HashMap<u64, String> = HashMap::from_value(&v).unwrap();
+        assert_eq!(back, m);
+        // JSON object keys arrive stringified; integers must still parse.
+        let json_style = Value::Map(vec![(Value::Str("5".into()), Value::Str("five".into()))]);
+        let back: HashMap<u64, String> = HashMap::from_value(&json_style).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn duration_round_trips() {
+        let d = std::time::Duration::new(3, 141_592_653);
+        assert_eq!(std::time::Duration::from_value(&d.to_value()).unwrap(), d);
+    }
+}

@@ -1,0 +1,496 @@
+//! Derive macros for the vendored, offline `serde` stand-in.
+//!
+//! The build environment has no network access, so there is no `syn`/
+//! `quote`; the input item is parsed directly from the `TokenStream` and
+//! the generated impls are assembled as source text. Supported shapes —
+//! exactly what the workspace uses:
+//!
+//! * named-field structs (with `#[serde(skip)]` / `#[serde(default)]`
+//!   field attributes),
+//! * tuple structs (newtypes are transparent, wider tuples are sequences),
+//! * unit structs,
+//! * enums with unit and tuple variants (externally tagged, like serde).
+//!
+//! Generics are intentionally unsupported (none of the workspace types
+//! deriving serde are generic); deriving on a generic type is a compile
+//! error with a clear message rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stand-in `serde::Serialize` (a `to_value` lowering).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match Item::parse(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let body = gen_to_value(&item);
+    let name = &item.name;
+    wrap(&format!(
+        "#[automatically_derived]\n\
+         impl _serde::ser::Serialize for {name} {{\n\
+             fn to_value(&self) -> _serde::Value {{\n{body}\n}}\n\
+         }}"
+    ))
+}
+
+/// Derives the stand-in `serde::Deserialize` (a `from_value` rebuild).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match Item::parse(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let body = gen_from_value(&item);
+    let name = &item.name;
+    wrap(&format!(
+        "#[automatically_derived]\n\
+         impl<'de> _serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: _serde::de::Deserializer<'de>>(__d: __D) -> Result<Self, __D::Error> {{\n\
+                 let __v = _serde::de::Deserializer::take_value(__d)?;\n\
+                 <Self as _serde::de::Deserialize>::from_value(&__v)\n\
+                     .map_err(_serde::de::Error::custom)\n\
+             }}\n\
+             fn from_value(__v: &_serde::Value) -> Result<Self, _serde::de::DeError> {{\n{body}\n}}\n\
+         }}"
+    ))
+}
+
+/// Wraps generated impls in a scope that binds `_serde` to the real crate
+/// name, like upstream serde_derive.
+fn wrap(impls: &str) -> TokenStream {
+    let source = format!(
+        "const _: () = {{\n\
+             extern crate serde as _serde;\n\
+             {impls}\n\
+         }};"
+    );
+    source.parse().expect("serde_derive generated invalid Rust")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("valid compile_error")
+}
+
+// ---------------------------------------------------------------------------
+// Input model + parser.
+// ---------------------------------------------------------------------------
+
+struct Field {
+    /// `None` for tuple fields.
+    name: Option<String>,
+    /// Type tokens rendered back to source text.
+    ty: String,
+    /// `#[serde(skip)]` / `#[serde(default)]`.
+    skip: bool,
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    /// Tuple-field types (`None` for unit variants).
+    fields: Option<Vec<String>>,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<Field>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Result<Item, String> {
+        let tokens: Vec<TokenTree> = input.into_iter().collect();
+        let mut pos = 0;
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+            other => {
+                return Err(format!(
+                    "serde stand-in derive: expected struct or enum, found {other:?}"
+                ))
+            }
+        };
+        pos += 1;
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                return Err(format!("serde stand-in derive: expected a name, found {other:?}"))
+            }
+        };
+        pos += 1;
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            return Err(format!(
+                "the offline serde stand-in cannot derive for generic type `{name}`; \
+                 write a manual impl instead"
+            ));
+        }
+        let shape = if kind == "struct" {
+            match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::NamedStruct(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::TupleStruct(parse_tuple_fields(g.stream())?)
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+                other => {
+                    return Err(format!("serde stand-in derive: unsupported struct body {other:?}"))
+                }
+            }
+        } else {
+            match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Enum(parse_variants(g.stream())?)
+                }
+                other => {
+                    return Err(format!(
+                        "serde stand-in derive: expected enum body, found {other:?}"
+                    ))
+                }
+            }
+        };
+        Ok(Item { name, shape })
+    }
+}
+
+/// Advances past attributes (`#[...]`) and visibility (`pub`, `pub(...)`),
+/// returning whether a `#[serde(skip)]` / `#[serde(default)]` was seen.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) -> (bool, bool) {
+    let (mut skip, mut default) = (false, false);
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+                    let attr = g.stream().to_string();
+                    // e.g. "serde (skip)" / "serde(default)" modulo spacing.
+                    let squashed: String = attr.chars().filter(|c| !c.is_whitespace()).collect();
+                    if squashed.starts_with("serde(") {
+                        if squashed.contains("skip") {
+                            skip = true;
+                        }
+                        if squashed.contains("default") {
+                            default = true;
+                        }
+                    }
+                    *pos += 2;
+                } else {
+                    *pos += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1;
+                }
+            }
+            _ => return (skip, default),
+        }
+    }
+}
+
+/// Collects type tokens until a comma at angle-bracket depth 0.
+fn collect_type(tokens: &[TokenTree], pos: &mut usize) -> String {
+    let mut depth = 0i32;
+    let mut out = String::new();
+    while let Some(tt) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => break,
+                _ => {}
+            }
+        }
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&tt.to_string());
+        *pos += 1;
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let (skip, default) = skip_attrs_and_vis(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => {
+                return Err(format!("serde stand-in derive: expected field name, found {other:?}"))
+            }
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => {
+                return Err(format!(
+                    "serde stand-in derive: expected `:` after `{name}`, found {other:?}"
+                ))
+            }
+        }
+        let ty = collect_type(&tokens, &mut pos);
+        fields.push(Field { name: Some(name), ty, skip, default });
+        // Consume the separating comma, if any.
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let (skip, default) = skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let ty = collect_type(&tokens, &mut pos);
+        if ty.is_empty() {
+            break;
+        }
+        fields.push(Field { name: None, ty, skip, default });
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => {
+                return Err(format!(
+                    "serde stand-in derive: expected variant name, found {other:?}"
+                ))
+            }
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Some(parse_tuple_fields(g.stream())?.into_iter().map(|f| f.ty).collect())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "the offline serde stand-in does not support struct variants (`{name} {{ .. }}`)"
+                ));
+            }
+            _ => None,
+        };
+        variants.push(Variant { name, fields });
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen.
+// ---------------------------------------------------------------------------
+
+fn gen_to_value(item: &Item) -> String {
+    match &item.shape {
+        Shape::UnitStruct => "_serde::Value::Null".to_string(),
+        Shape::NamedStruct(fields) => {
+            let mut out = String::from(
+                "let mut __fields: Vec<(_serde::Value, _serde::Value)> = Vec::new();\n",
+            );
+            for f in fields {
+                if f.skip {
+                    continue;
+                }
+                let name = f.name.as_ref().expect("named field");
+                out.push_str(&format!(
+                    "__fields.push((_serde::Value::Str(String::from(\"{name}\")), \
+                     _serde::ser::Serialize::to_value(&self.{name})));\n"
+                ));
+            }
+            out.push_str("_serde::Value::Map(__fields)");
+            out
+        }
+        Shape::TupleStruct(fields) if fields.len() == 1 => {
+            // Newtype transparency, matching serde.
+            "_serde::ser::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::TupleStruct(fields) => {
+            let items: Vec<String> = (0..fields.len())
+                .map(|i| format!("_serde::ser::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("_serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let name = &item.name;
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{vname} => _serde::Value::Str(String::from(\"{vname}\")),\n"
+                    )),
+                    Some(tys) if tys.len() == 1 => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => _serde::Value::Map(vec![(\
+                         _serde::Value::Str(String::from(\"{vname}\")), \
+                         _serde::ser::Serialize::to_value(__f0))]),\n"
+                    )),
+                    Some(tys) => {
+                        let binders: Vec<String> =
+                            (0..tys.len()).map(|i| format!("__f{i}")).collect();
+                        let values: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("_serde::ser::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => _serde::Value::Map(vec![(\
+                             _serde::Value::Str(String::from(\"{vname}\")), \
+                             _serde::Value::Seq(vec![{}]))]),\n",
+                            binders.join(", "),
+                            values.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    }
+}
+
+fn gen_from_value(item: &Item) -> String {
+    let name = &item.name;
+    match &item.shape {
+        Shape::UnitStruct => format!("let _ = __v; Ok({name})"),
+        Shape::NamedStruct(fields) => {
+            let mut out = format!(
+                "let __map = __v.as_map().ok_or_else(|| _serde::de::DeError::new(\
+                 \"expected a map for struct {name}\"))?;\n Ok({name} {{\n"
+            );
+            for f in fields {
+                let fname = f.name.as_ref().expect("named field");
+                let ty = &f.ty;
+                if f.skip {
+                    out.push_str(&format!("{fname}: ::core::default::Default::default(),\n"));
+                } else if f.default {
+                    out.push_str(&format!(
+                        "{fname}: match _serde::value_lookup(__map, \"{fname}\") {{\n\
+                             Some(__x) => <{ty} as _serde::de::Deserialize>::from_value(__x)?,\n\
+                             None => ::core::default::Default::default(),\n\
+                         }},\n"
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "{fname}: match _serde::value_lookup(__map, \"{fname}\") {{\n\
+                             Some(__x) => <{ty} as _serde::de::Deserialize>::from_value(__x)?,\n\
+                             None => return Err(_serde::de::DeError::new(\
+                                 \"missing field `{fname}` of {name}\")),\n\
+                         }},\n"
+                    ));
+                }
+            }
+            out.push_str("})");
+            out
+        }
+        Shape::TupleStruct(fields) if fields.len() == 1 => {
+            let ty = &fields[0].ty;
+            format!("Ok({name}(<{ty} as _serde::de::Deserialize>::from_value(__v)?))")
+        }
+        Shape::TupleStruct(fields) => {
+            let n = fields.len();
+            let mut out = format!(
+                "let __seq = __v.as_seq().ok_or_else(|| _serde::de::DeError::new(\
+                 \"expected a sequence for tuple struct {name}\"))?;\n\
+                 if __seq.len() != {n} {{\n\
+                     return Err(_serde::de::DeError::new(\"wrong arity for {name}\"));\n\
+                 }}\n\
+                 Ok({name}("
+            );
+            for (i, f) in fields.iter().enumerate() {
+                let ty = &f.ty;
+                out.push_str(&format!(
+                    "<{ty} as _serde::de::Deserialize>::from_value(&__seq[{i}])?, "
+                ));
+            }
+            out.push_str("))");
+            out
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    None => unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n")),
+                    Some(tys) if tys.len() == 1 => {
+                        let ty = &tys[0];
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => Ok({name}::{vname}(\
+                             <{ty} as _serde::de::Deserialize>::from_value(__val)?)),\n"
+                        ));
+                    }
+                    Some(tys) => {
+                        let n = tys.len();
+                        let mut build = String::new();
+                        for (i, ty) in tys.iter().enumerate() {
+                            build.push_str(&format!(
+                                "<{ty} as _serde::de::Deserialize>::from_value(&__seq[{i}])?, "
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let __seq = __val.as_seq().ok_or_else(|| \
+                                     _serde::de::DeError::new(\"expected a sequence for {name}::{vname}\"))?;\n\
+                                 if __seq.len() != {n} {{\n\
+                                     return Err(_serde::de::DeError::new(\"wrong arity for {name}::{vname}\"));\n\
+                                 }}\n\
+                                 Ok({name}::{vname}({build}))\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                     _serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => Err(_serde::de::DeError::new(\
+                             format!(\"unknown unit variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     _serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__key, __val) = &__entries[0];\n\
+                         let __key = __key.as_str().ok_or_else(|| \
+                             _serde::de::DeError::new(\"expected a string variant tag for {name}\"))?;\n\
+                         match __key {{\n\
+                             {data_arms}\
+                             __other => Err(_serde::de::DeError::new(\
+                                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     __other => Err(_serde::de::DeError::new(format!(\
+                         \"expected a variant of {name}, found {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -1,0 +1,515 @@
+//! Offline stand-in for [`serde_json`](https://docs.rs/serde_json), built
+//! on the vendored `serde` value tree.
+//!
+//! Supports the full JSON grammar on input and emits RFC 8259-conformant
+//! text on output. Map keys that are not strings are stringified when they
+//! are scalars (matching real serde_json's integer-key behavior) and
+//! rejected otherwise. Non-finite floats serialize as `null` (real
+//! serde_json errors; the workspace never produces them from metrics).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::de::Deserialize;
+use serde::ser::Serialize;
+use serde::Value;
+
+/// JSON encoding/decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    /// 1-based line of the failure (0 for serialization errors).
+    pub line: usize,
+    /// 1-based column of the failure (0 for serialization errors).
+    pub column: usize,
+}
+
+impl Error {
+    fn ser(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into(), line: 0, column: 0 }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "{} at line {} column {}", self.msg, self.line, self.column)
+        } else {
+            f.write_str(&self.msg)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::de::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error { msg: msg.to_string(), line: 0, column: 0 }
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+/// Only for unrepresentable map keys (sequence/map keys).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` to a human-readable, 2-space-indented JSON string.
+///
+/// # Errors
+/// Same conditions as [`to_string`].
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` as JSON into `writer`.
+///
+/// # Errors
+/// Serialization failures (as [`to_string`]) are wrapped in the same error
+/// type; I/O failures carry the `std::io::Error` message.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let text = to_string(value)?;
+    writer.write_all(text.as_bytes()).map_err(|e| Error::ser(format!("io error: {e}")))
+}
+
+/// Deserializes a `T` from JSON text.
+///
+/// # Errors
+/// Malformed JSON (with line/column) or a value-shape mismatch for `T`.
+pub fn from_str<'de, T: Deserialize<'de>>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing characters"));
+    }
+    T::from_value(&value).map_err(|e| Error::ser(e.to_string()))
+}
+
+/// Deserializes a `T` from a JSON byte slice.
+///
+/// # Errors
+/// Invalid UTF-8, malformed JSON, or a value-shape mismatch for `T`.
+pub fn from_slice<'de, T: Deserialize<'de>>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error::ser(format!("invalid utf-8: {e}")))?;
+    from_str(text)
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+fn write_value(
+    out: &mut String,
+    v: &Value,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::U128(n) => out.push_str(&n.to_string()),
+        Value::F64(f) if f.is_finite() => {
+            // `{:?}` keeps a decimal point or exponent so the value reparses
+            // as a float ("2.0", "1e300"), matching serde_json's intent.
+            out.push_str(&format!("{f:?}"));
+        }
+        Value::F64(_) => out.push_str("null"),
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1)?;
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_key(out, k)?;
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1)?;
+            }
+            if !entries.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+}
+
+fn write_key(out: &mut String, key: &Value) -> Result<(), Error> {
+    match key {
+        Value::Str(s) => write_string(out, s),
+        Value::I64(n) => write_string(out, &n.to_string()),
+        Value::U64(n) => write_string(out, &n.to_string()),
+        Value::U128(n) => write_string(out, &n.to_string()),
+        Value::Bool(b) => write_string(out, if *b { "true" } else { "false" }),
+        Value::F64(f) => write_string(out, &format!("{f:?}")),
+        other => {
+            return Err(Error::ser(format!(
+                "JSON object keys must be scalars, found {}",
+                other.kind()
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> Error {
+        let (mut line, mut col) = (1usize, 1usize);
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        Error { msg: msg.into(), line, column: col }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0C}'),
+                    Some(b'u') => {
+                        let cp = self.parse_hex4()?;
+                        let c = if (0xD800..0xDC00).contains(&cp) {
+                            // Surrogate pair.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(self.err("unpaired surrogate"));
+                            }
+                            let low = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(self.err("invalid low surrogate"));
+                            }
+                            let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                            char::from_u32(combined)
+                        } else {
+                            char::from_u32(cp)
+                        };
+                        match c {
+                            Some(c) => out.push(c),
+                            None => return Err(self.err("invalid unicode escape")),
+                        }
+                    }
+                    _ => return Err(self.err("invalid escape sequence")),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(b) => {
+                    // Re-assemble UTF-8 multibyte sequences.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    if len == 0 || end > self.bytes.len() {
+                        return Err(self.err("invalid utf-8 in string"));
+                    }
+                    match std::str::from_utf8(&self.bytes[start..end]) {
+                        Ok(s) => {
+                            out.push_str(s);
+                            self.pos = end;
+                        }
+                        Err(_) => return Err(self.err("invalid utf-8 in string")),
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let mut cp = 0u32;
+        for _ in 0..4 {
+            let d = match self.bump() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a' + 10) as u32,
+                Some(b @ b'A'..=b'F') => (b - b'A' + 10) as u32,
+                _ => return Err(self.err("invalid \\u escape")),
+            };
+            cp = (cp << 4) | d;
+        }
+        Ok(cp)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ascii digits are valid utf-8");
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) });
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<u128>() {
+                return Ok(Value::U128(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| self.err(format!("invalid number `{text}`")))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Seq(items)),
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((Value::Str(key), value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Map(entries)),
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        assert_eq!(from_str::<f64>("2.5").unwrap(), 2.5);
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0", "floats keep a decimal point");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(from_str::<Option<u8>>("null").unwrap(), None);
+        let huge: u128 = u128::MAX;
+        assert_eq!(from_str::<u128>(&to_string(&huge).unwrap()).unwrap(), huge);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let tricky = "a\"b\\c\nd\te\u{1F600}√";
+        let json = to_string(&tricky.to_string()).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), tricky);
+        assert_eq!(from_str::<String>(r#""Aé😀""#).unwrap(), "Aé😀");
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![(1u64, "one".to_string()), (2, "two".to_string())];
+        let json = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<(u64, String)>>(&json).unwrap(), v);
+
+        let mut m = HashMap::new();
+        m.insert(7u64, vec![1i64, -2]);
+        let json = to_string(&m).unwrap();
+        assert_eq!(json, r#"{"7":[1,-2]}"#, "integer keys stringify");
+        assert_eq!(from_str::<HashMap<u64, Vec<i64>>>(&json).unwrap(), m);
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparses() {
+        let v = vec![vec![1u8], vec![2, 3]];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  "), "{pretty}");
+        assert_eq!(from_str::<Vec<Vec<u8>>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let err = from_str::<Vec<u8>>("[1, 2,\n 3x]").unwrap_err();
+        assert_eq!(err.line, 2, "{err}");
+        assert!(from_str::<bool>("truth").is_err());
+        assert!(from_str::<u8>("300").is_err(), "range error surfaces");
+        assert!(from_str::<Vec<u8>>("[1, 2]  garbage").is_err());
+    }
+}
