@@ -55,18 +55,39 @@ fn main() {
         }
         None => None,
     };
+    let seed = match args.iter().position(|a| a == "--seed") {
+        Some(pos) if pos + 1 < args.len() => {
+            let value = args.remove(pos + 1);
+            args.remove(pos);
+            match value.parse::<u64>() {
+                Ok(seed) => Some(seed),
+                Err(_) => {
+                    eprintln!("--seed requires an unsigned integer, got {value:?}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Some(_) => {
+            eprintln!("--seed requires a value");
+            std::process::exit(2);
+        }
+        None => None,
+    };
     let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_default();
     let known = [
         "table1", "fig2", "fig3", "fig4a", "fig4b", "fig5a", "fig5b", "vid", "lookup", "thm1",
         "query", "ablation", "engine", "all",
     ];
     if !known.contains(&which.as_str()) {
-        eprintln!("usage: experiments <{}> [--quick] [--metrics-json PATH]", known.join("|"));
+        eprintln!(
+            "usage: experiments <{}> [--quick] [--seed N] [--metrics-json PATH]",
+            known.join("|")
+        );
         std::process::exit(2);
     }
 
     let metrics = Metrics::new();
-    run_experiments(&which, quick, &metrics);
+    run_experiments(&which, quick, seed, &metrics);
 
     if let Some(path) = metrics_json {
         let json =
@@ -76,7 +97,7 @@ fn main() {
     }
 }
 
-fn run_experiments(which: &str, quick: bool, metrics: &Metrics) {
+fn run_experiments(which: &str, quick: bool, seed: Option<u64>, metrics: &Metrics) {
     // table1 and thm1 need no master workload.
     if which == "table1" {
         return table1();
@@ -86,8 +107,17 @@ fn run_experiments(which: &str, quick: bool, metrics: &Metrics) {
     }
 
     eprintln!("generating master workload (quick={quick})…");
-    let (workload, gen_time) = timed(|| MasterWorkload::generate(quick));
-    eprintln!("master: {} users in {}s", workload.master().len(), secs(gen_time));
+    let (workload, gen_time) = timed(|| match seed {
+        Some(seed) => MasterWorkload::generate_seeded(quick, seed),
+        None => MasterWorkload::generate(quick),
+    });
+    eprintln!(
+        "master: {} users in {}s (seed {}; pass --seed {} to replay)",
+        workload.master().len(),
+        secs(gen_time),
+        workload.config().seed,
+        workload.config().seed,
+    );
 
     match which {
         "fig2" => fig2(&workload),

@@ -5,7 +5,7 @@
 #![warn(missing_docs)]
 
 use lbs_model::LocationDb;
-use lbs_workload::{generate_master, sample, BayAreaConfig};
+use lbs_workload::{derive_seed, generate_master, sample, BayAreaConfig};
 use std::time::{Duration, Instant};
 
 /// Lazily generated master workload shared by all experiments in one
@@ -17,9 +17,19 @@ pub struct MasterWorkload {
 
 impl MasterWorkload {
     /// Generates the paper-scale master set (1.75M users), or a scaled-down
-    /// one when `quick` is set (for smoke runs and CI).
+    /// one when `quick` is set (for smoke runs and CI), under the default
+    /// master seed.
     pub fn generate(quick: bool) -> Self {
-        let cfg = if quick { BayAreaConfig::scaled_to(100_000) } else { BayAreaConfig::default() };
+        Self::generate_seeded(quick, BayAreaConfig::default().seed)
+    }
+
+    /// As [`generate`](Self::generate) with an explicit master seed — the
+    /// `--seed` flag of the experiment harness. Every downstream sample is
+    /// derived from this one seed via [`derive_seed`], so a whole run
+    /// replays from the single number it prints.
+    pub fn generate_seeded(quick: bool, seed: u64) -> Self {
+        let base = if quick { BayAreaConfig::scaled_to(100_000) } else { BayAreaConfig::default() };
+        let cfg = BayAreaConfig { seed, ..base };
         let master = generate_master(&cfg);
         MasterWorkload { cfg, master }
     }
@@ -34,9 +44,10 @@ impl MasterWorkload {
         &self.master
     }
 
-    /// A deterministic `n`-user sample (capped at the master size).
+    /// A deterministic `n`-user sample (capped at the master size), keyed
+    /// off the master seed so `--seed` changes it too.
     pub fn sample(&self, n: usize) -> LocationDb {
-        sample(&self.master, n.min(self.master.len()), 0x5EED ^ n as u64)
+        sample(&self.master, n.min(self.master.len()), derive_seed(self.cfg.seed, n as u64))
     }
 
     /// Scales a paper-sized |D| down proportionally in quick mode, keeping

@@ -5,6 +5,7 @@ use crate::{Args, ArgsError};
 use bytes::Bytes;
 use lbs_attack::audit_policy;
 use lbs_baselines::{Casper, PolicyUnawareBinary, PolicyUnawareQuad};
+use lbs_conformance::Tier;
 use lbs_core::{verify_policy_aware, Anonymizer};
 use lbs_geom::Rect;
 use lbs_metrics::Metrics;
@@ -30,6 +31,8 @@ pub enum CliError {
     Codec(ModelError),
     /// Anonymization failure.
     Anonymize(String),
+    /// Conformance sweep or golden-corpus failures (one line each).
+    Conformance(Vec<String>),
 }
 
 impl std::fmt::Display for CliError {
@@ -37,11 +40,21 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::Args(e) => write!(f, "{e}"),
             CliError::UnknownCommand(c) => {
-                write!(f, "unknown command {c:?}; try gen/anonymize/audit/stats/compare/lookup")
+                write!(
+                    f,
+                    "unknown command {c:?}; try gen/anonymize/audit/stats/compare/lookup/conformance"
+                )
             }
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Codec(e) => write!(f, "codec error: {e}"),
             CliError::Anonymize(msg) => write!(f, "{msg}"),
+            CliError::Conformance(problems) => {
+                writeln!(f, "conformance failed ({} problems):", problems.len())?;
+                for p in problems {
+                    writeln!(f, "  {p}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -79,6 +92,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "stats" => stats(args, out),
         "compare" => compare(args, out),
         "lookup" => lookup(args, out),
+        "conformance" => conformance(args, out),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -248,6 +262,55 @@ fn lookup(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+fn conformance(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let seed: u64 = args.parse_or("seed", lbs_conformance::DEFAULT_MASTER_SEED)?;
+    let tier = match args.optional("tier").unwrap_or("smoke") {
+        "smoke" => Tier::Smoke,
+        "soak" => Tier::Soak,
+        other => {
+            return Err(CliError::Anonymize(format!(
+                "unknown tier {other:?}; use --tier smoke or --tier soak"
+            )))
+        }
+    };
+    let bless: bool = args.parse_or("bless", false)?;
+    let golden_dir = args.optional("golden").map(std::path::PathBuf::from);
+
+    if bless {
+        let dir = golden_dir
+            .ok_or_else(|| CliError::Anonymize("--bless true requires --golden DIR".into()))?;
+        let written = lbs_conformance::bless(&dir, seed).map_err(CliError::Anonymize)?;
+        writeln!(
+            out,
+            "blessed {written} golden records into {} (master seed {seed}); review the diff",
+            dir.display()
+        )?;
+        return Ok(());
+    }
+
+    let report = lbs_conformance::run_matrix(seed, tier);
+    write!(out, "{report}")?;
+    let mut problems = report.failures.clone();
+    if report.baseline_breaches() == 0 {
+        problems.push(format!(
+            "expected the policy-aware attacker to reproduce at least one Example-1 style \
+             breach against the k-inside baselines (master seed {seed})"
+        ));
+    }
+    if let Some(dir) = golden_dir {
+        match lbs_conformance::check(&dir, seed) {
+            Ok(n) => writeln!(out, "golden corpus: {n} records match {}", dir.display())?,
+            Err(mut drift) => problems.append(&mut drift),
+        }
+    }
+    if problems.is_empty() {
+        writeln!(out, "conformance: PASS (replay with --seed {seed})")?;
+        Ok(())
+    } else {
+        Err(CliError::Conformance(problems))
+    }
+}
+
 /// Test helper: run a command line against temp files.
 #[cfg(test)]
 fn run_line(line: &[&str]) -> Result<String, CliError> {
@@ -387,6 +450,30 @@ mod tests {
         let snapshot: lbs_metrics::MetricsSnapshot = serde_json::from_str(&raw).unwrap();
         assert_eq!(snapshot.counter(lbs_metrics::Counter::UsersAnonymized), 2000);
         assert_eq!(snapshot.stage(lbs_metrics::Stage::TreeBuild).calls, 1);
+    }
+
+    #[test]
+    fn conformance_bless_writes_the_corpus_and_validates_flags() {
+        let dir = TempDir::new("golden");
+        let gdir = dir.path("golden");
+        let msg = run_line(&["conformance", "--bless", "true", "--golden", &gdir, "--seed", "7"])
+            .unwrap();
+        assert!(msg.contains("blessed 12 golden records"), "{msg}");
+        assert!(msg.contains("seed 7"), "{msg}");
+        let mut stems: Vec<String> = std::fs::read_dir(&gdir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        stems.sort();
+        assert_eq!(stems.len(), 12);
+        assert!(stems.contains(&"uniform-k2-binary.json".to_string()), "{stems:?}");
+
+        // Blessing without a target directory is a usage error.
+        let err = run_line(&["conformance", "--bless", "true"]).unwrap_err();
+        assert!(matches!(err, CliError::Anonymize(_)), "{err:?}");
+        // Unknown tiers are rejected up front.
+        let err = run_line(&["conformance", "--tier", "bogus"]).unwrap_err();
+        assert!(err.to_string().contains("smoke or --tier soak"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! The checked-in golden corpus: frozen optimal-policy outputs for a
+//! fixed sub-matrix of scenarios.
+//!
+//! Each record pins the exact cost, group structure, and a fingerprint
+//! of the full user→cloak assignment for one (density, k, tree) cell
+//! under [`DEFAULT_MASTER_SEED`](crate::DEFAULT_MASTER_SEED). Any DP,
+//! tree, or extraction refactor that silently shifts an optimal policy
+//! trips the corpus; intentional changes are re-blessed with
+//! `lbs conformance --bless true --golden tests/golden` (or
+//! [`bless`]) and reviewed as a diff.
+
+use crate::scenario::Density;
+use lbs_core::{bulk_dp_fast, bulk_dp_fast_quad};
+use lbs_model::BulkPolicy;
+use lbs_tree::{SpatialTree, TreeConfig, TreeKind};
+use lbs_workload::derive_seed;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// One frozen conformance output.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoldenRecord {
+    /// Record id, also the file stem: `<density>-k<k>-<tree>`.
+    pub id: String,
+    /// The derived seed the database was generated from.
+    pub seed: u64,
+    /// Density profile name.
+    pub density: String,
+    /// Database size.
+    pub users: usize,
+    /// Anonymity level.
+    pub k: usize,
+    /// Tree family: `binary` or `quad`.
+    pub tree: String,
+    /// The optimal `Cost(P, D)`.
+    pub cost: u128,
+    /// Number of cloak groups in the optimal policy.
+    pub groups: usize,
+    /// Smallest group (≥ k by construction).
+    pub min_group: usize,
+    /// FNV-1a over the sorted `user:cloak` assignment strings — pins the
+    /// exact policy, not just its cost.
+    pub fingerprint: u64,
+}
+
+/// The corpus cells: every density × k ∈ {2, 8} × {binary, quad} at 64
+/// users. Pure function of `master`.
+fn cases(master: u64) -> Vec<(Density, usize, TreeKind)> {
+    let _ = master;
+    let mut out = Vec::new();
+    for density in Density::ALL {
+        for k in [2usize, 8] {
+            for kind in [TreeKind::Binary, TreeKind::Quad] {
+                out.push((density, k, kind));
+            }
+        }
+    }
+    out
+}
+
+fn tree_name(kind: TreeKind) -> &'static str {
+    match kind {
+        TreeKind::Binary => "binary",
+        TreeKind::Quad => "quad",
+    }
+}
+
+/// FNV-1a fingerprint of the full assignment, independent of iteration
+/// order (assignments are sorted before hashing).
+pub fn policy_fingerprint(policy: &BulkPolicy) -> u64 {
+    let mut lines: Vec<String> =
+        policy.iter().map(|(user, region)| format!("{user}:{region}")).collect();
+    lines.sort_unstable();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for line in &lines {
+        for b in line.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^= 0x0A;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Computes the corpus records for `master` (what [`bless`] writes and
+/// [`check`] recomputes).
+///
+/// # Errors
+/// Propagates tree/DP failures as messages.
+pub fn compute_corpus(master: u64) -> Result<Vec<GoldenRecord>, String> {
+    let users = 64usize;
+    let map = lbs_geom::Rect::square(0, 0, 1024);
+    cases(master)
+        .into_iter()
+        .map(|(density, k, kind)| {
+            let id = format!("{}-k{}-{}", density.name(), k, tree_name(kind));
+            // Same id-hash → seed scheme as the scenario matrix.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in id.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let seed = derive_seed(master, h);
+            let db = density.generate(users, map, derive_seed(seed, 10));
+            let tree = SpatialTree::build(&db, TreeConfig::lazy(kind, map, k))
+                .map_err(|e| format!("{id}: tree: {e}"))?;
+            let matrix = match kind {
+                TreeKind::Binary => bulk_dp_fast(&tree, k),
+                TreeKind::Quad => bulk_dp_fast_quad(&tree, k),
+            }
+            .map_err(|e| format!("{id}: dp: {e}"))?;
+            let policy = matrix.extract_policy(&tree).map_err(|e| format!("{id}: extract: {e}"))?;
+            let cost = matrix.optimal_cost(&tree).map_err(|e| format!("{id}: cost: {e}"))?;
+            Ok(GoldenRecord {
+                id,
+                seed,
+                density: density.name().to_string(),
+                users,
+                k,
+                tree: tree_name(kind).to_string(),
+                cost,
+                groups: policy.groups().len(),
+                min_group: policy.min_group_size().unwrap_or(0),
+                fingerprint: policy_fingerprint(&policy),
+            })
+        })
+        .collect()
+}
+
+/// Regenerates `dir/*.json` from scratch (the `--bless` path). Returns
+/// the number of records written.
+///
+/// # Errors
+/// Computation or I/O failures as messages.
+pub fn bless(dir: &Path, master: u64) -> Result<usize, String> {
+    let records = compute_corpus(master)?;
+    std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    for record in &records {
+        let path = dir.join(format!("{}.json", record.id));
+        let json = serde_json::to_string_pretty(record)
+            .map_err(|e| format!("{}: serialize: {e}", record.id))?;
+        std::fs::write(&path, json + "\n")
+            .map_err(|e| format!("{}: write: {e}", path.display()))?;
+    }
+    Ok(records.len())
+}
+
+/// Recomputes the corpus and diffs it against `dir/*.json`. Returns the
+/// number of records checked.
+///
+/// # Errors
+/// One message per missing/stale/divergent record (with its seed), so a
+/// red check replays directly.
+pub fn check(dir: &Path, master: u64) -> Result<usize, Vec<String>> {
+    let records = compute_corpus(master).map_err(|e| vec![e])?;
+    let mut problems = Vec::new();
+    for fresh in &records {
+        let path = dir.join(format!("{}.json", fresh.id));
+        let stored: Option<GoldenRecord> =
+            std::fs::read_to_string(&path).ok().and_then(|raw| serde_json::from_str(&raw).ok());
+        match stored {
+            None => problems.push(format!(
+                "{}: missing or unreadable golden file {} — run with --bless",
+                fresh.id,
+                path.display()
+            )),
+            Some(stored) if &stored != fresh => {
+                problems.push(format!(
+                "{} (seed {}): golden drift — stored cost {} fp {:#x}, computed cost {} fp {:#x}",
+                fresh.id, fresh.seed, stored.cost, stored.fingerprint, fresh.cost, fresh.fingerprint
+            ))
+            }
+            Some(_) => {}
+        }
+    }
+    if problems.is_empty() {
+        Ok(records.len())
+    } else {
+        Err(problems)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::DEFAULT_MASTER_SEED;
+
+    #[test]
+    fn corpus_is_deterministic_and_policy_sensitive() {
+        let a = compute_corpus(DEFAULT_MASTER_SEED).unwrap();
+        let b = compute_corpus(DEFAULT_MASTER_SEED).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12);
+        for record in &a {
+            assert!(record.min_group >= record.k, "{}", record.id);
+            assert!(record.cost > 0, "{}", record.id);
+        }
+        let other = compute_corpus(DEFAULT_MASTER_SEED ^ 1).unwrap();
+        assert!(
+            a.iter().zip(&other).any(|(x, y)| x.fingerprint != y.fingerprint),
+            "a different master seed must move at least one fingerprint"
+        );
+    }
+
+    #[test]
+    fn bless_then_check_round_trips() {
+        let dir = std::env::temp_dir().join(format!("lbs-golden-{}", std::process::id()));
+        let written = bless(&dir, DEFAULT_MASTER_SEED).unwrap();
+        assert_eq!(written, 12);
+        assert_eq!(check(&dir, DEFAULT_MASTER_SEED).unwrap(), 12);
+        // Tampering with a stored record must be detected.
+        let victim = dir.join("uniform-k2-binary.json");
+        let mut record: GoldenRecord =
+            serde_json::from_str(&std::fs::read_to_string(&victim).unwrap()).unwrap();
+        record.cost += 1;
+        std::fs::write(&victim, serde_json::to_string(&record).unwrap()).unwrap();
+        let problems = check(&dir, DEFAULT_MASTER_SEED).unwrap_err();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("golden drift"), "{}", problems[0]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,32 @@
+//! Attacker-in-the-loop conformance subsystem.
+//!
+//! Three layers of oracle, in increasing strength and decreasing scale:
+//!
+//! 1. **Structural verification** — `lbs_core::verify_policy_aware` plus
+//!    the PRE-enumerating attacker's `audit_policy`, applied to *every*
+//!    scenario instance. Policy-aware algorithms must be clean; the
+//!    policy-unaware baselines must reproduce the paper's Example-1
+//!    style breach at least once per sweep.
+//! 2. **Optimality oracle** — on tiny instances the brute-force
+//!    `brute_force_optimal_cost` must agree with the DP, and the literal
+//!    Definition-6 check `literal_k_anonymity` must hold at `k` and fail
+//!    at `|D| + 1`.
+//! 3. **Golden corpus** — frozen JSON records
+//!    ([`golden::GoldenRecord`]) pin exact costs and assignment
+//!    fingerprints for a fixed sub-matrix; intentional changes are
+//!    re-blessed via the CLI and reviewed as a diff.
+//!
+//! The whole subsystem is driven by one master seed
+//! ([`DEFAULT_MASTER_SEED`]); every failure message carries the
+//! per-scenario derived seed so a red run replays directly with
+//! `lbs conformance --seed <seed>` or a targeted unit test.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod golden;
+pub mod harness;
+pub mod scenario;
+
+pub use golden::{bless, check, compute_corpus, policy_fingerprint, GoldenRecord};
+pub use harness::{run_matrix, run_scenario, ConformanceReport, ScenarioOutcome};
+pub use scenario::{scenario_matrix, Algorithm, Density, Scenario, Tier, DEFAULT_MASTER_SEED};

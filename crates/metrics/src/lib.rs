@@ -55,11 +55,15 @@ pub enum Counter {
     ServerErrors,
     /// Worker panics caught and converted into errors.
     WorkerPanics,
+    /// Faults deliberately injected by a `FaultPlan` (conformance soak).
+    FaultsInjected,
+    /// Panicked tasks re-enqueued for another attempt.
+    TaskRetries,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 10] = [
+    pub const ALL: [Counter; 12] = [
         Counter::TasksInjected,
         Counter::TasksExecuted,
         Counter::TasksStolen,
@@ -70,6 +74,8 @@ impl Counter {
         Counter::CacheMisses,
         Counter::ServerErrors,
         Counter::WorkerPanics,
+        Counter::FaultsInjected,
+        Counter::TaskRetries,
     ];
 
     /// Stable snake_case name used in [`MetricsSnapshot`] keys.
@@ -85,6 +91,8 @@ impl Counter {
             Counter::CacheMisses => "cache_misses",
             Counter::ServerErrors => "server_errors",
             Counter::WorkerPanics => "worker_panics",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::TaskRetries => "task_retries",
         }
     }
 

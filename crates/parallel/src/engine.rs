@@ -31,8 +31,9 @@ use lbs_metrics::{Counter, Metrics, Stage};
 use lbs_model::{BulkPolicy, LocationDb, UserId};
 use lbs_tree::{SpatialTree, TreeConfig, TreeKind};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs of the work-stealing pool.
 #[derive(Debug, Clone)]
@@ -48,11 +49,17 @@ pub struct EngineConfig {
     /// Forward the Lemma-5 pass-up bound to each worker's DP scratch.
     /// Disabling it is the Section-V ablation; results are identical.
     pub use_lemma5: bool,
+    /// How many times a *panicked* task is re-enqueued before the panic is
+    /// surfaced as [`CoreError::WorkerPanic`]. `0` (the default) keeps the
+    /// historical fail-fast behaviour. Conformance soak tests pair this
+    /// with a [`FaultPlan`] whose injected panics stop firing after a set
+    /// number of attempts, proving recovery produces bit-identical output.
+    pub max_task_retries: u32,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { workers: 0, largest_first: true, use_lemma5: true }
+        EngineConfig { workers: 0, largest_first: true, use_lemma5: true, max_task_retries: 0 }
     }
 }
 
@@ -81,12 +88,119 @@ pub struct JurisdictionTask {
     pub db: LocationDb,
     /// When the task entered the injector (queue-wait metric baseline).
     pub injected_at: Instant,
+    /// Execution attempt, starting at 0. Bumped each time a panicked task
+    /// is re-enqueued under [`EngineConfig::max_task_retries`].
+    pub attempt: u32,
 }
 
 impl JurisdictionTask {
     /// Creates a task; `injected_at` is stamped (again) at injection.
     pub fn new(index: usize, jurisdiction: Rect, db: LocationDb) -> Self {
-        JurisdictionTask { index, jurisdiction, db, injected_at: Instant::now() }
+        JurisdictionTask { index, jurisdiction, db, injected_at: Instant::now(), attempt: 0 }
+    }
+}
+
+/// Deterministic fault-injection plan for the work-stealing pool.
+///
+/// Used by the conformance soak harness to prove two properties the
+/// paper's production framing depends on: (a) *recovery determinism* —
+/// with retries enabled, a run whose tasks panic on their first attempts
+/// still produces output **bit-identical** to an undisturbed sequential
+/// run, because results are merged by partition index; and (b) *failure
+/// surfacing* — without retries, injected panics surface as
+/// [`CoreError::WorkerPanic`] while sibling tasks still complete.
+///
+/// All knobs are keyed on the *task index* (stable across schedules), so
+/// plans are reproducible regardless of which worker picks a task up.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// task index → number of leading attempts that panic before the
+    /// server is actually called. `panics[&i] == n` means attempts
+    /// `0..n` of task `i` blow up, attempt `n` runs normally.
+    panics: HashMap<usize, u32>,
+    /// task index → artificial stall before executing the task. Forces
+    /// steal/starvation interleavings: a stalled worker's siblings must
+    /// drain the injector and steal from its deque.
+    stalls: HashMap<usize, Duration>,
+    /// worker id → sleep before the worker's first pop. Starving a worker
+    /// at startup forces the batch it would have claimed onto its
+    /// siblings.
+    worker_delays: HashMap<usize, Duration>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Panic on the first `attempts` attempts of task `index`.
+    pub fn panic_on(mut self, index: usize, attempts: u32) -> Self {
+        self.panics.insert(index, attempts);
+        self
+    }
+
+    /// Stall for `delay` before executing task `index`.
+    pub fn stall_on(mut self, index: usize, delay: Duration) -> Self {
+        self.stalls.insert(index, delay);
+        self
+    }
+
+    /// Delay worker `worker`'s first pop by `delay` (startup starvation).
+    pub fn delay_worker(mut self, worker: usize, delay: Duration) -> Self {
+        self.worker_delays.insert(worker, delay);
+        self
+    }
+
+    /// A seeded pseudo-random plan over `tasks` task indices: roughly one
+    /// in three tasks panics once, one in four stalls briefly. Splitmix64
+    /// keeps the plan a pure function of `seed`, so soak failures replay.
+    pub fn seeded(seed: u64, tasks: usize) -> Self {
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let mut state = seed;
+        let mut plan = FaultPlan::new();
+        for index in 0..tasks {
+            let roll = splitmix(&mut state);
+            if roll.is_multiple_of(3) {
+                plan.panics.insert(index, 1 + (roll >> 8) as u32 % 2);
+            }
+            if roll % 4 == 1 {
+                plan.stalls.insert(index, Duration::from_micros(50 + (roll >> 16) % 450));
+            }
+        }
+        plan
+    }
+
+    /// The largest panic-attempt count in the plan — the minimum
+    /// [`EngineConfig::max_task_retries`] for every task to eventually
+    /// succeed.
+    pub fn max_panic_attempts(&self) -> u32 {
+        self.panics.values().copied().max().unwrap_or(0)
+    }
+
+    /// Total number of panics this plan will inject (given enough
+    /// retries for every task to run to completion).
+    pub fn total_injected_panics(&self) -> u64 {
+        self.panics.values().map(|&n| u64::from(n)).sum()
+    }
+
+    /// Does attempt `attempt` of task `index` panic under this plan?
+    pub fn should_panic(&self, index: usize, attempt: u32) -> bool {
+        self.panics.get(&index).is_some_and(|&n| attempt < n)
+    }
+
+    fn stall_for(&self, index: usize) -> Option<Duration> {
+        self.stalls.get(&index).copied()
+    }
+
+    fn worker_delay(&self, worker: usize) -> Option<Duration> {
+        self.worker_delays.get(&worker).copied()
     }
 }
 
@@ -169,6 +283,32 @@ pub fn run_tasks<F>(
 where
     F: Fn(&mut DpScratch, &JurisdictionTask) -> Result<BulkPolicy, CoreError> + Sync,
 {
+    run_tasks_faulted(tasks, config, server, metrics, None)
+}
+
+/// [`run_tasks`] with an optional deterministic [`FaultPlan`]: injected
+/// panics fire *before* the server is called (counted under
+/// [`Counter::FaultsInjected`]), stalls and worker delays reshape the
+/// schedule without touching results. Panicked tasks — injected or real —
+/// are re-enqueued up to [`EngineConfig::max_task_retries`] times
+/// (counted under [`Counter::TaskRetries`]); a task that exhausts its
+/// retries surfaces as [`CoreError::WorkerPanic`].
+///
+/// Because results are merged by task index, a faulted run in which every
+/// task eventually succeeds is **bit-identical** to a fault-free run.
+///
+/// # Errors
+/// The first unrecovered server error or panic (by completion order).
+pub fn run_tasks_faulted<F>(
+    tasks: Vec<JurisdictionTask>,
+    config: &EngineConfig,
+    server: F,
+    metrics: Option<&Metrics>,
+    faults: Option<&FaultPlan>,
+) -> Result<Vec<TaskResult>, CoreError>
+where
+    F: Fn(&mut DpScratch, &JurisdictionTask) -> Result<BulkPolicy, CoreError> + Sync,
+{
     let task_count = tasks.len();
     let workers = config.effective_workers(task_count);
     let injector = Injector::new();
@@ -200,6 +340,11 @@ where
             let first_error = &first_error;
             let server = &server;
             scope.spawn(move |_| {
+                if let Some(delay) = faults.and_then(|f| f.worker_delay(me)) {
+                    // Startup starvation: siblings must claim this
+                    // worker's share of the injector.
+                    std::thread::sleep(delay);
+                }
                 let mut scratch = DpScratch::with_lemma5(config.use_lemma5);
                 let mut executed_here = 0usize;
                 while let Some(task) = find_task(me, local, injector, stealers, metrics) {
@@ -210,8 +355,22 @@ where
                             m.incr(Counter::ScratchReuses);
                         }
                     }
+                    if let Some(stall) = faults.and_then(|f| f.stall_for(task.index)) {
+                        std::thread::sleep(stall);
+                    }
                     let started = Instant::now();
-                    let outcome = catch_unwind(AssertUnwindSafe(|| server(&mut scratch, &task)));
+                    let outcome =
+                        if faults.is_some_and(|f| f.should_panic(task.index, task.attempt)) {
+                            if let Some(m) = metrics {
+                                m.incr(Counter::FaultsInjected);
+                            }
+                            Err(Box::new(format!(
+                                "fault-injected panic: task={} attempt={}",
+                                task.index, task.attempt
+                            )) as Box<dyn std::any::Any + Send>)
+                        } else {
+                            catch_unwind(AssertUnwindSafe(|| server(&mut scratch, &task)))
+                        };
                     match outcome {
                         Ok(Ok(policy)) => {
                             let report = ServerReport {
@@ -234,9 +393,24 @@ where
                             if let Some(m) = metrics {
                                 m.incr(Counter::WorkerPanics);
                             }
-                            first_error
-                                .lock()
-                                .get_or_insert(CoreError::WorkerPanic(panic_message(payload)));
+                            if task.attempt < config.max_task_retries {
+                                // Recovery path: hand the task back to the
+                                // pool for another attempt. Index-ordered
+                                // merging keeps the final output
+                                // bit-identical no matter which worker
+                                // (or how late) the retry lands on.
+                                if let Some(m) = metrics {
+                                    m.incr(Counter::TaskRetries);
+                                }
+                                let mut retry = task.clone();
+                                retry.attempt += 1;
+                                retry.injected_at = Instant::now();
+                                injector.push(retry);
+                            } else {
+                                first_error
+                                    .lock()
+                                    .get_or_insert(CoreError::WorkerPanic(panic_message(payload)));
+                            }
                             // The arena may hold a half-written row; discard it.
                             scratch = DpScratch::with_lemma5(config.use_lemma5);
                         }
@@ -278,6 +452,27 @@ pub fn anonymize_work_stealing(
     config: &EngineConfig,
     metrics: Option<&Metrics>,
 ) -> Result<ParallelOutcome, CoreError> {
+    anonymize_work_stealing_faulted(db, map, k, servers, config, metrics, None)
+}
+
+/// [`anonymize_work_stealing`] under a deterministic [`FaultPlan`]: the
+/// conformance soak entry point. With retries covering the plan's
+/// injected panics, the outcome is **bit-identical** to the fault-free
+/// (and sequential) run; without retries the first surviving panic
+/// surfaces as [`CoreError::WorkerPanic`].
+///
+/// # Errors
+/// As [`anonymize_work_stealing`], plus unrecovered injected panics.
+#[allow(clippy::too_many_arguments)]
+pub fn anonymize_work_stealing_faulted(
+    db: &LocationDb,
+    map: Rect,
+    k: usize,
+    servers: usize,
+    config: &EngineConfig,
+    metrics: Option<&Metrics>,
+    faults: Option<&FaultPlan>,
+) -> Result<ParallelOutcome, CoreError> {
     fn staged<T>(metrics: Option<&Metrics>, stage: Stage, f: impl FnOnce() -> T) -> T {
         match metrics {
             Some(m) => m.time(stage, f),
@@ -314,7 +509,7 @@ pub fn anonymize_work_stealing(
     };
 
     let run_started = Instant::now();
-    let task_results = run_tasks(tasks, config, server, metrics)?;
+    let task_results = run_tasks_faulted(tasks, config, server, metrics, faults)?;
     let server_wall_time = run_started.elapsed();
 
     let outcome = staged(metrics, Stage::Merge, || {
@@ -470,6 +665,67 @@ mod tests {
         assert_eq!(users, db.len());
         assert_eq!(metrics.get(Counter::TasksExecuted), outcome.servers.len() as u64);
         assert!(verify_policy_aware(&outcome.policy, &db, k).is_ok());
+    }
+
+    #[test]
+    fn fault_plan_with_retries_is_bit_identical_to_sequential() {
+        let (db, map) = workload(1_200);
+        let k = 8;
+        let seq = anonymize_partitioned(&db, map, k, 8).unwrap();
+        let faults = FaultPlan::new()
+            .panic_on(0, 2)
+            .panic_on(3, 1)
+            .stall_on(1, std::time::Duration::from_millis(2))
+            .delay_worker(0, std::time::Duration::from_millis(1));
+        let metrics = Metrics::new();
+        let cfg = EngineConfig { workers: 4, max_task_retries: 2, ..EngineConfig::default() };
+        let ws =
+            anonymize_work_stealing_faulted(&db, map, k, 8, &cfg, Some(&metrics), Some(&faults))
+                .unwrap();
+        assert_eq!(ws.total_cost, seq.total_cost);
+        assert_eq!(ws.policy.len(), seq.policy.len());
+        for (user, region) in seq.policy.iter() {
+            assert_eq!(ws.policy.cloak_of(user), Some(region), "cloak of {user:?} after faults");
+        }
+        assert_eq!(metrics.get(Counter::FaultsInjected), 3);
+        assert_eq!(metrics.get(Counter::TaskRetries), 3);
+        assert_eq!(metrics.get(Counter::WorkerPanics), 3);
+    }
+
+    #[test]
+    fn fault_plan_without_retries_surfaces_worker_panic() {
+        let (db, map) = workload(800);
+        let faults = FaultPlan::new().panic_on(1, 1);
+        let metrics = Metrics::new();
+        let cfg = EngineConfig { workers: 2, ..EngineConfig::default() };
+        let err =
+            anonymize_work_stealing_faulted(&db, map, 6, 4, &cfg, Some(&metrics), Some(&faults))
+                .unwrap_err();
+        match err {
+            CoreError::WorkerPanic(msg) => {
+                assert!(msg.contains("fault-injected panic"), "{msg}");
+                assert!(msg.contains("task=1"), "{msg}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        assert_eq!(metrics.get(Counter::FaultsInjected), 1);
+        assert_eq!(metrics.get(Counter::TaskRetries), 0);
+    }
+
+    #[test]
+    fn seeded_fault_plan_is_deterministic_and_replayable() {
+        let a = FaultPlan::seeded(42, 32);
+        let b = FaultPlan::seeded(42, 32);
+        for index in 0..32 {
+            for attempt in 0..4 {
+                assert_eq!(a.should_panic(index, attempt), b.should_panic(index, attempt));
+            }
+            assert_eq!(a.stall_for(index), b.stall_for(index));
+        }
+        assert!(a.total_injected_panics() > 0, "seed 42 should inject something");
+        let c = FaultPlan::seeded(43, 32);
+        let differs = (0..32).any(|i| a.should_panic(i, 0) != c.should_panic(i, 0));
+        assert!(differs, "different seeds should produce different plans");
     }
 
     #[test]

@@ -28,7 +28,10 @@
 
 pub mod engine;
 
-pub use engine::{anonymize_work_stealing, run_tasks, EngineConfig, JurisdictionTask, TaskResult};
+pub use engine::{
+    anonymize_work_stealing, anonymize_work_stealing_faulted, run_tasks, run_tasks_faulted,
+    EngineConfig, FaultPlan, JurisdictionTask, TaskResult,
+};
 
 use lbs_core::{Anonymizer, CoreError};
 use lbs_geom::{Area, Rect};

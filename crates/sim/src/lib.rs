@@ -27,7 +27,7 @@ use lbs_geom::Point;
 use lbs_model::{AnonymizedRequest, CloakingPolicy, RequestId, RequestParams, ServiceRequest};
 use lbs_query::{CloakedLbs, Poi, PoiId, PoiStore};
 use lbs_tree::{TreeConfig, TreeKind};
-use lbs_workload::{generate_master, random_moves, BayAreaConfig};
+use lbs_workload::{derive_seed, generate_master, random_moves, BayAreaConfig};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -183,9 +183,15 @@ impl From<CoreError> for SimError {
 /// privacy-invariant violations (audit breaches) are *reported*, not
 /// errored, so tests can assert on them.
 pub fn run(config: &SimConfig) -> Result<SimReport, SimError> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let bay =
-        BayAreaConfig { seed: config.seed ^ 0xD15EA5E, ..BayAreaConfig::scaled_to(config.users) };
+    // Stream assignments under the master seed (see `derive_seed`):
+    // 0 = POI placement + request traffic, 1 = workload generation,
+    // 1000 + t = movement into snapshot t. One master seed replays the
+    // entire run, including every conformance assertion along the way.
+    let mut rng = StdRng::seed_from_u64(derive_seed(config.seed, 0));
+    let bay = BayAreaConfig {
+        seed: derive_seed(config.seed, 1),
+        ..BayAreaConfig::scaled_to(config.users)
+    };
     let mut db = generate_master(&bay);
     let map = bay.map();
 
@@ -216,7 +222,7 @@ pub fn run(config: &SimConfig) -> Result<SimReport, SimError> {
                 &map,
                 config.mover_fraction,
                 config.max_move_m,
-                config.seed + t as u64,
+                derive_seed(config.seed, 1000 + t as u64),
             );
             db.apply_moves(&moves).expect("moves generated from current db");
             let (report, elapsed) = timed(|| engine.apply_moves(&moves))?;

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, release build, full test suite.
+# Local CI gate: formatting, lints, release build, full test suite,
+# attacker-in-the-loop conformance smoke.
 #
 # The workspace builds fully offline (external deps are vendored under
 # vendor/), so this script needs no network access. Run it from anywhere
@@ -18,5 +19,17 @@ cargo build --release --workspace
 
 echo "== cargo test (workspace) =="
 cargo test --release --workspace -q
+
+echo "== conformance-smoke (budget: 60 s) =="
+# Attacker-in-the-loop smoke sweep (>= 200 seeded scenarios) plus the
+# checked-in golden corpus, via the release CLI so the stage stays well
+# inside its 60-second budget (~7 s in practice). A red run prints every
+# failing scenario id with its derived seed; replay with
+#   target/release/lbs conformance --seed <seed>
+# and re-bless intentional golden changes with
+#   target/release/lbs conformance --bless true --golden tests/golden
+# The #[ignore]-gated soak tier is NOT part of CI; run it manually:
+#   cargo test --release --test conformance_smoke -- --ignored
+timeout 60 target/release/lbs conformance --golden tests/golden
 
 echo "CI OK"

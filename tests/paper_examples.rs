@@ -1,6 +1,11 @@
 //! End-to-end reproduction of the paper's worked examples and propositions
-//! (Table I, Figure 1, Examples 1–8, Propositions 1–3).
+//! (Table I, Figure 1, Examples 1–8, Propositions 1–3), plus frozen
+//! snapshot assertions over the Example-1 breach evidence and the
+//! Theorem-2 DP tables. The snapshots pin exact strings so any DP or
+//! extraction change that moves a table cell is a loud, reviewable diff
+//! (like `tests/golden/`, but small enough to read inline).
 
+use lbs_core::{bulk_dp_fast, bulk_dp_fast_quad, INFINITE_COST};
 use policy_aware_lbs::prelude::*;
 
 /// Table I adapted to the half-open integer grid: Alice and Bob tight in
@@ -176,6 +181,103 @@ fn optimal_policies_satisfy_the_literal_definition() {
             "only 5 users exist; 6-anonymity is impossible"
         );
     }
+}
+
+/// Renders the full DP matrix of `kind` at `k` over Table I, one line
+/// per post-order node: rect, live count, and every reachable `u` cell.
+fn render_dp_table(db: &LocationDb, kind: TreeKind, k: usize) -> String {
+    let tree = SpatialTree::build(db, TreeConfig::lazy(kind, MAP, k)).unwrap();
+    let matrix = match kind {
+        TreeKind::Quad => bulk_dp_fast_quad(&tree, k).unwrap(),
+        TreeKind::Binary => bulk_dp_fast(&tree, k).unwrap(),
+    };
+    let mut lines = Vec::new();
+    for id in tree.postorder() {
+        let node = tree.node(id);
+        if let Some(row) = matrix.row(id) {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|(u, entry)| {
+                    if entry.cost == INFINITE_COST {
+                        format!("u{u}=inf")
+                    } else {
+                        format!("u{u}={}", entry.cost)
+                    }
+                })
+                .collect();
+            lines.push(format!("{} n={}: {}", node.rect, tree.count(id), cells.join(" ")));
+        }
+    }
+    lines.push(format!("optimal={}", matrix.optimal_cost(&tree).unwrap()));
+    lines.join("\n")
+}
+
+/// Example 1, snapshot form: the exact breach evidence the PRE attacker
+/// produces against the Casper-style 2-inside policy — one breached
+/// cloak, and its only possible sender is Carol (`u2`).
+#[test]
+fn example_1_breach_evidence_snapshot() {
+    let db = table1();
+    let policy = Casper::build(&db, MAP, 2).unwrap().materialize(&db);
+    let mut lines: Vec<String> = lbs_attack::audit_policy(&policy, &db, 2)
+        .iter()
+        .map(|b| {
+            let mut candidates: Vec<String> = b.candidates.iter().map(|u| u.to_string()).collect();
+            candidates.sort();
+            format!("{} -> [{}]", b.region, candidates.join(", "))
+        })
+        .collect();
+    lines.sort();
+    assert_eq!(
+        lines.join("\n"),
+        "[0,4)x[2,4) -> [u2]",
+        "Example-1 breach evidence drifted; update only if lbs-attack \
+         or the Casper baseline changed intentionally"
+    );
+}
+
+/// Theorem 2, snapshot form: the full bottom-up DP tables over Table I
+/// at k=2 — every (node, u) cost cell on both tree families, and the
+/// optimal totals (paper's R3+R2 split costs 40 on the semi-quadrant
+/// tree; the pure quadrant tree can only do 56).
+#[test]
+fn theorem_2_dp_cost_table_snapshots() {
+    let db = table1();
+    assert_eq!(
+        render_dp_table(&db, TreeKind::Binary, 2),
+        "[2,4)x[2,4) n=1: u1=0\n\
+         [2,4)x[0,2) n=1: u1=0\n\
+         [2,4)x[0,4) n=2: u0=16 u2=0\n\
+         [0,2)x[2,4) n=1: u1=0\n\
+         [1,2)x[0,2) n=0: u0=0\n\
+         [0,1)x[1,2) n=1: u1=0\n\
+         [0,1)x[0,1) n=1: u1=0\n\
+         [0,1)x[0,2) n=2: u0=4 u2=0\n\
+         [0,2)x[0,2) n=2: u0=4 u2=0\n\
+         [0,2)x[0,4) n=3: u0=24 u1=4 u3=0\n\
+         [0,4)x[0,4) n=5: u0=40 u5=0\n\
+         optimal=40",
+        "binary (semi-quadrant) DP table drifted"
+    );
+    assert_eq!(
+        render_dp_table(&db, TreeKind::Quad, 2),
+        "[2,4)x[2,4) n=1: u1=0\n\
+         [2,4)x[0,2) n=1: u1=0\n\
+         [1,2)x[1,2) n=0: u0=0\n\
+         [1,2)x[0,1) n=0: u0=0\n\
+         [0,1)x[0,1) n=1: u1=0\n\
+         [0,1)x[1,2) n=1: u1=0\n\
+         [0,2)x[0,2) n=2: u0=8 u2=0\n\
+         [0,2)x[2,4) n=1: u1=0\n\
+         [0,4)x[0,4) n=5: u0=56 u5=0\n\
+         optimal=56",
+        "quad DP table drifted"
+    );
+    // The k-sweep of optimal costs (Theorem-2 DP end to end): k=1 is the
+    // 5 unit leaves, k=2 the paper's 40, and k>=3 saturates at 80.
+    let costs: Vec<u128> =
+        (1..=5).map(|k| Anonymizer::build(&db, MAP, k).unwrap().cost()).collect();
+    assert_eq!(costs, vec![5, 40, 80, 80, 80], "optimal cost sweep drifted");
 }
 
 /// The anonymized request stream never repeats request ids and preserves

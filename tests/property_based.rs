@@ -1,10 +1,59 @@
 //! Property-based tests (proptest) over the core invariants.
+//!
+//! The vendored proptest stand-in has no shrinking, so failing databases
+//! are minimized by [`shrink_db`] — a greedy 1-minimal pass that drops
+//! users while the failure persists — and reported in the panic message.
 
-use lbs_core::{bulk_dp_fast, verify_policy_aware};
+use lbs_attack::audit_policy;
+use lbs_core::{
+    anonymize_per_user_k, bulk_dp_fast, verify_per_user_k, verify_policy_aware, KRequirements,
+    StickyAnonymizer,
+};
 use policy_aware_lbs::prelude::*;
 use proptest::prelude::*;
 
 const SIDE: i64 = 64;
+
+/// Greedy 1-minimal database shrinker. Repeatedly removes any single
+/// user whose removal keeps `failing` true; the result is a database
+/// where every user is load-bearing for the failure. (The vendored
+/// proptest has no integrated shrinking, so properties call this
+/// explicitly when they fail and embed the minimal counterexample in
+/// the failure message for replay.)
+fn shrink_db<F: Fn(&LocationDb) -> bool>(db: &LocationDb, failing: F) -> LocationDb {
+    let mut rows: Vec<(UserId, Point)> = db.iter().collect();
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < rows.len() {
+            if rows.len() == 1 {
+                break;
+            }
+            let mut candidate = rows.clone();
+            candidate.remove(i);
+            let cdb = LocationDb::from_rows(candidate.clone()).expect("ids stay unique");
+            if failing(&cdb) {
+                rows = candidate;
+                shrunk = true;
+                // Do not advance: the element now at `i` is untested.
+            } else {
+                i += 1;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    LocationDb::from_rows(rows).expect("ids stay unique")
+}
+
+/// Renders a database small enough to paste back into a unit test.
+fn render_db(db: &LocationDb) -> String {
+    let mut rows: Vec<String> =
+        db.iter().map(|(u, p)| format!("({u}, Point::new({}, {}))", p.x, p.y)).collect();
+    rows.sort();
+    rows.join(", ")
+}
 
 /// Random location databases: up to 40 users on a 64 m map, duplicates
 /// coordinates allowed (users can share a position).
@@ -15,6 +64,115 @@ fn arb_db() -> impl Strategy<Value = LocationDb> {
         )
         .unwrap()
     })
+}
+
+/// Per-user anonymity requirements: a small default level plus up to a
+/// dozen overrides over the id space [`arb_db`] draws from.
+fn arb_reqs() -> impl Strategy<Value = KRequirements> {
+    (1usize..4, prop::collection::vec((0u64..40, 1usize..8), 0..12)).prop_map(
+        |(default_k, overrides)| {
+            let mut reqs = KRequirements::with_default(default_k);
+            for (user, k) in overrides {
+                reqs.set(UserId(user), k);
+            }
+            reqs
+        },
+    )
+}
+
+/// The full per-user-k oracle pipeline, reused by the shrinker so the
+/// minimized database fails for the same reason.
+fn per_user_pipeline(db: &LocationDb, reqs: &KRequirements) -> Result<(), String> {
+    let map = Rect::square(0, 0, SIDE);
+    match anonymize_per_user_k(db, map, reqs) {
+        Err(CoreError::InsufficientPopulation { population, k }) => {
+            // A tier fold may legitimately strand fewer users than the
+            // strictest surviving requirement; anything else is a bug.
+            if population < k {
+                Ok(())
+            } else {
+                Err(format!("InsufficientPopulation with population {population} >= k {k}"))
+            }
+        }
+        Err(e) => Err(format!("unexpected error: {e}")),
+        Ok(policy) => {
+            if !policy.is_masking_and_total(db) {
+                return Err("policy is not masking and total".into());
+            }
+            verify_per_user_k(&policy, db, reqs)
+                .map_err(|v| format!("per-user-k violations {v:?}"))?;
+            // The PRE-enumerating attacker at the weakest requested level
+            // must come up empty.
+            let min_k = db.users().map(|u| reqs.k_of(u)).min().unwrap_or(1);
+            let breaches = audit_policy(&policy, db, min_k);
+            if breaches.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("{} attacker breaches at k={min_k}", breaches.len()))
+            }
+        }
+    }
+}
+
+/// The sticky-cohort oracle pipeline: fix cohorts on `db`, apply `moves`
+/// (filtered to present users, last-wins), and judge the epoch-1 policy.
+fn sticky_pipeline(db: &LocationDb, k: usize, moves: &[(u64, i64, i64)]) -> Result<(), String> {
+    let map = Rect::square(0, 0, SIDE);
+    let sticky = StickyAnonymizer::new(db, map, k).map_err(|e| format!("init: {e}"))?;
+    let mut current = db.clone();
+    let mut seen = std::collections::HashSet::new();
+    let moves: Vec<Move> = moves
+        .iter()
+        .rev()
+        .filter(|(u, _, _)| current.contains(UserId(*u)) && seen.insert(*u))
+        .map(|&(u, x, y)| Move { user: UserId(u), to: Point::new(x, y) })
+        .collect();
+    current.apply_moves(&moves).map_err(|e| format!("moves: {e}"))?;
+    let policy = sticky.policy_for(&current).map_err(|e| format!("epoch 1: {e}"))?;
+    if !policy.is_masking_and_total(&current) {
+        return Err("epoch-1 policy is not masking and total".into());
+    }
+    verify_policy_aware(&policy, &current, k)
+        .map_err(|v| format!("{} anonymity violations", v.len()))?;
+    let breaches = audit_policy(&policy, &current, k);
+    if !breaches.is_empty() {
+        return Err(format!("{} attacker breaches", breaches.len()));
+    }
+    // Trajectory defence: an original cohort never splits across cloaks,
+    // so linked requests intersect to the same >= k candidates.
+    for cohort in sticky.cohorts() {
+        let mut regions = cohort.iter().filter_map(|&u| policy.cloak_of(u));
+        if let Some(first) = regions.next() {
+            if regions.any(|r| r != first) {
+                return Err("a sticky cohort split across cloaks".into());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The shrinker must land on a 1-minimal database: the failure persists,
+/// but removing any single remaining user makes it vanish.
+#[test]
+fn shrinker_reaches_a_1_minimal_database() {
+    let db = LocationDb::from_rows(
+        (0..20).map(|i| (UserId(i), Point::new(i as i64 * 3, i as i64 * 3 % SIDE))),
+    )
+    .unwrap();
+    // "Failure": at least three users in the left half of the map.
+    let failing = |d: &LocationDb| d.iter().filter(|(_, p)| p.x < SIDE / 2).count() >= 3;
+    let minimal = shrink_db(&db, failing);
+    assert!(failing(&minimal), "shrinking must preserve the failure");
+    assert_eq!(minimal.len(), 3, "greedy pass should reach the minimal witness");
+    assert!(minimal.iter().all(|(_, p)| p.x < SIDE / 2), "{}", render_db(&minimal));
+    for (user, _) in minimal.iter() {
+        let rest: Vec<(UserId, Point)> =
+            minimal.iter().filter(|(other, _)| *other != user).collect();
+        assert!(
+            !failing(&LocationDb::from_rows(rest).unwrap()),
+            "dropping {user} should break the predicate (1-minimality)"
+        );
+    }
 }
 
 proptest! {
@@ -116,6 +274,44 @@ proptest! {
         prop_assert_eq!(decoded.len(), db.len());
         for (user, point) in db.iter() {
             prop_assert_eq!(decoded.location(user), Some(point));
+        }
+    }
+
+    /// Per-user-k policies honor every override, stay masking/total, and
+    /// survive the PRE attacker at the weakest requested level. Failures
+    /// are shrunk to a 1-minimal database before reporting.
+    #[test]
+    fn per_user_k_policies_survive_the_attacker(db in arb_db(), reqs in arb_reqs()) {
+        if let Err(msg) = per_user_pipeline(&db, &reqs) {
+            let minimal = shrink_db(&db, |d| per_user_pipeline(d, &reqs).is_err());
+            return Err(TestCaseError::fail(format!(
+                "{msg}\nminimal counterexample ({} users): {}",
+                minimal.len(),
+                render_db(&minimal)
+            )));
+        }
+    }
+
+    /// Sticky cohorts keep policy-aware k-anonymity in later epochs: the
+    /// per-snapshot policy masks, verifies, yields no PRE breach, and
+    /// keeps each original cohort under a single cloak. Failures are
+    /// shrunk to a 1-minimal database before reporting.
+    #[test]
+    fn sticky_epochs_stay_policy_aware(
+        db in arb_db(),
+        k in 2usize..4,
+        moves in prop::collection::vec((0u64..40, 0..SIDE, 0..SIDE), 0..12),
+    ) {
+        prop_assume!(db.len() >= k);
+        if let Err(msg) = sticky_pipeline(&db, k, &moves) {
+            let minimal = shrink_db(&db, |d| {
+                d.len() >= k && sticky_pipeline(d, k, &moves).is_err()
+            });
+            return Err(TestCaseError::fail(format!(
+                "{msg}\nminimal counterexample ({} users, k={k}): {}",
+                minimal.len(),
+                render_db(&minimal)
+            )));
         }
     }
 
