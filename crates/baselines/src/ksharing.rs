@@ -50,7 +50,7 @@ impl KSharingCloaker {
             members.push(u);
             points.push(p);
         }
-        let rect = bounding_rect(&points);
+        let rect = bounding_rect(&points)?;
         self.groups.push((members, rect));
         Some(rect)
     }
@@ -77,13 +77,18 @@ impl KSharingCloaker {
     }
 }
 
-/// Minimum bounding (half-open) rectangle of `points`.
-fn bounding_rect(points: &[Point]) -> Rect {
-    let x0 = points.iter().map(|p| p.x).min().expect("nonempty");
-    let y0 = points.iter().map(|p| p.y).min().expect("nonempty");
-    let x1 = points.iter().map(|p| p.x).max().expect("nonempty");
-    let y1 = points.iter().map(|p| p.y).max().expect("nonempty");
-    Rect::new(x0, y0, x1 + 1, y1 + 1)
+/// Minimum bounding (half-open) rectangle of `points`, or `None` when
+/// `points` is empty (a group always contains at least the requester).
+fn bounding_rect(points: &[Point]) -> Option<Rect> {
+    let (&first, rest) = points.split_first()?;
+    let (mut x0, mut y0, mut x1, mut y1) = (first.x, first.y, first.x, first.y);
+    for p in rest {
+        x0 = x0.min(p.x);
+        y0 = y0.min(p.y);
+        x1 = x1.max(p.x);
+        y1 = y1.max(p.y);
+    }
+    Some(Rect::new(x0, y0, x1 + 1, y1 + 1))
 }
 
 #[cfg(test)]

@@ -9,7 +9,8 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: lbs <gen|anonymize|audit|stats|compare|lookup> [--key value]...\n\
+                "usage: lbs <gen|anonymize|audit|stats|compare|lookup|conformance|lint> \
+                 [--key value]...\n\
                  see `cargo doc -p lbs-cli` for the full command reference"
             );
             std::process::exit(2);

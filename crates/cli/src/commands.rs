@@ -33,6 +33,8 @@ pub enum CliError {
     Anonymize(String),
     /// Conformance sweep or golden-corpus failures (one line each).
     Conformance(Vec<String>),
+    /// Lint driver failure or unsuppressed lint errors.
+    Lint(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -42,7 +44,8 @@ impl std::fmt::Display for CliError {
             CliError::UnknownCommand(c) => {
                 write!(
                     f,
-                    "unknown command {c:?}; try gen/anonymize/audit/stats/compare/lookup/conformance"
+                    "unknown command {c:?}; try \
+                     gen/anonymize/audit/stats/compare/lookup/conformance/lint"
                 )
             }
             CliError::Io(e) => write!(f, "io error: {e}"),
@@ -55,6 +58,7 @@ impl std::fmt::Display for CliError {
                 }
                 Ok(())
             }
+            CliError::Lint(msg) => write!(f, "lint failed: {msg}"),
         }
     }
 }
@@ -93,6 +97,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "compare" => compare(args, out),
         "lookup" => lookup(args, out),
         "conformance" => conformance(args, out),
+        "lint" => lint(args, out),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -308,6 +313,52 @@ fn conformance(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         Ok(())
     } else {
         Err(CliError::Conformance(problems))
+    }
+}
+
+fn lint(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    if args.parse_or("list", false)? {
+        writeln!(out, "registered lints ({}):", lbs_lint::LINTS.len())?;
+        for l in lbs_lint::LINTS {
+            writeln!(out, "  {:5} {:34} {}", l.severity.name(), l.name, l.summary)?;
+        }
+        return Ok(());
+    }
+    let root = match args.optional("root") {
+        Some(r) => std::path::PathBuf::from(r),
+        None => find_workspace_root()?,
+    };
+    let report = lbs_lint::lint_workspace(&root).map_err(|e| CliError::Lint(e.to_string()))?;
+    match args.optional("format").unwrap_or("human") {
+        "json" => writeln!(out, "{}", report.to_json().map_err(CliError::Lint)?)?,
+        "human" => write!(out, "{}", report.render_human())?,
+        other => {
+            return Err(CliError::Lint(format!("unknown format {other:?}; use human or json")))
+        }
+    }
+    if report.errors() > 0 {
+        return Err(CliError::Lint(format!(
+            "{} unsuppressed lint errors (suppress only with \
+             `// lbs-lint: allow(<lint>, reason = \"…\")`)",
+            report.errors()
+        )));
+    }
+    Ok(())
+}
+
+/// Walks up from the current directory to the workspace root (the first
+/// ancestor holding both `Cargo.toml` and `crates/`).
+fn find_workspace_root() -> Result<std::path::PathBuf, CliError> {
+    let mut dir = std::env::current_dir()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(CliError::Lint(
+                "no workspace root found above the current directory; pass --root".to_string(),
+            ));
+        }
     }
 }
 

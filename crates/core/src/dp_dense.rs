@@ -17,21 +17,27 @@ use lbs_tree::{NodeId, SpatialTree};
 /// level `k`, returning the filled matrix.
 ///
 /// # Errors
-/// [`CoreError::InvalidK`] when `k = 0`.
+/// [`CoreError::InvalidK`] when `k = 0`; [`CoreError::StaleMatrix`] if a
+/// child row is missing (postorder discipline violated).
 pub fn bulk_dp_dense(tree: &SpatialTree, k: usize) -> Result<DpMatrix, CoreError> {
     if k == 0 {
         return Err(CoreError::InvalidK);
     }
     let mut matrix = DpMatrix::new(k, tree.arena_len());
     for id in tree.postorder() {
-        let row = dense_row(tree, &matrix, id, k);
+        let row = dense_row(tree, &matrix, id, k)?;
         matrix.set_row(id, row);
     }
     Ok(matrix)
 }
 
 /// Computes one row by full enumeration of child tuples.
-fn dense_row(tree: &SpatialTree, matrix: &DpMatrix, id: NodeId, k: usize) -> Row {
+fn dense_row(
+    tree: &SpatialTree,
+    matrix: &DpMatrix,
+    id: NodeId,
+    k: usize,
+) -> Result<Row, CoreError> {
     let node = tree.node(id);
     let d = node.count;
     let area = node.rect.area();
@@ -43,7 +49,7 @@ fn dense_row(tree: &SpatialTree, matrix: &DpMatrix, id: NodeId, k: usize) -> Row
             .take_while(|_| d >= k)
             .map(|u| Entry { cost: area * (d - u) as u128, split: [0; 4] })
             .collect();
-        return Row { d, dense, special: Entry::zero([0; 4]) };
+        return Ok(Row { d, dense, special: Entry::zero([0; 4]) });
     }
 
     // Lines 11-20: enumerate every tuple (u₁..u_n) of child pass-ups,
@@ -51,7 +57,7 @@ fn dense_row(tree: &SpatialTree, matrix: &DpMatrix, id: NodeId, k: usize) -> Row
     // M[m][u] with the best tuple allowing u (j = u, or j ≥ u + k).
     let children = node.children.as_slice();
     let mut tuples: Vec<(usize, u128, [u32; 4])> = Vec::new();
-    enumerate_tuples(matrix, children, 0, 0, 0, &mut [0u32; 4], &mut tuples);
+    enumerate_tuples(matrix, id, children, 0, 0, 0, &mut [0u32; 4], &mut tuples)?;
 
     let u_max = d.saturating_sub(k);
     let mut dense = vec![Entry::UNREACHABLE; if d >= k { u_max + 1 } else { 0 }];
@@ -75,31 +81,40 @@ fn dense_row(tree: &SpatialTree, matrix: &DpMatrix, id: NodeId, k: usize) -> Row
     for (i, &c) in children.iter().enumerate() {
         special_split[i] = tree.count(c) as u32;
     }
-    Row { d, dense, special: Entry::zero(special_split) }
+    Ok(Row { d, dense, special: Entry::zero(special_split) })
 }
 
 /// Recursively enumerates child pass-up tuples, accumulating `j` and cost.
+///
+/// # Errors
+/// [`CoreError::StaleMatrix`] when a child row was not filled before its
+/// parent (postorder discipline violated).
+#[allow(clippy::too_many_arguments)]
 fn enumerate_tuples(
     matrix: &DpMatrix,
+    parent: NodeId,
     children: &[NodeId],
     idx: usize,
     j: usize,
     base: u128,
     split: &mut [u32; 4],
     out: &mut Vec<(usize, u128, [u32; 4])>,
-) {
+) -> Result<(), CoreError> {
     if idx == children.len() {
         out.push((j, base, *split));
-        return;
+        return Ok(());
     }
-    let row = matrix.row(children[idx]).expect("postorder fills children before parents");
+    let row = matrix
+        .row(children[idx])
+        .ok_or_else(|| crate::dp_fast::missing_child_row(parent, children[idx]))?;
     for (u, entry) in row.iter() {
         if entry.cost == INFINITE_COST {
             continue;
         }
         split[idx] = u as u32;
-        enumerate_tuples(matrix, children, idx + 1, j + u, base + entry.cost, split, out);
+        enumerate_tuples(matrix, parent, children, idx + 1, j + u, base + entry.cost, split, out)?;
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -75,7 +75,7 @@ pub fn bulk_dp_fast_with_scratch(
     }
     let mut matrix = DpMatrix::new(k, tree.arena_len());
     for id in tree.postorder() {
-        let row = compute_row_with(tree, &matrix, id, k, &mut scratch.inner);
+        let row = compute_row_with(tree, &matrix, id, k, &mut scratch.inner)?;
         matrix.set_row(id, row);
     }
     Ok(matrix)
@@ -160,7 +160,16 @@ impl Default for Scratch {
 
 /// Computes one matrix row (allocating scratch per call). The incremental
 /// maintainer uses this for its dirty rows.
-pub(crate) fn compute_row(tree: &SpatialTree, matrix: &DpMatrix, id: NodeId, k: usize) -> Row {
+///
+/// # Errors
+/// [`CoreError::StaleMatrix`] when a child row is missing (postorder
+/// discipline violated — a caller bug surfaced as a value, not a panic).
+pub(crate) fn compute_row(
+    tree: &SpatialTree,
+    matrix: &DpMatrix,
+    id: NodeId,
+    k: usize,
+) -> Result<Row, CoreError> {
     compute_row_with(tree, matrix, id, k, &mut Scratch::default())
 }
 
@@ -170,7 +179,7 @@ pub(crate) fn compute_row_with(
     id: NodeId,
     k: usize,
     scratch: &mut Scratch,
-) -> Row {
+) -> Result<Row, CoreError> {
     let node = tree.node(id);
     let d = node.count;
     let area = node.rect.area();
@@ -182,7 +191,7 @@ pub(crate) fn compute_row_with(
                 (0..=cap).map(|u| Entry { cost: area * (d - u) as u128, split: [0; 4] }).collect()
             }
         };
-        return Row { d, dense, special: Entry::zero([0; 4]) };
+        return Ok(Row { d, dense, special: Entry::zero([0; 4]) });
     }
 
     let children = node.children.as_slice();
@@ -190,8 +199,8 @@ pub(crate) fn compute_row_with(
     let (c1, c2) = (children[0], children[1]);
     let d1 = tree.count(c1);
     let d2 = tree.count(c2);
-    let r1 = matrix.row(c1).expect("children computed first");
-    let r2 = matrix.row(c2).expect("children computed first");
+    let r1 = matrix.row(c1).ok_or_else(|| missing_child_row(id, c1))?;
+    let r2 = matrix.row(c2).ok_or_else(|| missing_child_row(id, c2))?;
     debug_assert_eq!(r1.d, d1, "stale child row");
     debug_assert_eq!(r2.d, d2, "stale child row");
     let dense1 = &r1.dense;
@@ -313,7 +322,15 @@ pub(crate) fn compute_row_with(
     }
 
     let special = Entry::zero([d1 as u32, d2 as u32, 0, 0]);
-    Row { d, dense, special }
+    Ok(Row { d, dense, special })
+}
+
+/// Typed replacement for the old "children computed first" panic.
+pub(crate) fn missing_child_row(parent: NodeId, child: NodeId) -> CoreError {
+    CoreError::StaleMatrix(format!(
+        "row for child {child:?} of {parent:?} is missing; the matrix was not \
+         filled in postorder (or was resized without recomputation)"
+    ))
 }
 
 #[cfg(test)]

@@ -43,7 +43,7 @@ pub fn bulk_dp_fast_quad(tree: &SpatialTree, k: usize) -> Result<DpMatrix, CoreE
     }
     let mut matrix = DpMatrix::new(k, tree.arena_len());
     for id in tree.postorder() {
-        let row = quad_row(tree, &matrix, id, k);
+        let row = quad_row(tree, &matrix, id, k)?;
         matrix.set_row(id, row);
     }
     Ok(matrix)
@@ -81,7 +81,13 @@ fn convolve(a: &[(usize, u128)], b: &[(usize, u128)]) -> Vec<SumEntry> {
     pairs
 }
 
-fn quad_row(tree: &SpatialTree, matrix: &DpMatrix, id: NodeId, k: usize) -> Row {
+/// Computes one quad-node row via associated convolution.
+///
+/// # Errors
+/// [`CoreError::StaleMatrix`] when a child row is missing or a convolved
+/// sum cannot be resolved back to its pair tables (postorder discipline
+/// violated or the matrix was mutated mid-sweep).
+fn quad_row(tree: &SpatialTree, matrix: &DpMatrix, id: NodeId, k: usize) -> Result<Row, CoreError> {
     let node = tree.node(id);
     let d = node.count;
     let area = node.rect.area();
@@ -93,13 +99,15 @@ fn quad_row(tree: &SpatialTree, matrix: &DpMatrix, id: NodeId, k: usize) -> Row 
                 (0..=cap).map(|u| Entry { cost: area * (d - u) as u128, split: [0; 4] }).collect()
             }
         };
-        return Row { d, dense, special: Entry::zero([0; 4]) };
+        return Ok(Row { d, dense, special: Entry::zero([0; 4]) });
     }
 
     let children = node.children.as_slice();
     debug_assert_eq!(children.len(), 4, "quad tree");
-    let rows: Vec<&Row> =
-        children.iter().map(|&c| matrix.row(c).expect("children computed first")).collect();
+    let rows: Vec<&Row> = children
+        .iter()
+        .map(|&c| matrix.row(c).ok_or_else(|| crate::dp_fast::missing_child_row(id, c)))
+        .collect::<Result<_, _>>()?;
     let cands: Vec<Vec<(usize, u128)>> = rows.iter().map(|r| candidates(r)).collect();
 
     // Associate: (c1 ⊗ c2) ⊗ (c3 ⊗ c4).
@@ -118,12 +126,19 @@ fn quad_row(tree: &SpatialTree, matrix: &DpMatrix, id: NodeId, k: usize) -> Row 
 
     // Resolve the 4-way split for a chosen `total` entry: its split holds
     // (j12, j34); look each up in s12/s34 to recover (u1..u4).
-    let resolve = |entry: &SumEntry| -> [u32; 4] {
-        let j12 = entry.split[0] as usize;
-        let j34 = entry.split[1] as usize;
-        let e12 = &s12[s12.binary_search_by_key(&j12, |e| e.j).expect("j12 from s12")];
-        let e34 = &s34[s34.binary_search_by_key(&j34, |e| e.j).expect("j34 from s34")];
-        [e12.split[0], e12.split[1], e34.split[0], e34.split[1]]
+    let lookup = |table: &[SumEntry], j: usize, side: &str| -> Result<[u32; 2], CoreError> {
+        let idx = table.binary_search_by_key(&j, |e| e.j).map_err(|_| {
+            CoreError::StaleMatrix(format!(
+                "pass-up sum {j} missing from the {side} pair table of {id:?}; \
+                 convolution tables are inconsistent with the final table"
+            ))
+        })?;
+        Ok(table[idx].split)
+    };
+    let resolve = |entry: &SumEntry| -> Result<[u32; 4], CoreError> {
+        let s12 = lookup(&s12, entry.split[0] as usize, "c1⊗c2")?;
+        let s34 = lookup(&s34, entry.split[1] as usize, "c3⊗c4")?;
+        Ok([s12[0], s12[1], s34[0], s34[1]])
     };
 
     let cap = dense_cap(d, node.depth, k);
@@ -138,7 +153,7 @@ fn quad_row(tree: &SpatialTree, matrix: &DpMatrix, id: NodeId, k: usize) -> Row 
                 exact += 1;
             }
             if exact < total.len() && total[exact].j == u {
-                best = Entry { cost: total[exact].cost, split: resolve(&total[exact]) };
+                best = Entry { cost: total[exact].cost, split: resolve(&total[exact])? };
             }
             while lower < total.len() && total[lower].j < u + k {
                 lower += 1;
@@ -147,7 +162,7 @@ fn quad_row(tree: &SpatialTree, matrix: &DpMatrix, id: NodeId, k: usize) -> Row 
             if weighted != INFINITE_COST {
                 let cost = weighted - area * u as u128;
                 if cost < best.cost {
-                    best = Entry { cost, split: resolve(&total[argmin]) };
+                    best = Entry { cost, split: resolve(&total[argmin])? };
                 }
             }
             dense.push(best);
@@ -160,7 +175,7 @@ fn quad_row(tree: &SpatialTree, matrix: &DpMatrix, id: NodeId, k: usize) -> Row 
         tree.count(children[2]) as u32,
         tree.count(children[3]) as u32,
     ];
-    Row { d, dense, special: Entry::zero(special_split) }
+    Ok(Row { d, dense, special: Entry::zero(special_split) })
 }
 
 #[cfg(test)]

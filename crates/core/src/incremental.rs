@@ -59,7 +59,7 @@ impl IncrementalAnonymizer {
         let mut report = IncrementalReport { moved: update.moved, ..Default::default() };
         for id in self.tree.postorder() {
             if update.dirty.contains(&id) {
-                let row = compute_row(&self.tree, &self.matrix, id, self.k);
+                let row = compute_row(&self.tree, &self.matrix, id, self.k)?;
                 self.matrix.set_row(id, row);
                 report.rows_recomputed += 1;
             } else {

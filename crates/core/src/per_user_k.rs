@@ -88,7 +88,8 @@ pub fn anonymize_per_user_k(
             carry = Some((effective_k, members));
             continue;
         }
-        let sub = LocationDb::from_rows(members).expect("ids unique in snapshot");
+        let sub = LocationDb::from_rows(members)
+            .map_err(|e| CoreError::Tree(format!("per-user-k tier snapshot: {e}")))?;
         let engine = Anonymizer::build(&sub, map, effective_k)?;
         for (user, region) in engine.policy().iter() {
             policy.assign(user, *region);

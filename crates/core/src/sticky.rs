@@ -80,12 +80,14 @@ impl StickyAnonymizer {
         while let Some(small) = live.iter().position(|m| m.len() < self.k) {
             let donor = live.swap_remove(small);
             let centroid = centroid(&donor);
+            // `total >= k` (checked above) guarantees a surviving cohort,
+            // but the typed path keeps this panic-free regardless.
             let nearest = live
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, m)| centroid.dist2(&centroid_of(m)))
                 .map(|(i, _)| i)
-                .expect("total >= k guarantees a surviving cohort");
+                .ok_or(CoreError::InsufficientPopulation { population: total, k: self.k })?;
             live[nearest].extend(donor);
         }
 

@@ -1,0 +1,164 @@
+//! Suppression pragmas: `// lbs-lint: allow(<lint>, reason = "…")`.
+//!
+//! Grammar (inside a plain `//` line comment — doc comments are ignored):
+//!
+//! ```text
+//! pragma  := "lbs-lint:" "allow" "(" lints "," "reason" "=" string ")"
+//! lints   := lint-name ("," lint-name)*
+//! ```
+//!
+//! The `reason` is mandatory and must be non-empty: every suppression in
+//! the tree documents *why* the invariant provably holds at that site.
+//!
+//! **Scope.** A pragma trailing code on the same line suppresses that
+//! line only. A pragma alone on its line suppresses the *next statement*:
+//! all lines from the following code token through the token that ends it
+//! (a `;`, `,`, `{` or `}` at bracket depth zero), so multi-line calls
+//! and builder chains are covered without counting lines by hand.
+
+use crate::lexer::{Token, TokenKind};
+use crate::registry;
+
+/// One parsed, well-formed suppression with its effective line range.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Lints this pragma suppresses.
+    pub lints: Vec<String>,
+    /// The mandatory human justification.
+    pub reason: String,
+    /// Line the pragma comment sits on.
+    pub line: u32,
+    /// First suppressed line (inclusive).
+    pub start_line: u32,
+    /// Last suppressed line (inclusive).
+    pub end_line: u32,
+}
+
+/// A pragma that could not be accepted.
+#[derive(Debug, Clone)]
+pub struct PragmaIssue {
+    /// Line of the offending comment.
+    pub line: u32,
+    /// Column of the offending comment.
+    pub col: u32,
+    /// What is wrong.
+    pub message: String,
+}
+
+/// Extracts suppressions (and issues) from a token stream.
+pub fn collect(tokens: &[Token<'_>]) -> (Vec<Suppression>, Vec<PragmaIssue>) {
+    let code: Vec<&Token<'_>> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut suppressions = Vec::new();
+    let mut issues = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = &t.text[2..];
+        // `///` and `//!` are doc comments; pragmas live in plain comments.
+        if body.starts_with('/') || body.starts_with('!') {
+            continue;
+        }
+        let trimmed = body.trim_start();
+        let Some(rest) = trimmed.strip_prefix("lbs-lint:") else {
+            continue;
+        };
+        match parse_allow(rest) {
+            Err(msg) => issues.push(PragmaIssue { line: t.line, col: t.col, message: msg }),
+            Ok((lints, reason)) => {
+                let mut bad = false;
+                for name in &lints {
+                    if registry::find(name).is_none() {
+                        issues.push(PragmaIssue {
+                            line: t.line,
+                            col: t.col,
+                            message: format!(
+                                "pragma names unknown lint {name:?} (see `lbs lint --list`)"
+                            ),
+                        });
+                        bad = true;
+                    }
+                }
+                if bad {
+                    continue;
+                }
+                let (start_line, end_line) = span_for(t, &code);
+                suppressions.push(Suppression {
+                    lints,
+                    reason,
+                    line: t.line,
+                    start_line,
+                    end_line,
+                });
+            }
+        }
+    }
+    (suppressions, issues)
+}
+
+/// Parses `allow(<lints>, reason = "…")` after the `lbs-lint:` marker.
+fn parse_allow(rest: &str) -> Result<(Vec<String>, String), String> {
+    let rest = rest.trim();
+    let Some(inner) = rest.strip_prefix("allow").map(str::trim_start) else {
+        return Err(format!("expected `allow(...)` after `lbs-lint:`, found {rest:?}"));
+    };
+    let Some(inner) = inner.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".to_string());
+    };
+    let Some(inner) = inner.trim_end().strip_suffix(')') else {
+        return Err("unclosed `allow(` pragma (missing `)`)".to_string());
+    };
+    // Split at the `reason = "…"` clause.
+    let Some(reason_at) = inner.find("reason") else {
+        return Err("pragma is missing the mandatory `reason = \"…\"` clause".to_string());
+    };
+    let names_part = inner[..reason_at].trim().trim_end_matches(',');
+    let reason_part = inner[reason_at + "reason".len()..].trim_start();
+    let Some(reason_part) = reason_part.strip_prefix('=') else {
+        return Err("expected `=` after `reason`".to_string());
+    };
+    let reason_part = reason_part.trim();
+    let reason = reason_part
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| "the reason must be a double-quoted string".to_string())?;
+    if reason.trim().is_empty() {
+        return Err("the reason must not be empty".to_string());
+    }
+    let lints: Vec<String> =
+        names_part.split(',').map(|n| n.trim().to_string()).filter(|n| !n.is_empty()).collect();
+    if lints.is_empty() {
+        return Err("pragma must name at least one lint before the reason".to_string());
+    }
+    Ok((lints, reason.trim().to_string()))
+}
+
+/// Computes the suppressed line range for a pragma comment token.
+fn span_for(pragma: &Token<'_>, code: &[&Token<'_>]) -> (u32, u32) {
+    let shares_line = code.iter().any(|t| t.line == pragma.line);
+    if shares_line {
+        return (pragma.line, pragma.line);
+    }
+    // Standalone pragma: cover the next statement.
+    let Some(first) = code.iter().position(|t| t.line > pragma.line) else {
+        return (pragma.line, pragma.line);
+    };
+    let mut depth: i64 = 0;
+    let mut last_line = code[first].line;
+    for t in &code[first..] {
+        last_line = t.line;
+        if t.kind == TokenKind::Punct {
+            match t.text {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => return (pragma.line, t.line),
+                "{" => depth += 1,
+                "}" if depth <= 0 => return (pragma.line, t.line),
+                "}" => depth -= 1,
+                ";" | "," if depth == 0 => return (pragma.line, t.line),
+                _ => {}
+            }
+        }
+    }
+    (pragma.line, last_line)
+}

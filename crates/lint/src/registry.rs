@@ -1,0 +1,142 @@
+//! The lint registry: every lint `lbs-lint` knows, with per-lint docs.
+//!
+//! Adding a lint is a three-step change (see DESIGN.md §8): register it
+//! here, implement its matcher in [`crate::rules`], and add a seeded
+//! violation fixture to `crates/lint/tests/rule_fixtures.rs`.
+
+/// How severe a finding is. Only unsuppressed [`Severity::Error`]
+/// findings fail the lint run; warnings are advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails CI when unsuppressed.
+    Error,
+    /// Reported but never fails the run.
+    Warn,
+}
+
+impl Severity {
+    /// Stable lower-case name used in human and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// One registered lint.
+#[derive(Debug, Clone, Copy)]
+pub struct LintDef {
+    /// Kebab-case lint name, referenced by suppression pragmas.
+    pub name: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// One-line summary for `lbs lint --list`.
+    pub summary: &'static str,
+    /// Which invariant the lint protects and how to fix a finding.
+    pub doc: &'static str,
+}
+
+/// Name of the meta-lint for malformed / unknown suppression pragmas.
+pub const MALFORMED_PRAGMA: &str = "malformed-pragma";
+/// Name of the meta-lint for pragmas that suppress nothing.
+pub const UNUSED_SUPPRESSION: &str = "unused-suppression";
+
+/// Every lint, in reporting order.
+pub const LINTS: &[LintDef] = &[
+    LintDef {
+        name: "no-unwrap-in-lib",
+        severity: Severity::Error,
+        summary: "library code must not call .unwrap()/.expect()",
+        doc: "Library crates return typed errors (`CoreError` and friends); a stray \
+              unwrap turns a recoverable condition into a worker panic that the \
+              work-stealing engine must contain. Tests, bins, benches and examples \
+              are exempt. Convert to `?`/`ok_or` or, when the call is provably \
+              infallible, suppress with a pragma explaining why.",
+    },
+    LintDef {
+        name: "no-panic-in-lib",
+        severity: Severity::Error,
+        summary: "library code must not invoke panic!/unreachable!/todo!/unimplemented!",
+        doc: "Same contract as no-unwrap-in-lib: library failure modes are values, \
+              not panics. `debug_assert!` stays allowed (compiled out in release).",
+    },
+    LintDef {
+        name: "no-unseeded-rng",
+        severity: Severity::Error,
+        summary: "randomness must flow through derive_seed (no thread_rng/from_entropy/OsRng)",
+        doc: "Every run of the system replays from one master seed \
+              (`lbs_workload::derive_seed`); ambient entropy anywhere — including \
+              tests — breaks conformance replay and golden blessing.",
+    },
+    LintDef {
+        name: "no-raw-thread-spawn",
+        severity: Severity::Error,
+        summary: "threads are created only by lbs-parallel::engine",
+        doc: "Deterministic scheduling, panic containment, and metrics attribution \
+              all live in the work-stealing engine; `std::thread::spawn` elsewhere \
+              bypasses all three. Use the engine, or scoped helpers inside \
+              lbs-parallel.",
+    },
+    LintDef {
+        name: "no-wall-clock-in-dp",
+        severity: Severity::Error,
+        summary: "Instant::now/SystemTime only in lbs-metrics and bench code",
+        doc: "`Bulk_dp` outputs must be a pure function of (snapshot, k, seed); \
+              wall-clock reads in algorithm crates invite time-dependent behavior. \
+              Timing belongs in lbs-metrics stage timers. Pure observability reads \
+              that cannot influence outputs may be suppressed with a reason.",
+    },
+    LintDef {
+        name: "no-float-eq",
+        severity: Severity::Error,
+        summary: "no ==/!= against float literals in cost code",
+        doc: "Exact cost arithmetic is integral (`u128` areas); float comparisons \
+              with == are a portability hazard. Compare with an epsilon or use the \
+              integral cost path.",
+    },
+    LintDef {
+        name: "no-hashmap-in-serialized-output",
+        severity: Severity::Error,
+        summary: "serialized structs must not contain HashMap/HashSet fields",
+        doc: "Hash iteration order is randomized per process, so serializing a \
+              HashMap field produces byte-different output across runs — exactly \
+              the nondeterminism golden corpora exist to catch. Use BTreeMap / \
+              BTreeSet, or mark the field `#[serde(skip)]`.",
+    },
+    LintDef {
+        name: "forbid-unsafe-header",
+        severity: Severity::Error,
+        summary: "every crate root must carry #![forbid(unsafe_code)]",
+        doc: "The workspace is 100% safe Rust; the forbid header makes that a \
+              compile-time guarantee per crate rather than a convention.",
+    },
+    LintDef {
+        name: "no-println-in-lib",
+        severity: Severity::Error,
+        summary: "library code must not print to stdout/stderr",
+        doc: "Library output goes through returned values, `std::io::Write` sinks \
+              (the CLI pattern), or lbs-metrics. println!/dbg! in a library is \
+              untestable and pollutes machine-readable CLI output.",
+    },
+    LintDef {
+        name: MALFORMED_PRAGMA,
+        severity: Severity::Error,
+        summary: "suppression pragmas must name a known lint and carry a reason",
+        doc: "The pragma grammar is `// lbs-lint: allow(<lint>[, <lint>…], \
+              reason = \"…\")`. A pragma without a non-empty reason, or naming an \
+              unregistered lint, is itself an error — suppressions are audited.",
+    },
+    LintDef {
+        name: UNUSED_SUPPRESSION,
+        severity: Severity::Warn,
+        summary: "pragma suppresses nothing (stale after a fix?)",
+        doc: "The annotated code no longer triggers the named lint; delete the \
+              pragma so the suppression inventory stays honest.",
+    },
+];
+
+/// Looks up a lint by name.
+pub fn find(name: &str) -> Option<&'static LintDef> {
+    LINTS.iter().find(|l| l.name == name)
+}

@@ -1,0 +1,78 @@
+//! Diagnostics: violations, the aggregate report, and its human / JSON
+//! renderings.
+
+use serde::Serialize;
+
+/// One lint finding with a precise `file:line:col` span.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Violation {
+    /// Lint name (registry key).
+    pub lint: String,
+    /// `"error"` or `"warn"`.
+    pub severity: String,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What was found and how to fix it.
+    pub message: String,
+}
+
+/// Aggregate outcome of a lint run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct LintReport {
+    /// Rust files scanned.
+    pub files_scanned: usize,
+    /// Unsuppressed findings (errors and warnings).
+    pub violations: Vec<Violation>,
+    /// Findings silenced by a reasoned pragma.
+    pub suppressed: usize,
+}
+
+impl LintReport {
+    /// Unsuppressed error-severity findings (the CI gate).
+    pub fn errors(&self) -> usize {
+        self.violations.iter().filter(|v| v.severity == "error").count()
+    }
+
+    /// Unsuppressed warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.violations.iter().filter(|v| v.severity == "warn").count()
+    }
+
+    /// Canonical ordering: by path, then line, then column, then lint.
+    pub fn sort(&mut self) {
+        self.violations.sort_by(|a, b| {
+            (&a.path, a.line, a.col, &a.lint).cmp(&(&b.path, b.line, b.col, &b.lint))
+        });
+    }
+
+    /// `path:line:col: severity[lint]: message` lines plus a summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!(
+                "{}:{}:{}: {}[{}]: {}\n",
+                v.path, v.line, v.col, v.severity, v.lint, v.message
+            ));
+        }
+        out.push_str(&format!(
+            "lbs-lint: {} files scanned, {} errors, {} warnings, {} suppressed\n",
+            self.files_scanned,
+            self.errors(),
+            self.warnings(),
+            self.suppressed
+        ));
+        out
+    }
+
+    /// Pretty-printed JSON (stable field order; violations pre-sorted).
+    ///
+    /// # Errors
+    /// Serialization failure (should not happen for plain data).
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| format!("serialize report: {e}"))
+    }
+}

@@ -97,6 +97,7 @@ impl Counter {
     }
 
     fn index(self) -> usize {
+        // lbs-lint: allow(no-unwrap-in-lib, reason = "Counter::ALL enumerates every variant; the registry unit test pins this")
         Counter::ALL.iter().position(|c| *c == self).expect("counter registered in ALL")
     }
 }
@@ -150,6 +151,7 @@ impl Stage {
     }
 
     fn index(self) -> usize {
+        // lbs-lint: allow(no-unwrap-in-lib, reason = "Stage::ALL enumerates every variant; the registry unit test pins this")
         Stage::ALL.iter().position(|s| *s == self).expect("stage registered in ALL")
     }
 }

@@ -3,7 +3,7 @@
 use crate::{AnonymizedRequest, LocationDb, RequestId, ServiceRequest, UserId};
 use lbs_geom::{Area, Region};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A deterministic cloaking procedure — the paper's Definition 4, restricted
 /// to the *masking* policies the paper studies (the cloak must contain the
@@ -55,16 +55,20 @@ pub trait CloakingPolicy {
 ///
 /// This is what bulk anonymization computes, what `Cost(P, D)` is defined
 /// over, and what a policy-aware attacker knows in its entirety.
+/// The cloak table is a `BTreeMap` so that serialization (JSON debug
+/// dumps, future replication snapshots) and [`BulkPolicy::iter`] are
+/// deterministic — hash iteration order would leak process-local state
+/// into every serialized artifact (`no-hashmap-in-serialized-output`).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct BulkPolicy {
     name: String,
-    cloaks: HashMap<UserId, Region>,
+    cloaks: BTreeMap<UserId, Region>,
 }
 
 impl BulkPolicy {
     /// Creates an empty bulk policy.
     pub fn new(name: impl Into<String>) -> Self {
-        BulkPolicy { name: name.into(), cloaks: HashMap::new() }
+        BulkPolicy { name: name.into(), cloaks: BTreeMap::new() }
     }
 
     /// Policy name.
@@ -92,7 +96,8 @@ impl BulkPolicy {
         self.cloaks.is_empty()
     }
 
-    /// Iterates `(user, cloak)` assignments in unspecified order.
+    /// Iterates `(user, cloak)` assignments in ascending user-id order
+    /// (deterministic across runs).
     pub fn iter(&self) -> impl Iterator<Item = (UserId, &Region)> + '_ {
         self.cloaks.iter().map(|(&u, r)| (u, r))
     }

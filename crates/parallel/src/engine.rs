@@ -96,6 +96,7 @@ pub struct JurisdictionTask {
 impl JurisdictionTask {
     /// Creates a task; `injected_at` is stamped (again) at injection.
     pub fn new(index: usize, jurisdiction: Rect, db: LocationDb) -> Self {
+        // lbs-lint: allow(no-wall-clock-in-dp, reason = "injected_at feeds queue-wait metrics only; task ordering and DP output are index-deterministic")
         JurisdictionTask { index, jurisdiction, db, injected_at: Instant::now(), attempt: 0 }
     }
 }
@@ -319,6 +320,7 @@ where
         queue.sort_by(|a, b| b.db.len().cmp(&a.db.len()).then(a.index.cmp(&b.index)));
     }
     for mut task in queue {
+        // lbs-lint: allow(no-wall-clock-in-dp, reason = "injection timestamp feeds queue-wait metrics only; never read by the DP")
         task.injected_at = Instant::now();
         injector.push(task);
     }
@@ -358,6 +360,7 @@ where
                     if let Some(stall) = faults.and_then(|f| f.stall_for(task.index)) {
                         std::thread::sleep(stall);
                     }
+                    // lbs-lint: allow(no-wall-clock-in-dp, reason = "per-task wall time feeds ServerReport/metrics only; the merged policy is order-independent")
                     let started = Instant::now();
                     let outcome =
                         if faults.is_some_and(|f| f.should_panic(task.index, task.attempt)) {
@@ -404,6 +407,7 @@ where
                                 }
                                 let mut retry = task.clone();
                                 retry.attempt += 1;
+                                // lbs-lint: allow(no-wall-clock-in-dp, reason = "re-injection timestamp feeds queue-wait metrics only; retry results are bit-identical")
                                 retry.injected_at = Instant::now();
                                 injector.push(retry);
                             } else {
@@ -480,6 +484,7 @@ pub fn anonymize_work_stealing_faulted(
         }
     }
 
+    // lbs-lint: allow(no-wall-clock-in-dp, reason = "partition wall time is reported in ParallelOutcome timings only; never influences the partition itself")
     let partition_started = Instant::now();
     let (tree, jurisdictions, subs) = staged(metrics, Stage::Partition, || {
         let tree = SpatialTree::build(db, TreeConfig::lazy(TreeKind::Binary, map, k))
@@ -508,6 +513,7 @@ pub fn anonymize_work_stealing_faulted(
         Ok(engine.policy().clone())
     };
 
+    // lbs-lint: allow(no-wall-clock-in-dp, reason = "server wall time is reported in ParallelOutcome timings only; task results are merge-order normalized")
     let run_started = Instant::now();
     let task_results = run_tasks_faulted(tasks, config, server, metrics, faults)?;
     let server_wall_time = run_started.elapsed();

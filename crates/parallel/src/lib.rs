@@ -116,6 +116,7 @@ pub fn greedy_partition(tree: &SpatialTree, servers: usize, k: usize) -> Vec<Nod
 
 /// Splits `db` into per-jurisdiction sub-databases (in jurisdiction order).
 pub(crate) fn split_db(tree: &SpatialTree, jurisdictions: &[NodeId]) -> Vec<LocationDb> {
+    // lbs-lint: allow(no-unwrap-in-lib, reason = "subtree_users enumerates each stored user exactly once, so per-jurisdiction ids cannot collide")
     jurisdictions
         .iter()
         .map(|&id| LocationDb::from_rows(tree.subtree_users(id)).expect("unique ids in snapshot"))
@@ -135,6 +136,7 @@ pub fn anonymize_partitioned(
     k: usize,
     servers: usize,
 ) -> Result<ParallelOutcome, CoreError> {
+    // lbs-lint: allow(no-wall-clock-in-dp, reason = "partition wall time is reported in ParallelOutcome timings only; the partition is tree-deterministic")
     let partition_started = Instant::now();
     let tree = SpatialTree::build(db, TreeConfig::lazy(TreeKind::Binary, map, k))
         .map_err(CoreError::Tree)?;
@@ -142,12 +144,14 @@ pub fn anonymize_partitioned(
     let subs = split_db(&tree, &jurisdictions);
     let partition_time = partition_started.elapsed();
 
+    // lbs-lint: allow(no-wall-clock-in-dp, reason = "aggregate server wall time is reported in ParallelOutcome timings only")
     let servers_started = Instant::now();
     let mut policy = BulkPolicy::new(format!("parallel(k={k},servers={})", jurisdictions.len()));
     let mut reports = Vec::with_capacity(jurisdictions.len());
     let mut total_cost: Area = 0;
     for (&jid, sub) in jurisdictions.iter().zip(&subs) {
         let jurisdiction = tree.node(jid).rect;
+        // lbs-lint: allow(no-wall-clock-in-dp, reason = "per-server wall time is reported in ServerReport timings only; policies are input-deterministic")
         let started = Instant::now();
         let server_policy = if sub.is_empty() {
             BulkPolicy::new("empty")

@@ -174,6 +174,7 @@ pub fn sample(master: &LocationDb, n: usize, seed: u64) -> LocationDb {
         rows.swap(i, j);
     }
     rows.truncate(n);
+    // lbs-lint: allow(no-unwrap-in-lib, reason = "rows is a permutation prefix of master's rows, whose ids are unique by LocationDb's own invariant")
     LocationDb::from_rows(rows).expect("ids unique in master")
 }
 

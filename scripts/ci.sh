@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, release build, full test suite,
-# attacker-in-the-loop conformance smoke.
+# Local CI gate: formatting, clippy, workspace invariant lint (lbs lint),
+# release build, full test suite, attacker-in-the-loop conformance smoke.
 #
 # The workspace builds fully offline (external deps are vendored under
 # vendor/), so this script needs no network access. Run it from anywhere
@@ -13,6 +13,17 @@ cargo fmt --all --check
 
 echo "== cargo clippy (workspace, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== lbs lint (workspace invariants, budget: 30 s) =="
+# Token-level invariant checker (crates/lint): panic-freedom in libraries,
+# seeded randomness only, no wall clocks in DP code, BTreeMap in serialized
+# output, reasoned suppression pragmas. Builds just the CLI crate first so
+# the stage stays well inside its 30-second budget (the scan itself is
+# < 1 s for ~100 files; the warm incremental build dominates). Nonzero
+# exit on any unsuppressed error-severity finding; JSON goes to the log
+# for machine triage. Human-readable rerun: target/release/lbs lint
+cargo build --release -q -p lbs-cli
+timeout 30 target/release/lbs lint --format json
 
 echo "== cargo build --release =="
 cargo build --release --workspace

@@ -1,0 +1,40 @@
+//! Self-check: the workspace must lint clean under its own invariant
+//! checker. This is the in-process twin of the `lbs lint` CI stage — it
+//! keeps `cargo test` sufficient to catch regressions even when the CLI
+//! stage is skipped.
+
+use lbs_lint::lint_workspace;
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_unsuppressed_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = lint_workspace(root).expect("workspace lint runs");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}); did the walker break?",
+        report.files_scanned
+    );
+    assert_eq!(
+        report.errors(),
+        0,
+        "unsuppressed lint errors — fix them or add a reasoned pragma:\n{}",
+        report.render_human()
+    );
+    assert_eq!(report.warnings(), 0, "lint warnings (stale pragmas?):\n{}", report.render_human());
+}
+
+#[test]
+fn every_suppression_carries_a_reason_by_construction() {
+    // The pragma grammar rejects reason-less `allow(...)`; feed the parser
+    // a reason-less pragma against real workspace scanning to double-check
+    // the gate is wired through `lint_workspace`'s code path too.
+    let report = lbs_lint::lint_source(
+        "crates/core/src/fixture.rs",
+        "// lbs-lint: allow(no-unwrap-in-lib)\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    );
+    assert!(
+        report.violations.iter().any(|v| v.lint == "malformed-pragma"),
+        "reason-less pragma must be rejected: {report:?}"
+    );
+}

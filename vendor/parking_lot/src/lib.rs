@@ -88,6 +88,10 @@ mod tests {
     use super::*;
 
     #[test]
+    // The workspace-wide thread::spawn ban steers code to the lbs-parallel
+    // engine; this vendored unit test needs a raw panicking thread to prove
+    // poison-freedom and is not anonymization code.
+    #[allow(clippy::disallowed_methods)]
     fn mutex_basic_and_poison_free() {
         let m = std::sync::Arc::new(Mutex::new(0u32));
         {

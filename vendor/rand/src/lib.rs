@@ -271,6 +271,10 @@ pub mod seq {
 }
 
 /// A non-deterministically seeded generator (seeded from system time).
+// The clippy.toml `disallowed-methods` ban on wall clocks targets workspace
+// crates; this vendored stand-in is the one place ambient entropy is
+// implemented (and `thread_rng` itself is banned at every call site).
+#[allow(clippy::disallowed_methods)]
 pub fn thread_rng() -> rngs::StdRng {
     use std::time::{SystemTime, UNIX_EPOCH};
     let nanos =
