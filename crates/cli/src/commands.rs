@@ -11,11 +11,12 @@ use lbs_geom::Rect;
 use lbs_metrics::Metrics;
 use lbs_model::{
     decode_policy, decode_snapshot, encode_policy, encode_snapshot, BulkPolicy, CloakingPolicy,
-    LocationDb, ModelError, UserId,
+    LocationDb, ModelError, UserId, UserUpdate,
 };
 use lbs_parallel::{anonymize_work_stealing, EngineConfig};
+use lbs_runtime::{RuntimeBuilder, RuntimeConfig, RuntimeError};
 use lbs_tree::{SpatialTree, TreeConfig, TreeKind, TreeStats};
-use lbs_workload::{generate_master, BayAreaConfig};
+use lbs_workload::{derive_seed, generate_master, random_moves, BayAreaConfig};
 use std::io::Write;
 
 /// CLI failure modes.
@@ -35,6 +36,8 @@ pub enum CliError {
     Conformance(Vec<String>),
     /// Lint driver failure or unsuppressed lint errors.
     Lint(String),
+    /// Service runtime failure (WAL, checkpoint, recovery, serving).
+    Runtime(lbs_runtime::RuntimeError),
 }
 
 impl std::fmt::Display for CliError {
@@ -45,7 +48,8 @@ impl std::fmt::Display for CliError {
                 write!(
                     f,
                     "unknown command {c:?}; try \
-                     gen/anonymize/audit/stats/compare/lookup/conformance/lint"
+                     gen/anonymize/audit/stats/compare/lookup/conformance/lint/\
+                     serve/recover/recovery-smoke"
                 )
             }
             CliError::Io(e) => write!(f, "io error: {e}"),
@@ -59,6 +63,7 @@ impl std::fmt::Display for CliError {
                 Ok(())
             }
             CliError::Lint(msg) => write!(f, "lint failed: {msg}"),
+            CliError::Runtime(e) => write!(f, "runtime error: {e}"),
         }
     }
 }
@@ -83,6 +88,12 @@ impl From<ModelError> for CliError {
     }
 }
 
+impl From<lbs_runtime::RuntimeError> for CliError {
+    fn from(e: lbs_runtime::RuntimeError) -> Self {
+        CliError::Runtime(e)
+    }
+}
+
 /// Dispatches a parsed command, writing reports to `out`.
 ///
 /// # Errors
@@ -98,6 +109,9 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "lookup" => lookup(args, out),
         "conformance" => conformance(args, out),
         "lint" => lint(args, out),
+        "serve" => serve(args, out),
+        "recover" => recover(args, out),
+        "recovery-smoke" => recovery_smoke(args, out),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -346,6 +360,191 @@ fn lint(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// One scripted service round: a seeded 20% of the population moves.
+fn service_churn(rt: &lbs_runtime::ServiceRuntime, seed: u64, round: u64) -> Vec<UserUpdate> {
+    let map = rt.map();
+    random_moves(rt.db(), &map, 0.2, (map.x1 - map.x0) as f64 / 8.0, derive_seed(seed, round))
+        .into_iter()
+        .map(UserUpdate::Move)
+        .collect()
+}
+
+/// `lbs serve`: run the crash-safe service loop for a scripted number of
+/// rounds — durable churn ingestion, deadline-budgeted serving through
+/// the degradation ladder, periodic checkpoints. The directory can be
+/// re-served (or `lbs recover`ed) later; state survives kills.
+fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let dir = std::path::PathBuf::from(args.required("dir")?);
+    let rounds: u64 = args.parse_or("rounds", 5)?;
+    let requests: usize = args.parse_or("requests", 8)?;
+    let seed: u64 = args.parse_or("seed", 0x00C0_FFEE)?;
+    let deadline_ms: Option<u64> = match args.optional("deadline-ms") {
+        None => None,
+        Some(raw) => Some(raw.parse().map_err(|_| {
+            CliError::Args(ArgsError::BadValue { key: "deadline-ms", value: raw.to_string() })
+        })?),
+    };
+    let metrics_path = args.optional("metrics-json").map(str::to_owned);
+    let metrics = std::sync::Arc::new(Metrics::new());
+
+    let has_state = dir.is_dir() && lbs_runtime::load_latest(&dir)?.is_some();
+    let mut runtime = if has_state {
+        let cfg = RuntimeConfig::new(2, Rect::square(0, 0, 2)); // overridden by the checkpoint
+        let (rt, report) =
+            RuntimeBuilder::new(cfg).metrics(std::sync::Arc::clone(&metrics)).recover(&dir)?;
+        writeln!(
+            out,
+            "recovered {} from checkpoint seq {} (+{} replayed records)",
+            dir.display(),
+            report.checkpoint_seq,
+            report.replayed
+        )?;
+        rt
+    } else {
+        let db = load_snapshot(args.required("snapshot")?)?;
+        let k: usize = args.required_parse("k")?;
+        let cfg = RuntimeConfig::new(k, map_for(&db));
+        let rt =
+            RuntimeBuilder::new(cfg).metrics(std::sync::Arc::clone(&metrics)).create(&dir, &db)?;
+        writeln!(out, "created {} ({} users, k={k})", dir.display(), db.len())?;
+        rt
+    };
+
+    let mut rung_counts: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    let mut shed = 0u64;
+    for round in 0..rounds {
+        let batch = service_churn(&runtime, seed, round);
+        let seq = runtime.apply_batch(&batch)?;
+        // Serve a seeded sample of senders under the deadline budget:
+        // expired budgets walk the degradation ladder instead of failing.
+        let users: Vec<UserId> = runtime.db().users().collect();
+        for i in 0..requests.min(users.len()) {
+            let pick = derive_seed(seed, round * 1009 + i as u64) as usize % users.len();
+            let deadline =
+                deadline_ms.map(|ms| runtime.clock().now() + std::time::Duration::from_millis(ms));
+            match runtime.cloak_for(users[pick], deadline) {
+                Ok((rung, _)) => *rung_counts.entry(rung.name()).or_insert(0) += 1,
+                Err(RuntimeError::Shed { .. }) => shed += 1,
+                Err(other) => return Err(other.into()),
+            }
+        }
+        runtime.commit()?;
+        writeln!(
+            out,
+            "round {round}: ingested batch seq {seq} ({} updates), committed epoch {}",
+            batch.len(),
+            runtime.epoch()
+        )?;
+    }
+    runtime.checkpoint_now()?;
+    let stats = runtime.committed_policy().stats();
+    writeln!(
+        out,
+        "served {} requests (rungs: {rung_counts:?}, shed {shed}); \
+         final epoch {}, durable seq {}, {} cloak groups, min group {}",
+        rung_counts.values().sum::<u64>() + shed,
+        runtime.epoch(),
+        runtime.durable_seq(),
+        stats.groups,
+        stats.min_group
+    )?;
+    if let Some(mpath) = metrics_path {
+        let json = serde_json::to_string_pretty(&metrics.snapshot())
+            .map_err(|e| CliError::Anonymize(format!("metrics serialization: {e}")))?;
+        std::fs::write(&mpath, json)?;
+        writeln!(out, "metrics -> {mpath}")?;
+    }
+    Ok(())
+}
+
+/// `lbs recover`: crash recovery of a service directory — newest valid
+/// checkpoint plus a WAL replay — followed by a policy-aware audit of the
+/// recovered committed policy.
+fn recover(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let dir = std::path::PathBuf::from(args.required("dir")?);
+    let metrics = std::sync::Arc::new(Metrics::new());
+    let cfg = RuntimeConfig::new(2, Rect::square(0, 0, 2)); // overridden by the checkpoint
+    let (runtime, report) =
+        RuntimeBuilder::new(cfg).metrics(std::sync::Arc::clone(&metrics)).recover(&dir)?;
+    writeln!(
+        out,
+        "recovered {}: checkpoint seq {}, {} WAL records replayed in {} ms",
+        dir.display(),
+        report.checkpoint_seq,
+        report.replayed,
+        report.replay_time.as_millis()
+    )?;
+    let stats = runtime.committed_policy().stats();
+    writeln!(
+        out,
+        "state: epoch {}, durable seq {}, {} users, {} cloak groups, min group {}",
+        runtime.epoch(),
+        runtime.durable_seq(),
+        runtime.db().len(),
+        stats.groups,
+        stats.min_group
+    )?;
+    match verify_policy_aware(runtime.committed_policy(), runtime.db(), runtime.k()) {
+        Ok(()) => writeln!(
+            out,
+            "OK: recovered policy provides sender {}-anonymity against policy-aware attackers",
+            runtime.k()
+        )?,
+        Err(violations) => {
+            return Err(CliError::Conformance(vec![format!(
+                "recovered policy FAILS verification: {} violations",
+                violations.len()
+            )]))
+        }
+    }
+    Ok(())
+}
+
+/// `lbs recovery-smoke`: the crash-point sweep (kill-and-recover at every
+/// WAL offset, recovered policy bit-identical) plus the degradation-
+/// ladder attacker audit — the CI recovery stage.
+fn recovery_smoke(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let defaults = lbs_conformance::CrashSweepConfig::default();
+    let cfg = lbs_conformance::CrashSweepConfig {
+        seed: args.parse_or("seed", defaults.seed)?,
+        users: args.parse_or("users", defaults.users)?,
+        k: args.parse_or("k", defaults.k)?,
+        rounds: args.parse_or("rounds", defaults.rounds)?,
+        checkpoint_every: args.parse_or("checkpoint-every", defaults.checkpoint_every)?,
+    };
+    let scratch = match args.optional("scratch") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("lbs-recovery-smoke-{}", std::process::id())),
+    };
+    std::fs::create_dir_all(&scratch)?;
+
+    let report =
+        lbs_conformance::crash_sweep(&scratch, &cfg).map_err(|e| CliError::Conformance(vec![e]))?;
+    write!(out, "{report}")?;
+    let mut problems = report.failures.clone();
+    if report.points < 50 {
+        problems.push(format!("only {} crash points swept (need >= 50)", report.points));
+    }
+    for ladder_seed in [3u64, 11, 42] {
+        match lbs_conformance::audit_degradation_ladder(ladder_seed, 56, 4) {
+            Ok(ladder) => writeln!(
+                out,
+                "degradation ladder (seed {ladder_seed}): {} committed, {} coarsened, \
+                 {} shed — all rungs pass the policy-aware attacker",
+                ladder.committed, ladder.coarsened, ladder.shed
+            )?,
+            Err(e) => problems.push(format!("ladder seed {ladder_seed}: {e}")),
+        }
+    }
+    if problems.is_empty() {
+        writeln!(out, "recovery-smoke: PASS (replay with --seed {})", cfg.seed)?;
+        Ok(())
+    } else {
+        Err(CliError::Conformance(problems))
+    }
+}
+
 /// Walks up from the current directory to the workspace root (the first
 /// ancestor holding both `Cargo.toml` and `crates/`).
 fn find_workspace_root() -> Result<std::path::PathBuf, CliError> {
@@ -525,6 +724,90 @@ mod tests {
         // Unknown tiers are rejected up front.
         let err = run_line(&["conformance", "--tier", "bogus"]).unwrap_err();
         assert!(err.to_string().contains("smoke or --tier soak"), "{err}");
+    }
+
+    #[test]
+    fn serve_recover_round_trip_with_metrics() {
+        let dir = TempDir::new("serve");
+        let snap = dir.path("snapshot.bin");
+        let service = dir.path("service");
+        let mjson = dir.path("metrics.json");
+        run_line(&["gen", "--users", "300", "--seed", "5", "--out", &snap]).unwrap();
+
+        // First run creates the directory and serves fresh cloaks.
+        let msg = run_line(&[
+            "serve",
+            "--dir",
+            &service,
+            "--snapshot",
+            &snap,
+            "--k",
+            "8",
+            "--rounds",
+            "3",
+            "--metrics-json",
+            &mjson,
+        ])
+        .unwrap();
+        assert!(msg.contains("created"), "{msg}");
+        assert!(msg.contains("\"fresh\""), "{msg}");
+        let raw = std::fs::read_to_string(&mjson).unwrap();
+        let snapshot: lbs_metrics::MetricsSnapshot = serde_json::from_str(&raw).unwrap();
+        assert!(snapshot.counter(lbs_metrics::Counter::WalAppends) >= 3);
+        assert!(snapshot.counter(lbs_metrics::Counter::CheckpointsWritten) >= 2);
+        assert!(raw.contains("requests_shed"), "new counters must be in the JSON: {raw}");
+        assert!(raw.contains("recovery_replay_ms"), "{raw}");
+
+        // A zero deadline forces the ladder: requests degrade, never block.
+        let msg = run_line(&[
+            "serve",
+            "--dir",
+            &service,
+            "--rounds",
+            "2",
+            "--deadline-ms",
+            "0",
+            "--metrics-json",
+            &mjson,
+        ])
+        .unwrap();
+        assert!(msg.contains("recovered"), "{msg}");
+        assert!(
+            msg.contains("committed") || msg.contains("coarsened") || msg.contains("shed 0"),
+            "{msg}"
+        );
+        let raw = std::fs::read_to_string(&mjson).unwrap();
+        let snapshot: lbs_metrics::MetricsSnapshot = serde_json::from_str(&raw).unwrap();
+        assert!(
+            snapshot.counter(lbs_metrics::Counter::DegradedCommitted)
+                + snapshot.counter(lbs_metrics::Counter::DegradedCoarsened)
+                + snapshot.counter(lbs_metrics::Counter::RequestsShed)
+                >= 1,
+            "zero deadline must exercise the degradation ladder: {raw}"
+        );
+
+        // Recovery after the simulated kill audits the recovered policy.
+        let msg = run_line(&["recover", "--dir", &service]).unwrap();
+        assert!(msg.contains("OK: recovered policy"), "{msg}");
+        assert!(msg.contains("checkpoint seq"), "{msg}");
+
+        // Recovering a directory with no state is a typed error.
+        let empty = dir.path("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = run_line(&["recover", "--dir", &empty]).unwrap_err();
+        assert!(matches!(err, CliError::Runtime(RuntimeError::NoState(_))), "{err:?}");
+    }
+
+    #[test]
+    fn recovery_smoke_runs_a_reduced_sweep() {
+        let dir = TempDir::new("rsmoke");
+        let scratch = dir.path("scratch");
+        // Reduced population so the unit test stays fast; the full record
+        // count is kept so the >= 50 crash-point floor still applies.
+        let msg = run_line(&["recovery-smoke", "--users", "32", "--scratch", &scratch]).unwrap();
+        assert!(msg.contains("crash sweep"), "{msg}");
+        assert!(msg.contains("degradation ladder"), "{msg}");
+        assert!(msg.contains("PASS"), "{msg}");
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! lbs stats     --snapshot snapshot.bin --k 50
 //! lbs compare   --snapshot snapshot.bin --k 50
 //! lbs lookup    --policy policy.bin --user 42
+//! lbs serve     --dir service/ --snapshot snapshot.bin --k 50 --rounds 5
+//! lbs recover   --dir service/
 //! ```
 //!
 //! Snapshots and policies travel in the compact binary codecs of

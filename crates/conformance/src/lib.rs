@@ -15,6 +15,10 @@
 //!    ([`golden::GoldenRecord`]) pin exact costs and assignment
 //!    fingerprints for a fixed sub-matrix; intentional changes are
 //!    re-blessed via the CLI and reviewed as a diff.
+//! 4. **Crash-recovery sweep** ([`recovery`]) — kill-and-recover the
+//!    service runtime at every WAL crash point and prove the recovered
+//!    policy bit-identical; audit every degradation-ladder rung with
+//!    the policy-aware attacker.
 //!
 //! The whole subsystem is driven by one master seed
 //! ([`DEFAULT_MASTER_SEED`]); every failure message carries the
@@ -25,8 +29,12 @@
 
 pub mod golden;
 pub mod harness;
+pub mod recovery;
 pub mod scenario;
 
 pub use golden::{bless, check, compute_corpus, policy_fingerprint, GoldenRecord};
 pub use harness::{run_matrix, run_scenario, ConformanceReport, ScenarioOutcome};
+pub use recovery::{
+    audit_degradation_ladder, crash_sweep, CrashSweepConfig, CrashSweepReport, DegradationReport,
+};
 pub use scenario::{scenario_matrix, Algorithm, Density, Scenario, Tier, DEFAULT_MASTER_SEED};

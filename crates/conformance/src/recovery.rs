@@ -1,0 +1,513 @@
+//! Crash-recovery and degradation-ladder conformance.
+//!
+//! Two oracles for the `lbs-runtime` service layer:
+//!
+//! 1. **Crash-point sweep** — one reference run ingests churn batches,
+//!    committing and checkpointing as a live service would. Then, for
+//!    every crash point (each WAL record boundary, several mid-record
+//!    tears per record, plus torn-temp-checkpoint and corrupt-newest-
+//!    checkpoint variants), a fresh directory is materialized exactly as
+//!    the disk would look at that instant and recovered. The recovered
+//!    committed [`BulkPolicy`](lbs_model::BulkPolicy) must be
+//!    **bit-identical** (`encode_policy` bytes) to the reference run's
+//!    policy at the same durable sequence number — no crash point may
+//!    lose, duplicate, or reorder a committed update.
+//! 2. **Degradation-ladder audit** — the ladder's rungs (fresh,
+//!    committed, coarsened, shed) are exercised by deriving the degraded
+//!    policy for a churned database that was never recommitted, then
+//!    facing the full oracle stack: `core::verify` plus the
+//!    PRE-enumerating policy-aware attacker, evaluated over the *served*
+//!    population (shed senders emit no request, so they are outside the
+//!    attacker's observation set by construction).
+
+use lbs_attack::audit_policy;
+use lbs_core::{verify_policy_aware, Anonymizer};
+use lbs_geom::{Point, Rect};
+use lbs_model::{encode_policy, LocationDb, Move, UserId, UserUpdate};
+use lbs_runtime::{
+    list_checkpoints, scan, ManualClock, Rung, RuntimeBuilder, RuntimeConfig, WAL_FILE,
+};
+use lbs_workload::derive_seed;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Parameters of one crash-point sweep.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CrashSweepConfig {
+    /// Master seed deriving the population and every churn batch.
+    pub seed: u64,
+    /// Initial population size.
+    pub users: usize,
+    /// Anonymity level.
+    pub k: usize,
+    /// Churn batches the reference run ingests (one commit each).
+    pub rounds: u64,
+    /// Checkpoint cadence of the reference run (commits per checkpoint).
+    pub checkpoint_every: u64,
+}
+
+impl Default for CrashSweepConfig {
+    fn default() -> Self {
+        CrashSweepConfig { seed: 0x5EED_C4A5, users: 48, k: 4, rounds: 13, checkpoint_every: 3 }
+    }
+}
+
+/// What one crash-point sweep covered and found.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrashSweepReport {
+    /// The sweep's configuration (replay with `lbs recovery-smoke`).
+    pub config: CrashSweepConfig,
+    /// Total crash points recovered and compared.
+    pub points: usize,
+    /// Crash points exactly at a WAL record boundary.
+    pub boundary_points: usize,
+    /// Crash points tearing a WAL record mid-frame.
+    pub mid_record_points: usize,
+    /// Variant points with a torn checkpoint temp file left behind.
+    pub torn_checkpoint_points: usize,
+    /// Variant points with the newest checkpoint corrupted in place
+    /// (recovery must fall back to an older one).
+    pub corrupt_checkpoint_points: usize,
+    /// Longest replay (in WAL records) any crash point required.
+    pub max_replay: usize,
+    /// Bit-identity violations, each naming its crash point.
+    pub failures: Vec<String>,
+}
+
+impl CrashSweepReport {
+    /// Every crash point recovered bit-identically.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl std::fmt::Display for CrashSweepReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "crash sweep: {} points under seed {} ({} boundary, {} mid-record, \
+             {} torn-checkpoint, {} corrupt-checkpoint), max replay {} records — {}",
+            self.points,
+            self.config.seed,
+            self.boundary_points,
+            self.mid_record_points,
+            self.torn_checkpoint_points,
+            self.corrupt_checkpoint_points,
+            self.max_replay,
+            if self.is_clean() { "all bit-identical" } else { "FAILURES" },
+        )?;
+        for failure in &self.failures {
+            writeln!(f, "  FAIL {failure}")?;
+        }
+        Ok(())
+    }
+}
+
+fn side() -> i64 {
+    64
+}
+
+fn seeded_db(seed: u64, users: usize) -> Result<LocationDb, String> {
+    LocationDb::from_rows((0..users).map(|i| {
+        let i = i as u64;
+        (
+            UserId(i),
+            Point::new(
+                (derive_seed(seed, 2 * i) % side() as u64) as i64,
+                (derive_seed(seed, 2 * i + 1) % side() as u64) as i64,
+            ),
+        )
+    }))
+    .map_err(|e| format!("seeded db: {e:?}"))
+}
+
+/// One deterministic churn batch: a few moves, an occasional insert, an
+/// occasional delete — every choice derived from `(seed, round)`.
+fn churn_batch(
+    seed: u64,
+    round: u64,
+    present: &mut Vec<UserId>,
+    next_id: &mut u64,
+) -> Vec<UserUpdate> {
+    let mut batch: Vec<UserUpdate> = Vec::new();
+    for j in 0..4u64 {
+        let pick = derive_seed(seed, round * 97 + j) as usize % present.len();
+        let user = present[pick];
+        if batch.iter().any(|u| u.user() == user) {
+            continue;
+        }
+        batch.push(UserUpdate::Move(Move {
+            user,
+            to: Point::new(
+                (derive_seed(seed, round * 97 + 10 + j) % side() as u64) as i64,
+                (derive_seed(seed, round * 97 + 20 + j) % side() as u64) as i64,
+            ),
+        }));
+    }
+    if round.is_multiple_of(3) {
+        let at = Point::new(
+            (derive_seed(seed, round * 97 + 30) % side() as u64) as i64,
+            (derive_seed(seed, round * 97 + 31) % side() as u64) as i64,
+        );
+        batch.push(UserUpdate::Insert { user: UserId(*next_id), at });
+        present.push(UserId(*next_id));
+        *next_id += 1;
+    }
+    if round % 4 == 1 && present.len() > 24 {
+        if let Some(&victim) = present.iter().find(|u| !batch.iter().any(|b| b.user() == **u)) {
+            batch.push(UserUpdate::Delete { user: victim });
+            present.retain(|&u| u != victim);
+        }
+    }
+    batch
+}
+
+fn runtime_builder(cfg: &CrashSweepConfig) -> RuntimeBuilder {
+    let mut rc = RuntimeConfig::new(cfg.k, Rect::square(0, 0, side()));
+    rc.checkpoint_every = cfg.checkpoint_every;
+    RuntimeBuilder::new(rc).clock(Arc::new(ManualClock::new()))
+}
+
+/// Runs the crash-point sweep under `scratch` (a disposable directory;
+/// everything it creates is removed before returning).
+///
+/// # Errors
+/// A message when the *reference* run itself cannot be built — failures
+/// of individual crash points are reported in the
+/// [`CrashSweepReport::failures`] list instead.
+pub fn crash_sweep(scratch: &Path, cfg: &CrashSweepConfig) -> Result<CrashSweepReport, String> {
+    fn oops(what: &'static str) -> impl Fn(lbs_runtime::RuntimeError) -> String {
+        move |e| format!("{what}: {e}")
+    }
+    let ref_dir = scratch.join("reference");
+    let _ = std::fs::remove_dir_all(&ref_dir);
+
+    // Reference run: ingest + commit every batch, checkpointing on the
+    // configured cadence; per_seq[n] = committed policy bytes once
+    // records 1..=n are durable and committed.
+    let db0 = seeded_db(cfg.seed, cfg.users)?;
+    let mut runtime = runtime_builder(cfg).create(&ref_dir, &db0).map_err(oops("create"))?;
+    let mut per_seq = vec![encode_policy(runtime.committed_policy())];
+    let mut present: Vec<UserId> = db0.users().collect();
+    let mut next_id = cfg.users as u64;
+    for round in 0..cfg.rounds {
+        let batch = churn_batch(cfg.seed, round, &mut present, &mut next_id);
+        runtime.apply_batch(&batch).map_err(oops("apply"))?;
+        runtime.commit().map_err(oops("commit"))?;
+        per_seq.push(encode_policy(runtime.committed_policy()));
+    }
+    drop(runtime);
+
+    // The on-disk artifacts the sweep slices up.
+    let wal_raw = std::fs::read(ref_dir.join(WAL_FILE)).map_err(|e| format!("read wal: {e}"))?;
+    let (records, valid_len) = scan(&wal_raw);
+    if valid_len != wal_raw.len() as u64 || records.len() != cfg.rounds as usize {
+        return Err(format!(
+            "reference wal inconsistent: {} valid of {} bytes, {} records",
+            valid_len,
+            wal_raw.len(),
+            records.len()
+        ));
+    }
+    let checkpoints = list_checkpoints(&ref_dir).map_err(|e| format!("list: {e}"))?;
+
+    // Crash points: offset 0, and for every record a mid-frame tear just
+    // after its start, one at mid-frame, one a byte short, and its exact
+    // end boundary.
+    let mut offsets: Vec<u64> = vec![0];
+    let mut start = 0u64;
+    for record in &records {
+        let span = record.end_offset - start;
+        for tear in [start + 1, start + span / 2, record.end_offset - 1, record.end_offset] {
+            if !offsets.contains(&tear) {
+                offsets.push(tear);
+            }
+        }
+        start = record.end_offset;
+    }
+
+    let mut report = CrashSweepReport {
+        config: *cfg,
+        points: 0,
+        boundary_points: 0,
+        mid_record_points: 0,
+        torn_checkpoint_points: 0,
+        corrupt_checkpoint_points: 0,
+        max_replay: 0,
+        failures: Vec::new(),
+    };
+
+    for (index, &offset) in offsets.iter().enumerate() {
+        // Plain crash at `offset`, plus periodic torn/corrupt-checkpoint
+        // variants of the same point.
+        let mut variants = vec!["plain"];
+        if index % 4 == 2 {
+            variants.push("torn-tmp");
+        }
+        if index % 4 == 0 {
+            variants.push("corrupt-newest");
+        }
+        for variant in variants {
+            match run_crash_point(
+                scratch,
+                cfg,
+                &wal_raw,
+                &records,
+                &checkpoints,
+                &per_seq,
+                offset,
+                variant,
+            ) {
+                Ok(outcome) => {
+                    report.points += 1;
+                    report.max_replay = report.max_replay.max(outcome.replayed);
+                    match variant {
+                        "torn-tmp" => report.torn_checkpoint_points += 1,
+                        "corrupt-newest" => report.corrupt_checkpoint_points += 1,
+                        _ if outcome.boundary => report.boundary_points += 1,
+                        _ => report.mid_record_points += 1,
+                    }
+                }
+                Err(message) => {
+                    report.points += 1;
+                    report.failures.push(format!("offset {offset} [{variant}]: {message}"));
+                }
+            }
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    Ok(report)
+}
+
+struct PointOutcome {
+    replayed: usize,
+    boundary: bool,
+}
+
+/// Materializes the disk state of one crash instant and recovers it.
+#[allow(clippy::too_many_arguments)]
+fn run_crash_point(
+    scratch: &Path,
+    cfg: &CrashSweepConfig,
+    wal_raw: &[u8],
+    records: &[lbs_runtime::WalRecord],
+    checkpoints: &[(u64, std::path::PathBuf)],
+    per_seq: &[bytes::Bytes],
+    offset: u64,
+    variant: &str,
+) -> Result<PointOutcome, String> {
+    // Records fully durable at the instant of the crash.
+    let durable = records.iter().filter(|r| r.end_offset <= offset).count() as u64;
+    let boundary = offset == 0 || records.iter().any(|r| r.end_offset == offset);
+
+    let dir = scratch.join(format!("crash-{offset}-{variant}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir: {e}"))?;
+    std::fs::write(dir.join(WAL_FILE), &wal_raw[..offset as usize])
+        .map_err(|e| format!("write wal slice: {e}"))?;
+    // Only checkpoints that existed by this instant: a checkpoint at seq
+    // s is written strictly after record s is durable.
+    let mut copied: Vec<u64> = Vec::new();
+    for (seq, path) in checkpoints {
+        if *seq <= durable {
+            let name = path.file_name().ok_or("checkpoint without name")?;
+            std::fs::copy(path, dir.join(name)).map_err(|e| format!("copy checkpoint: {e}"))?;
+            copied.push(*seq);
+        }
+    }
+    copied.sort_unstable();
+    match variant {
+        // A crash mid-checkpoint additionally leaves a torn temp file,
+        // which recovery must ignore entirely.
+        "torn-tmp" => {
+            std::fs::write(
+                dir.join(format!("checkpoint-{:012}.ckpt.tmp", durable + 1)),
+                [0x5A; 37],
+            )
+            .map_err(|e| format!("write torn tmp: {e}"))?;
+        }
+        // Media corruption of the newest checkpoint: recovery must fall
+        // back to the next older one (and still be bit-identical). Only
+        // meaningful when an older checkpoint exists to fall back to.
+        "corrupt-newest" if copied.len() >= 2 => {
+            let newest = copied[copied.len() - 1];
+            let path = dir.join(format!("checkpoint-{newest:012}.ckpt"));
+            let mut raw = std::fs::read(&path).map_err(|e| format!("read newest: {e}"))?;
+            let mid = raw.len() / 2;
+            raw[mid] ^= 0x10;
+            std::fs::write(&path, &raw).map_err(|e| format!("corrupt newest: {e}"))?;
+        }
+        _ => {}
+    }
+
+    let (recovered, recovery) =
+        runtime_builder(cfg).recover(&dir).map_err(|e| format!("recover: {e}"))?;
+    let expected = &per_seq[durable as usize];
+    let actual = encode_policy(recovered.committed_policy());
+    let mut problems = Vec::new();
+    if actual != *expected {
+        problems.push(format!(
+            "policy NOT bit-identical at durable seq {durable} \
+             ({} vs {} bytes)",
+            actual.len(),
+            expected.len()
+        ));
+    }
+    if recovered.epoch() != durable + 1 {
+        problems.push(format!("epoch {} != {}", recovered.epoch(), durable + 1));
+    }
+    if recovered.durable_seq() != durable {
+        problems.push(format!("durable seq {} != {durable}", recovered.durable_seq()));
+    }
+    if variant == "corrupt-newest" && copied.len() >= 2 {
+        let fallback = copied[copied.len() - 2];
+        if recovery.checkpoint_seq != fallback {
+            problems.push(format!(
+                "recovered from checkpoint {} instead of falling back to {fallback}",
+                recovery.checkpoint_seq
+            ));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    if problems.is_empty() {
+        Ok(PointOutcome { replayed: recovery.replayed, boundary })
+    } else {
+        Err(problems.join("; "))
+    }
+}
+
+/// What the degradation-ladder audit observed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DegradationReport {
+    /// Senders served on the `Committed` rung (cloak unchanged).
+    pub committed: usize,
+    /// Senders served on the `Coarsened` rung (ancestor cloak).
+    pub coarsened: usize,
+    /// Senders shed (rung 3).
+    pub shed: usize,
+    /// Oracle assertions that ran.
+    pub oracle_checks: usize,
+}
+
+/// Audits every rung of the degradation ladder with the full oracle
+/// stack under `seed`.
+///
+/// # Errors
+/// The first violated oracle, with enough context to replay.
+pub fn audit_degradation_ladder(
+    seed: u64,
+    users: usize,
+    k: usize,
+) -> Result<DegradationReport, String> {
+    let map = Rect::square(0, 0, side());
+    let mut db = seeded_db(seed, users)?;
+
+    // Rung 0 (fresh): the committed optimal policy itself.
+    let engine = Anonymizer::build(&db, map, k).map_err(|e| format!("build: {e}"))?;
+    let committed = engine.policy().clone();
+    verify_policy_aware(&committed, &db, k)
+        .map_err(|v| format!("fresh rung: {} verify violations", v.len()))?;
+    let breaches = audit_policy(&committed, &db, k);
+    if !breaches.is_empty() {
+        return Err(format!("fresh rung: attacker breached {} cloaks", breaches.len()));
+    }
+    let mut checks = 2;
+
+    // Churn without recommitting, then derive the degraded policy the
+    // ladder would serve from.
+    let mut present: Vec<UserId> = db.users().collect();
+    let mut next_id = users as u64;
+    for round in 0..6 {
+        let batch = churn_batch(seed ^ 0xDE64, round, &mut present, &mut next_id);
+        db.apply_updates(&batch).map_err(|e| format!("churn: {e:?}"))?;
+    }
+    let degraded = lbs_runtime::degraded_policy(&committed, &db, &map, k);
+    let served = degraded
+        .served_db(&db)
+        .ok_or("degraded policy serves nobody — cannot audit an empty population")?;
+
+    // Rungs 1–2 face the same oracle stack, over the served population:
+    // shed senders emit no request, so the attacker's candidate set for
+    // each region is exactly the served senders assigned to it.
+    verify_policy_aware(&degraded.policy, &served, k)
+        .map_err(|v| format!("degraded rungs: {} verify violations", v.len()))?;
+    let breaches = audit_policy(&degraded.policy, &served, k);
+    if !breaches.is_empty() {
+        return Err(format!(
+            "degraded rungs: attacker breached {} cloaks (first: {} -> {:?})",
+            breaches.len(),
+            breaches[0].region,
+            breaches[0].candidates
+        ));
+    }
+    checks += 2;
+
+    // Masking must hold against the *live* database too: every served
+    // sender's current location is inside the cloak it was served.
+    for (user, region) in degraded.policy.iter() {
+        let point = db.location(user).ok_or_else(|| format!("{user} served but absent"))?;
+        if !region.contains(&point) {
+            return Err(format!("{user}: degraded cloak does not mask the live location"));
+        }
+    }
+    checks += 1;
+
+    // Rung 3: shed senders really are outside the served policy.
+    for user in &degraded.shed {
+        if degraded.policy.cloak_of(*user).is_some() {
+            return Err(format!("{user} both shed and served"));
+        }
+    }
+    checks += 1;
+
+    let committed_count = degraded.rungs.values().filter(|r| **r == Rung::Committed).count();
+    let coarsened_count = degraded.rungs.values().filter(|r| **r == Rung::Coarsened).count();
+    Ok(DegradationReport {
+        committed: committed_count,
+        coarsened: coarsened_count,
+        shed: degraded.shed.len(),
+        oracle_checks: checks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("lbs-sweep-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn default_sweep_covers_fifty_points_bit_identically() {
+        let dir = scratch("default");
+        let report = crash_sweep(&dir, &CrashSweepConfig::default()).unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert!(report.points >= 50, "only {} crash points", report.points);
+        assert!(report.boundary_points >= 10, "{report}");
+        assert!(report.mid_record_points >= 30, "{report}");
+        assert!(report.torn_checkpoint_points >= 5, "{report}");
+        assert!(report.corrupt_checkpoint_points >= 3, "{report}");
+        assert!(report.max_replay >= 1, "some crash point must exercise replay");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn degradation_ladder_survives_the_attacker_on_every_rung() {
+        let mut saw_coarsened = false;
+        let mut saw_shed = false;
+        for seed in [3u64, 11, 42] {
+            let report = audit_degradation_ladder(seed, 56, 4).unwrap();
+            assert!(report.committed + report.coarsened >= 4, "seed {seed}: {report:?}");
+            saw_coarsened |= report.coarsened > 0;
+            saw_shed |= report.shed > 0;
+        }
+        assert!(saw_coarsened, "no seed exercised the coarsened rung");
+        assert!(saw_shed, "no seed exercised the shed rung");
+    }
+}

@@ -21,6 +21,10 @@ pub enum CoreError {
     /// A worker thread panicked while executing a server task (the panic
     /// payload is captured and surfaced instead of aborting the run).
     WorkerPanic(String),
+    /// A cooperative cancellation point fired before the work finished
+    /// (deadline expired); already-committed rows remain valid and the
+    /// computation can be resumed later.
+    Cancelled,
 }
 
 impl std::fmt::Display for CoreError {
@@ -33,6 +37,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Tree(msg) => write!(f, "tree error: {msg}"),
             CoreError::StaleMatrix(msg) => write!(f, "stale DP matrix: {msg}"),
             CoreError::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
+            CoreError::Cancelled => write!(f, "computation cancelled before completion"),
         }
     }
 }

@@ -48,7 +48,12 @@ impl DpMatrix {
     ///
     /// Users cloaked at a node receive that node's rectangle as their
     /// cloak. Which of the passed-up users a node cloaks is arbitrary
-    /// (Lemma 1); this implementation cloaks the earliest-gathered ones.
+    /// (Lemma 1); this implementation pins the canonical choice — every
+    /// pool is ordered by [`UserId`] and the largest ids pass up — so the
+    /// extracted policy is a pure function of the tree's rectangle
+    /// structure and leaf membership, independent of the order in which
+    /// users were inserted or moved (crash recovery relies on this to
+    /// reproduce policies bit-identically from a rebuilt tree).
     pub fn extract_policy(&self, tree: &SpatialTree) -> Result<BulkPolicy, CoreError> {
         let config = self.extract_configuration(tree)?;
         let mut policy = BulkPolicy::new(format!("policy-aware-optimal(k={})", self.k));
@@ -70,6 +75,7 @@ impl DpMatrix {
                 pool
             };
             debug_assert!(u <= pool.len(), "{id}: pass-up exceeds pool");
+            pool.sort_unstable();
             let forwarded = pool.split_off(pool.len() - u);
             for user in pool {
                 policy.assign(user, node.rect.into());

@@ -11,14 +11,19 @@
 use crate::dp_fast::compute_row;
 use crate::{bulk_dp_fast, CoreError, DpMatrix};
 use lbs_geom::Area;
-use lbs_model::{BulkPolicy, LocationDb, Move};
-use lbs_tree::{SpatialTree, TreeConfig, TreeKind};
+use lbs_model::{BulkPolicy, LocationDb, Move, UserUpdate};
+use lbs_tree::{NodeId, SpatialTree, TreeConfig, TreeKind};
+use std::collections::HashSet;
 
 /// Report of one incremental maintenance round.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IncrementalReport {
     /// Moves applied.
     pub moved: usize,
+    /// Users inserted.
+    pub inserted: usize,
+    /// Users deleted.
+    pub deleted: usize,
     /// DP rows recomputed (vs. every live node for a bulk recomputation).
     pub rows_recomputed: usize,
     /// Live rows that could be reused untouched.
@@ -27,11 +32,28 @@ pub struct IncrementalReport {
 
 /// Maintains a binary tree and its optimal configuration matrix across a
 /// sequence of location-database snapshots.
+///
+/// Two usage modes:
+///
+/// * **Eager** — [`apply_moves`](Self::apply_moves) /
+///   [`apply_updates`](Self::apply_updates) mutate the tree and recompute
+///   the dirty DP rows in one call.
+/// * **Staged** — [`stage_updates`](Self::stage_updates) mutates the tree
+///   (cheap) and only records which rows went stale; a later
+///   [`refresh`](Self::refresh) or
+///   [`refresh_cancellable`](Self::refresh_cancellable) recomputes them.
+///   While any row is pending, [`policy`](Self::policy) and
+///   [`optimal_cost`](Self::optimal_cost) refuse with
+///   [`CoreError::StaleMatrix`] rather than serve half-updated answers.
 #[derive(Debug, Clone)]
 pub struct IncrementalAnonymizer {
     tree: SpatialTree,
     matrix: DpMatrix,
     k: usize,
+    /// Rows invalidated by staged updates, not yet recomputed. A superset
+    /// of the stale rows: restructuring may free some of these ids, which
+    /// the next refresh sweep simply skips.
+    pending: HashSet<NodeId>,
 }
 
 impl IncrementalAnonymizer {
@@ -45,7 +67,7 @@ impl IncrementalAnonymizer {
         }
         let tree = SpatialTree::build(db, config).map_err(CoreError::Tree)?;
         let matrix = bulk_dp_fast(&tree, k)?;
-        Ok(IncrementalAnonymizer { tree, matrix, k })
+        Ok(IncrementalAnonymizer { tree, matrix, k, pending: HashSet::new() })
     }
 
     /// Applies one snapshot transition and recomputes only the dirty rows.
@@ -54,18 +76,108 @@ impl IncrementalAnonymizer {
     /// [`CoreError::Tree`] when a move is invalid (unknown user/off-map);
     /// nothing is modified in that case.
     pub fn apply_moves(&mut self, moves: &[Move]) -> Result<IncrementalReport, CoreError> {
-        let update = self.tree.apply_moves(moves).map_err(CoreError::Tree)?;
+        let updates: Vec<UserUpdate> = moves.iter().copied().map(UserUpdate::Move).collect();
+        self.apply_updates(&updates)
+    }
+
+    /// Applies one churn batch (moves, inserts, deletes) and recomputes
+    /// only the dirty rows.
+    ///
+    /// # Errors
+    /// [`CoreError::Tree`] when the batch is invalid (unknown/duplicate
+    /// user, off-map target); nothing is modified in that case.
+    pub fn apply_updates(
+        &mut self,
+        updates: &[UserUpdate],
+    ) -> Result<IncrementalReport, CoreError> {
+        let mut report = self.stage_updates(updates)?;
+        let refreshed = self.refresh()?;
+        report.rows_recomputed = refreshed.rows_recomputed;
+        report.rows_reused = refreshed.rows_reused;
+        Ok(report)
+    }
+
+    /// Mutates the tree for one churn batch and records the stale DP rows
+    /// without recomputing them.
+    ///
+    /// This is the cheap half of an update round: the expensive DP sweep is
+    /// deferred to [`refresh`](Self::refresh), which a service runtime may
+    /// run under a deadline. Staged batches compose: calling this several
+    /// times before one refresh accumulates the union of dirty rows.
+    ///
+    /// # Errors
+    /// [`CoreError::Tree`] when the batch is invalid; nothing is modified.
+    pub fn stage_updates(
+        &mut self,
+        updates: &[UserUpdate],
+    ) -> Result<IncrementalReport, CoreError> {
+        let update = self.tree.apply_updates(updates).map_err(CoreError::Tree)?;
         self.matrix.resize_for(&self.tree);
-        let mut report = IncrementalReport { moved: update.moved, ..Default::default() };
+        self.pending.extend(update.dirty);
+        Ok(IncrementalReport {
+            moved: update.moved,
+            inserted: update.inserted,
+            deleted: update.deleted,
+            ..Default::default()
+        })
+    }
+
+    /// True when no staged rows await recomputation.
+    pub fn is_fresh(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Number of DP rows staged for recomputation.
+    pub fn pending_rows(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Recomputes every pending row (the deferred half of
+    /// [`stage_updates`](Self::stage_updates)).
+    ///
+    /// # Errors
+    /// Propagates DP errors.
+    pub fn refresh(&mut self) -> Result<IncrementalReport, CoreError> {
+        self.refresh_cancellable(&|| false)
+    }
+
+    /// Recomputes pending rows, polling `cancel` before each row — the
+    /// semi-quadrant granularity of cooperative cancellation.
+    ///
+    /// The sweep runs in postorder, so a row is only recomputed after every
+    /// stale descendant row has been. On cancellation the rows already
+    /// recomputed are kept (they are correct for the current tree) and the
+    /// rest stay pending, so a later refresh resumes where this one
+    /// stopped and completes identically.
+    ///
+    /// # Errors
+    /// [`CoreError::Cancelled`] when `cancel` fires with rows still
+    /// pending; DP errors otherwise.
+    pub fn refresh_cancellable(
+        &mut self,
+        cancel: &dyn Fn() -> bool,
+    ) -> Result<IncrementalReport, CoreError> {
+        let mut report = IncrementalReport::default();
+        if self.pending.is_empty() {
+            return Ok(report);
+        }
         for id in self.tree.postorder() {
-            if update.dirty.contains(&id) {
+            if self.pending.contains(&id) {
+                if cancel() {
+                    return Err(CoreError::Cancelled);
+                }
                 let row = compute_row(&self.tree, &self.matrix, id, self.k)?;
                 self.matrix.set_row(id, row);
+                self.pending.remove(&id);
                 report.rows_recomputed += 1;
             } else {
                 report.rows_reused += 1;
             }
         }
+        // Ids freed by restructuring never appear in postorder; they are no
+        // longer live rows, so the sweep completing means the matrix is
+        // fully fresh.
+        self.pending.clear();
         Ok(report)
     }
 
@@ -87,17 +199,29 @@ impl IncrementalAnonymizer {
     /// Optimal cost for the current snapshot.
     ///
     /// # Errors
+    /// [`CoreError::StaleMatrix`] while staged rows await a refresh;
     /// [`CoreError::InsufficientPopulation`] when fewer than k users remain.
     pub fn optimal_cost(&self) -> Result<Area, CoreError> {
+        self.ensure_fresh()?;
         self.matrix.optimal_cost(&self.tree)
     }
 
     /// Extracts an optimal policy for the current snapshot.
     ///
     /// # Errors
-    /// Propagates extraction errors.
+    /// [`CoreError::StaleMatrix`] while staged rows await a refresh;
+    /// propagates extraction errors.
     pub fn policy(&self) -> Result<BulkPolicy, CoreError> {
+        self.ensure_fresh()?;
         self.matrix.extract_policy(&self.tree)
+    }
+
+    fn ensure_fresh(&self) -> Result<(), CoreError> {
+        if self.pending.is_empty() {
+            Ok(())
+        } else {
+            Err(CoreError::StaleMatrix(format!("{} staged rows await refresh", self.pending.len())))
+        }
     }
 }
 
@@ -183,6 +307,119 @@ mod tests {
         let bad = [Move { user: UserId(999), to: Point::new(1, 1) }];
         assert!(inc.apply_moves(&bad).is_err());
         assert_eq!(inc.optimal_cost().unwrap(), before);
+    }
+
+    #[test]
+    fn churn_batches_match_fresh_recomputation() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let side = 64i64;
+        let k = 4;
+        let mut db = random_db(&mut rng, 50, side);
+        let cfg = TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, side), k);
+        let mut inc = IncrementalAnonymizer::new(&db, cfg, k).unwrap();
+        for round in 0u64..15 {
+            let ids: Vec<_> = db.users().collect();
+            let mut updates = vec![UserUpdate::Insert {
+                user: UserId(50 + round),
+                at: Point::new(rng.gen_range(0..side), rng.gen_range(0..side)),
+            }];
+            updates.push(UserUpdate::Delete { user: ids[rng.gen_range(0..ids.len())] });
+            for _ in 0..4 {
+                let user = ids[rng.gen_range(0..ids.len())];
+                if updates.iter().any(|u| u.user() == user) {
+                    continue;
+                }
+                updates.push(UserUpdate::Move(Move {
+                    user,
+                    to: Point::new(rng.gen_range(0..side), rng.gen_range(0..side)),
+                }));
+            }
+            db.apply_updates(&updates).unwrap();
+            inc.apply_updates(&updates).unwrap();
+
+            let fresh_tree = SpatialTree::build(&db, cfg).unwrap();
+            let fresh_cost =
+                bulk_dp_fast(&fresh_tree, k).unwrap().optimal_cost(&fresh_tree).unwrap();
+            assert_eq!(inc.optimal_cost().unwrap(), fresh_cost, "round {round}");
+            let policy = inc.policy().unwrap();
+            assert!(policy.is_masking_and_total(&db), "round {round}");
+            assert!(verify_policy_aware(&policy, &db, k).is_ok(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn staged_updates_defer_and_block_reads() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let side = 64i64;
+        let mut db = random_db(&mut rng, 40, side);
+        let cfg = TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, side), 4);
+        let mut inc = IncrementalAnonymizer::new(&db, cfg, 4).unwrap();
+        assert!(inc.is_fresh());
+
+        let moves = [
+            Move { user: UserId(0), to: Point::new(1, 1) },
+            Move { user: UserId(1), to: Point::new(side - 2, side - 2) },
+        ];
+        let updates: Vec<UserUpdate> = moves.iter().copied().map(UserUpdate::Move).collect();
+        db.apply_moves(&moves).unwrap();
+        let staged = inc.stage_updates(&updates).unwrap();
+        assert_eq!(staged.moved, 2);
+        assert_eq!(staged.rows_recomputed, 0);
+        assert!(!inc.is_fresh());
+        assert!(inc.pending_rows() > 0);
+        assert!(matches!(inc.policy(), Err(CoreError::StaleMatrix(_))));
+        assert!(matches!(inc.optimal_cost(), Err(CoreError::StaleMatrix(_))));
+
+        let refreshed = inc.refresh().unwrap();
+        assert!(refreshed.rows_recomputed > 0);
+        assert!(inc.is_fresh());
+        let fresh_tree = SpatialTree::build(&db, cfg).unwrap();
+        let fresh_cost = bulk_dp_fast(&fresh_tree, 4).unwrap().optimal_cost(&fresh_tree).unwrap();
+        assert_eq!(inc.optimal_cost().unwrap(), fresh_cost);
+    }
+
+    #[test]
+    fn cancelled_refresh_resumes_to_identical_matrix() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let side = 128i64;
+        let mut db = random_db(&mut rng, 120, side);
+        let k = 5;
+        let cfg = TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, side), k);
+        let mut inc = IncrementalAnonymizer::new(&db, cfg, k).unwrap();
+
+        let moves: Vec<Move> = (0..20)
+            .map(|i| Move {
+                user: UserId(i),
+                to: Point::new(rng.gen_range(0..side), rng.gen_range(0..side)),
+            })
+            .collect();
+        let updates: Vec<UserUpdate> = moves.iter().copied().map(UserUpdate::Move).collect();
+        db.apply_moves(&moves).unwrap();
+        inc.stage_updates(&updates).unwrap();
+        let total = inc.pending_rows();
+        assert!(total > 4, "need enough pending rows to cancel mid-sweep: {total}");
+
+        // Cancel after 3 rows, at every-row (semi-quadrant) granularity.
+        let budget = std::cell::Cell::new(3usize);
+        let cancel = move || {
+            if budget.get() == 0 {
+                true
+            } else {
+                budget.set(budget.get() - 1);
+                false
+            }
+        };
+        assert!(matches!(inc.refresh_cancellable(&cancel), Err(CoreError::Cancelled)));
+        assert_eq!(inc.pending_rows(), total - 3, "three rows committed before the cut");
+        assert!(matches!(inc.policy(), Err(CoreError::StaleMatrix(_))));
+
+        // Resume without a deadline: result identical to a never-cancelled run.
+        inc.refresh().unwrap();
+        let fresh_tree = SpatialTree::build(&db, cfg).unwrap();
+        let fresh_cost = bulk_dp_fast(&fresh_tree, k).unwrap().optimal_cost(&fresh_tree).unwrap();
+        assert_eq!(inc.optimal_cost().unwrap(), fresh_cost);
+        let policy = inc.policy().unwrap();
+        assert!(verify_policy_aware(&policy, &db, k).is_ok());
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub use dp_dense::bulk_dp_dense;
 pub use dp_fast::{bulk_dp_fast, bulk_dp_fast_with_options, bulk_dp_fast_with_scratch, DpScratch};
 pub use dp_fast_quad::bulk_dp_fast_quad;
 pub use error::CoreError;
-pub use incremental::IncrementalAnonymizer;
+pub use incremental::{IncrementalAnonymizer, IncrementalReport};
 pub use matrix::{DpMatrix, Entry, Row, INFINITE_COST};
 pub use per_user_k::{anonymize_per_user_k, verify_per_user_k, KRequirements};
 pub use sticky::StickyAnonymizer;

@@ -120,6 +120,18 @@ pub const LINTS: &[LintDef] = &[
               untestable and pollutes machine-readable CLI output.",
     },
     LintDef {
+        name: "no-unchecked-io-in-runtime",
+        severity: Severity::Error,
+        summary: "runtime WAL/checkpoint code must not unwrap/expect io::Result values",
+        doc: "Durability code in lbs-runtime (WAL appends, checkpoint writes, \
+              recovery scans) treats every io failure as a first-class outcome: \
+              a torn frame or failed fsync must surface as `RuntimeError::Io` so \
+              recovery and retry can handle it. An unwrap on an io::Result \
+              panics mid-write and can leave a half-written frame behind with \
+              no typed record of the failure. Propagate with `?` (via the \
+              `From<io::Error>` impl) instead.",
+    },
+    LintDef {
         name: MALFORMED_PRAGMA,
         severity: Severity::Error,
         summary: "suppression pragmas must name a known lint and carry a reason",

@@ -73,6 +73,7 @@ pub fn applies(lint: &str, crate_name: &str, role: FileRole) -> bool {
         // Replayability is global: even tests must derive their seeds.
         "no-unseeded-rng" => true,
         "no-raw-thread-spawn" => matches!(role, Lib | Bin | Example) && crate_name != "parallel",
+        "no-unchecked-io-in-runtime" => role == Lib && crate_name == "runtime",
         "no-wall-clock-in-dp" => role == Lib && !matches!(crate_name, "metrics" | "bench"),
         _ => true,
     }
@@ -142,6 +143,51 @@ fn skip_attribute(code: &[Token<'_>], at: usize) -> usize {
     code.len()
 }
 
+/// Identifiers whose calls produce `io::Result` values in std's fs/io
+/// surface (the vocabulary WAL/checkpoint code actually uses).
+const IO_IDENTS: &[&str] = &[
+    "write",
+    "write_all",
+    "flush",
+    "sync_all",
+    "sync_data",
+    "read",
+    "read_to_end",
+    "read_exact",
+    "create",
+    "open",
+    "rename",
+    "remove_file",
+    "read_dir",
+    "set_len",
+    "seek",
+    "metadata",
+    "create_dir_all",
+    "copy",
+    "File",
+    "OpenOptions",
+];
+
+/// Scans backward from an `unwrap`/`expect` token for an io-returning call
+/// within the same statement (bounded at `;`/`{`/`}` and a small token
+/// budget, so unrelated earlier statements never trigger it).
+fn io_call_upstream<'a>(code: &[Token<'a>], at: usize) -> Option<&'a str> {
+    let mut j = at;
+    let mut budget = 12usize;
+    while j > 0 && budget > 0 {
+        j -= 1;
+        let t = &code[j];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            return None;
+        }
+        if t.kind == TokenKind::Ident && IO_IDENTS.contains(&t.text) {
+            return Some(t.text);
+        }
+        budget -= 1;
+    }
+    None
+}
+
 fn is_seq(code: &[Token<'_>], at: usize, pattern: &[&str]) -> bool {
     pattern.iter().enumerate().all(|(o, want)| code.get(at + o).is_some_and(|t| t.text == *want))
 }
@@ -170,6 +216,29 @@ pub fn run_all(info: &FileInfo<'_>, out: &mut Vec<Violation>) {
                     t.text
                 ),
             );
+        }
+
+        // no-unchecked-io-in-runtime: unwrap/expect on the result of an
+        // io-returning call inside lbs-runtime durability code.
+        if t.kind == TokenKind::Ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && code[i - 1].is_punct(".")
+            && code.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && on("no-unchecked-io-in-runtime", t.line)
+        {
+            if let Some(source) = io_call_upstream(code, i) {
+                info.push(
+                    out,
+                    "no-unchecked-io-in-runtime",
+                    t,
+                    format!(
+                        "`.{}()` on the result of `{source}`; io failures in WAL/checkpoint \
+                         code must propagate as `RuntimeError::Io` (use `?`)",
+                        t.text
+                    ),
+                );
+            }
         }
 
         // no-panic-in-lib: panic-family macros.

@@ -91,6 +91,29 @@ fn wall_clock_fires_outside_metrics_and_bench_only() {
 }
 
 #[test]
+fn unchecked_io_in_runtime_fires_on_io_results_in_the_runtime_crate_only() {
+    let src = "fn f(p: &std::path::Path) {\n    let mut file = File::create(p).unwrap();\n    file.write_all(b\"frame\").expect(\"boom\");\n    Some(1).unwrap();\n}\n";
+    let report = lint_source("crates/runtime/src/wal.rs", src);
+    let io: Vec<u32> = report
+        .violations
+        .iter()
+        .filter(|v| v.lint == "no-unchecked-io-in-runtime")
+        .map(|v| v.line)
+        .collect();
+    // The io-fed unwrap/expect fire; the plain Option unwrap on line 4
+    // trips only no-unwrap-in-lib (the `;` bounds the backward scan).
+    assert_eq!(io, [2, 3], "{report:?}");
+    let plain = report.violations.iter().filter(|v| v.lint == "no-unwrap-in-lib").count();
+    assert_eq!(plain, 3, "{report:?}");
+    // Outside lbs-runtime the same source never trips the io lint.
+    let other = lint_source("crates/core/src/fixture.rs", src);
+    assert!(other.violations.iter().all(|v| v.lint != "no-unchecked-io-in-runtime"));
+    // Runtime test code is exempt (fixtures unwrap io freely).
+    let tests = lint_source("crates/runtime/tests/fixture.rs", src);
+    assert!(tests.violations.iter().all(|v| v.lint != "no-unchecked-io-in-runtime"));
+}
+
+#[test]
 fn float_eq_fires_on_either_side_and_on_negated_literals() {
     let src = "fn f(x: f64) -> bool { x == 1.0 }\nfn g(x: f64) -> bool { 2.5 != x }\nfn h(x: f64) -> bool { x == -0.5 }\nfn i(x: u32) -> bool { x == 1 }\n";
     let report = lint_lib(src);

@@ -59,11 +59,27 @@ pub enum Counter {
     FaultsInjected,
     /// Panicked tasks re-enqueued for another attempt.
     TaskRetries,
+    /// Requests rejected outright by the service runtime's degradation
+    /// ladder (no rung could answer without weakening anonymity).
+    RequestsShed,
+    /// Requests answered from the last-committed policy instead of a
+    /// fresh optimal one (degradation rung 1).
+    DegradedCommitted,
+    /// Requests answered with a coarser ancestor cloak of the committed
+    /// policy (degradation rung 2, Lemma-5 style pass-up).
+    DegradedCoarsened,
+    /// Milliseconds of injected-clock time spent replaying the WAL during
+    /// the most recent crash recovery.
+    RecoveryReplayMs,
+    /// Records appended (and synced) to the write-ahead log.
+    WalAppends,
+    /// Checkpoints written and atomically published.
+    CheckpointsWritten,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 18] = [
         Counter::TasksInjected,
         Counter::TasksExecuted,
         Counter::TasksStolen,
@@ -76,6 +92,12 @@ impl Counter {
         Counter::WorkerPanics,
         Counter::FaultsInjected,
         Counter::TaskRetries,
+        Counter::RequestsShed,
+        Counter::DegradedCommitted,
+        Counter::DegradedCoarsened,
+        Counter::RecoveryReplayMs,
+        Counter::WalAppends,
+        Counter::CheckpointsWritten,
     ];
 
     /// Stable snake_case name used in [`MetricsSnapshot`] keys.
@@ -93,6 +115,12 @@ impl Counter {
             Counter::WorkerPanics => "worker_panics",
             Counter::FaultsInjected => "faults_injected",
             Counter::TaskRetries => "task_retries",
+            Counter::RequestsShed => "requests_shed",
+            Counter::DegradedCommitted => "degraded_committed",
+            Counter::DegradedCoarsened => "degraded_coarsened",
+            Counter::RecoveryReplayMs => "recovery_replay_ms",
+            Counter::WalAppends => "wal_appends",
+            Counter::CheckpointsWritten => "checkpoints_written",
         }
     }
 
@@ -121,11 +149,19 @@ pub enum Stage {
     Merge,
     /// Per-request serving (policy lookup + cloaked-NN answering).
     Serve,
+    /// Appending and syncing one churn batch to the write-ahead log.
+    WalAppend,
+    /// Writing and atomically publishing one checkpoint.
+    Checkpoint,
+    /// Replaying WAL records during crash recovery.
+    Replay,
+    /// Refreshing the DP matrix and committing a new policy epoch.
+    Commit,
 }
 
 impl Stage {
     /// Every stage, in serialization order.
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 12] = [
         Stage::TreeBuild,
         Stage::Dp,
         Stage::Extract,
@@ -134,6 +170,10 @@ impl Stage {
         Stage::QueueWait,
         Stage::Merge,
         Stage::Serve,
+        Stage::WalAppend,
+        Stage::Checkpoint,
+        Stage::Replay,
+        Stage::Commit,
     ];
 
     /// Stable snake_case name used in [`MetricsSnapshot`] keys.
@@ -147,6 +187,10 @@ impl Stage {
             Stage::QueueWait => "queue_wait",
             Stage::Merge => "merge",
             Stage::Serve => "serve",
+            Stage::WalAppend => "wal_append",
+            Stage::Checkpoint => "checkpoint",
+            Stage::Replay => "replay",
+            Stage::Commit => "commit",
         }
     }
 

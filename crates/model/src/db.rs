@@ -32,6 +32,39 @@ pub struct Move {
     pub to: Point,
 }
 
+/// One churn event between snapshots: besides pure movement, a production
+/// MPC feed also reports devices appearing (powering on, entering the
+/// jurisdiction) and disappearing. This is the record type the service
+/// runtime writes to its write-ahead log (serialized by the binary codec
+/// in `model::update_codec`, not serde).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UserUpdate {
+    /// An existing user moved to a new location.
+    Move(Move),
+    /// A new user appeared at a location.
+    Insert {
+        /// The appearing user.
+        user: UserId,
+        /// Where the user appeared.
+        at: Point,
+    },
+    /// A user disappeared from the snapshot.
+    Delete {
+        /// The disappearing user.
+        user: UserId,
+    },
+}
+
+impl UserUpdate {
+    /// The user this update concerns.
+    pub fn user(&self) -> UserId {
+        match *self {
+            UserUpdate::Move(m) => m.user,
+            UserUpdate::Insert { user, .. } | UserUpdate::Delete { user } => user,
+        }
+    }
+}
+
 /// One snapshot of the location database: the set of all device locations
 /// the MPC would report at one instant.
 ///
@@ -163,6 +196,84 @@ impl LocationDb {
         Ok(())
     }
 
+    /// Removes `user`, returning their last location.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::UnknownUser`] if the user is absent; the
+    /// database is left unchanged in that case.
+    pub fn remove(&mut self, user: UserId) -> Result<Point, ModelError> {
+        let i = self.index.remove(&user).ok_or(ModelError::UnknownUser(user))?;
+        let (_, point) = self.rows.swap_remove(i);
+        if let Some(&(moved, _)) = self.rows.get(i) {
+            self.index.insert(moved, i);
+        }
+        Ok(point)
+    }
+
+    /// Checks that `updates` would apply cleanly, **in order**, without
+    /// mutating anything. A batch may insert a user and then move it, or
+    /// delete and re-insert; validity is judged against the membership
+    /// state the preceding updates of the batch would leave behind.
+    ///
+    /// # Errors
+    /// [`ModelError::UnknownUser`] for a move/delete of an absent user,
+    /// [`ModelError::DuplicateUser`] for an insert of a present one.
+    pub fn validate_updates(&self, updates: &[UserUpdate]) -> Result<(), ModelError> {
+        let mut overlay: HashMap<UserId, bool> = HashMap::new();
+        let present = |db: &Self, u: UserId, overlay: &HashMap<UserId, bool>| {
+            overlay.get(&u).copied().unwrap_or_else(|| db.contains(u))
+        };
+        for up in updates {
+            match *up {
+                UserUpdate::Move(m) => {
+                    if !present(self, m.user, &overlay) {
+                        return Err(ModelError::UnknownUser(m.user));
+                    }
+                }
+                UserUpdate::Insert { user, .. } => {
+                    if present(self, user, &overlay) {
+                        return Err(ModelError::DuplicateUser(user));
+                    }
+                    overlay.insert(user, true);
+                }
+                UserUpdate::Delete { user } => {
+                    if !present(self, user, &overlay) {
+                        return Err(ModelError::UnknownUser(user));
+                    }
+                    overlay.insert(user, false);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a churn batch (moves, inserts, deletes) in order.
+    /// Validation is all-or-nothing via [`LocationDb::validate_updates`]:
+    /// on error nothing is applied.
+    ///
+    /// # Errors
+    /// Propagates [`LocationDb::validate_updates`] failures.
+    pub fn apply_updates(&mut self, updates: &[UserUpdate]) -> Result<(), ModelError> {
+        self.validate_updates(updates)?;
+        for up in updates {
+            match *up {
+                UserUpdate::Move(m) => {
+                    // Validated above; the entry is present.
+                    if let Some(&i) = self.index.get(&m.user) {
+                        self.rows[i].1 = m.to;
+                    }
+                }
+                UserUpdate::Insert { user, at } => {
+                    self.insert(user, at)?;
+                }
+                UserUpdate::Delete { user } => {
+                    self.remove(user)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// The axis-aligned bounding rectangle of all locations, or `None` when
     /// empty. Useful for choosing a map that covers a generated workload.
     pub fn bounding_rect(&self) -> Option<Rect> {
@@ -268,6 +379,51 @@ mod tests {
         ];
         assert_eq!(db.apply_moves(&moves), Err(ModelError::UnknownUser(UserId(42))));
         assert_eq!(db.location(UserId(1)), Some(Point::new(0, 0)), "no partial application");
+    }
+
+    #[test]
+    fn remove_keeps_index_consistent() {
+        let mut db = db3();
+        assert_eq!(db.remove(UserId(1)), Ok(Point::new(0, 0)));
+        assert_eq!(db.len(), 2);
+        assert!(!db.contains(UserId(1)));
+        // The swap-removed row (user 3) must still be reachable.
+        assert_eq!(db.location(UserId(3)), Some(Point::new(9, 1)));
+        assert_eq!(db.remove(UserId(1)), Err(ModelError::UnknownUser(UserId(1))));
+    }
+
+    #[test]
+    fn update_batches_apply_in_order() {
+        let mut db = db3();
+        let updates = [
+            UserUpdate::Delete { user: UserId(2) },
+            UserUpdate::Insert { user: UserId(2), at: Point::new(4, 4) },
+            UserUpdate::Move(Move { user: UserId(2), to: Point::new(6, 6) }),
+            UserUpdate::Insert { user: UserId(7), at: Point::new(2, 2) },
+        ];
+        db.apply_updates(&updates).unwrap();
+        assert_eq!(db.len(), 4);
+        assert_eq!(db.location(UserId(2)), Some(Point::new(6, 6)));
+        assert_eq!(db.location(UserId(7)), Some(Point::new(2, 2)));
+        assert_eq!(updates[0].user(), UserId(2));
+    }
+
+    #[test]
+    fn update_batches_are_atomic_on_error() {
+        let mut db = db3();
+        let bad = [
+            UserUpdate::Insert { user: UserId(9), at: Point::new(1, 1) },
+            UserUpdate::Move(Move { user: UserId(42), to: Point::new(0, 0) }),
+        ];
+        assert_eq!(db.apply_updates(&bad), Err(ModelError::UnknownUser(UserId(42))));
+        assert!(!db.contains(UserId(9)), "no partial application");
+        // Duplicate insert against batch-local state is caught too.
+        let dup = [
+            UserUpdate::Insert { user: UserId(9), at: Point::new(1, 1) },
+            UserUpdate::Insert { user: UserId(9), at: Point::new(2, 2) },
+        ];
+        assert_eq!(db.apply_updates(&dup), Err(ModelError::DuplicateUser(UserId(9))));
+        assert!(!db.contains(UserId(9)));
     }
 
     #[test]

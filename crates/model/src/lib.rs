@@ -27,10 +27,12 @@ mod policy;
 mod policy_codec;
 mod request;
 mod snapshot;
+mod update_codec;
 
-pub use db::{LocationDb, LocationDbBuilder, Move, UserId};
+pub use db::{LocationDb, LocationDbBuilder, Move, UserId, UserUpdate};
 pub use error::ModelError;
 pub use policy::{BulkPolicy, CloakingPolicy, PolicyStats};
 pub use policy_codec::{decode_policy, encode_policy};
 pub use request::{AnonymizedRequest, RequestId, RequestParams, ServiceRequest};
 pub use snapshot::{decode_snapshot, encode_snapshot};
+pub use update_codec::{decode_updates, encode_updates};

@@ -1,0 +1,129 @@
+//! Compact binary encoding of churn batches ([`UserUpdate`]) — the
+//! payload format of the service runtime's write-ahead log.
+//!
+//! Same conventions as the snapshot codec (`model::snapshot`): a magic
+//! word, a length header, fixed-width little-endian rows, and strict
+//! truncation rejection so a torn tail never decodes into a shorter but
+//! plausible batch. Every update is 25 bytes: a one-byte tag, the user
+//! id, and the coordinates (zeroed for deletes).
+
+use crate::{ModelError, Move, UserId, UserUpdate};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use lbs_geom::Point;
+
+const MAGIC: u32 = 0x4C42_5355; // "LBSU"
+const ROW_BYTES: usize = 1 + 8 + 8 + 8;
+
+const TAG_MOVE: u8 = 0;
+const TAG_INSERT: u8 = 1;
+const TAG_DELETE: u8 = 2;
+
+/// Encodes a churn batch into a self-describing byte buffer.
+pub fn encode_updates(updates: &[UserUpdate]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(12 + ROW_BYTES * updates.len());
+    buf.put_u32_le(MAGIC);
+    buf.put_u64_le(updates.len() as u64);
+    for up in updates {
+        let (tag, user, point) = match *up {
+            UserUpdate::Move(m) => (TAG_MOVE, m.user, m.to),
+            UserUpdate::Insert { user, at } => (TAG_INSERT, user, at),
+            UserUpdate::Delete { user } => (TAG_DELETE, user, Point::new(0, 0)),
+        };
+        buf.put_u8(tag);
+        buf.put_u64_le(user.0);
+        buf.put_i64_le(point.x);
+        buf.put_i64_le(point.y);
+    }
+    buf.freeze()
+}
+
+/// Decodes a batch produced by [`encode_updates`].
+///
+/// # Errors
+/// Returns [`ModelError::CorruptSnapshot`] on truncation, trailing
+/// garbage, bad magic, or an unknown update tag.
+pub fn decode_updates(mut bytes: Bytes) -> Result<Vec<UserUpdate>, ModelError> {
+    if bytes.remaining() < 12 {
+        return Err(ModelError::CorruptSnapshot("truncated update-batch header".into()));
+    }
+    let magic = bytes.get_u32_le();
+    if magic != MAGIC {
+        return Err(ModelError::CorruptSnapshot(format!("bad update-batch magic {magic:#x}")));
+    }
+    let n = bytes.get_u64_le() as usize;
+    if bytes.remaining() != n.saturating_mul(ROW_BYTES) {
+        return Err(ModelError::CorruptSnapshot(format!(
+            "expected {} update bytes, found {}",
+            n.saturating_mul(ROW_BYTES),
+            bytes.remaining()
+        )));
+    }
+    let mut updates = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tag = bytes.get_u8();
+        let user = UserId(bytes.get_u64_le());
+        let x = bytes.get_i64_le();
+        let y = bytes.get_i64_le();
+        updates.push(match tag {
+            TAG_MOVE => UserUpdate::Move(Move { user, to: Point::new(x, y) }),
+            TAG_INSERT => UserUpdate::Insert { user, at: Point::new(x, y) },
+            TAG_DELETE => UserUpdate::Delete { user },
+            other => {
+                return Err(ModelError::CorruptSnapshot(format!("unknown update tag {other}")))
+            }
+        });
+    }
+    Ok(updates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<UserUpdate> {
+        vec![
+            UserUpdate::Move(Move { user: UserId(7), to: Point::new(-3, 99) }),
+            UserUpdate::Insert { user: UserId(8), at: Point::new(i64::MAX / 8, 0) },
+            UserUpdate::Delete { user: UserId(9) },
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_updates() {
+        let updates = sample();
+        assert_eq!(decode_updates(encode_updates(&updates)).unwrap(), updates);
+        assert!(decode_updates(encode_updates(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = encode_updates(&sample());
+        for cut in 0..bytes.len() {
+            let sliced = bytes.slice(0..cut);
+            assert!(
+                matches!(decode_updates(sliced), Err(ModelError::CorruptSnapshot(_))),
+                "cut at {cut} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_bad_tag_rejected() {
+        let mut raw = encode_updates(&sample()).to_vec();
+        raw[0] ^= 0xFF;
+        assert!(matches!(
+            decode_updates(Bytes::from(raw.clone())),
+            Err(ModelError::CorruptSnapshot(_))
+        ));
+        raw[0] ^= 0xFF;
+        raw[12] = 77; // first row's tag
+        assert!(matches!(decode_updates(Bytes::from(raw)), Err(ModelError::CorruptSnapshot(_))));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut raw = encode_updates(&sample()).to_vec();
+        raw.push(0);
+        assert!(matches!(decode_updates(Bytes::from(raw)), Err(ModelError::CorruptSnapshot(_))));
+    }
+}

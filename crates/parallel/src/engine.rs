@@ -127,6 +127,15 @@ pub struct FaultPlan {
     /// at startup forces the batch it would have claimed onto its
     /// siblings.
     worker_delays: HashMap<usize, Duration>,
+    /// WAL sequence number → injected stall while the service runtime
+    /// replays that record during crash recovery. Exercises
+    /// deadline/progress accounting on the recovery path with the same
+    /// deterministic machinery as the engine faults.
+    replay_stalls: HashMap<u64, Duration>,
+    /// checkpoint sequence number → number of leading attempts at writing
+    /// that checkpoint which crash mid-write (leaving a torn temp file
+    /// behind), before an attempt is allowed to complete.
+    checkpoint_crashes: HashMap<u64, u32>,
 }
 
 impl FaultPlan {
@@ -194,6 +203,29 @@ impl FaultPlan {
     /// Does attempt `attempt` of task `index` panic under this plan?
     pub fn should_panic(&self, index: usize, attempt: u32) -> bool {
         self.panics.get(&index).is_some_and(|&n| attempt < n)
+    }
+
+    /// Stall for `delay` while replaying WAL record `seq` during recovery.
+    pub fn stall_during_replay(mut self, seq: u64, delay: Duration) -> Self {
+        self.replay_stalls.insert(seq, delay);
+        self
+    }
+
+    /// Crash the first `attempts` attempts at writing checkpoint `seq`
+    /// mid-write (a torn temp file is left on disk; no rename happens).
+    pub fn crash_mid_checkpoint(mut self, seq: u64, attempts: u32) -> Self {
+        self.checkpoint_crashes.insert(seq, attempts);
+        self
+    }
+
+    /// Injected stall for replaying WAL record `seq`, if any.
+    pub fn replay_stall(&self, seq: u64) -> Option<Duration> {
+        self.replay_stalls.get(&seq).copied()
+    }
+
+    /// Does attempt `attempt` at writing checkpoint `seq` crash mid-write?
+    pub fn should_crash_checkpoint(&self, seq: u64, attempt: u32) -> bool {
+        self.checkpoint_crashes.get(&seq).is_some_and(|&n| attempt < n)
     }
 
     fn stall_for(&self, index: usize) -> Option<Duration> {
@@ -555,6 +587,22 @@ mod tests {
         cfg.map_side = 1 << 14;
         let db = generate_master(&cfg);
         (db, cfg.map())
+    }
+
+    #[test]
+    fn recovery_fault_hooks_are_attempt_scoped() {
+        let plan = FaultPlan::new()
+            .stall_during_replay(7, Duration::from_micros(250))
+            .crash_mid_checkpoint(3, 2);
+        assert_eq!(plan.replay_stall(7), Some(Duration::from_micros(250)));
+        assert_eq!(plan.replay_stall(8), None);
+        assert!(plan.should_crash_checkpoint(3, 0));
+        assert!(plan.should_crash_checkpoint(3, 1));
+        assert!(!plan.should_crash_checkpoint(3, 2), "attempt n succeeds after n crashes");
+        assert!(!plan.should_crash_checkpoint(4, 0));
+        // Recovery hooks are independent of the engine's task-index knobs.
+        assert!(!plan.should_panic(3, 0));
+        assert_eq!(plan.max_panic_attempts(), 0);
     }
 
     #[test]

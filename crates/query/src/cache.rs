@@ -25,6 +25,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries dropped by flushes.
     pub flushed: u64,
+    /// Entries dropped because the committed policy epoch advanced.
+    pub invalidated: u64,
 }
 
 impl CacheStats {
@@ -40,6 +42,11 @@ impl CacheStats {
 pub struct AnswerCache {
     entries: HashMap<(Region, RequestParams), Vec<PoiId>>,
     stats: CacheStats,
+    /// Committed policy epoch the cached answers were computed under.
+    /// Entries are keyed only by `(cloak, params)`, so without this an
+    /// answer cached under the previous `BulkPolicy` would keep being
+    /// served after the anonymizer committed a new one.
+    epoch: u64,
 }
 
 impl AnswerCache {
@@ -89,6 +96,23 @@ impl AnswerCache {
     /// Current statistics without flushing.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// The committed policy epoch this cache is valid for.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advances the committed policy epoch, invalidating every cached
+    /// answer computed under an older policy. A no-op when `epoch` equals
+    /// the current one; hit/miss counters survive (they are the billing
+    /// record, not per-epoch state).
+    pub fn set_epoch(&mut self, epoch: u64) {
+        if epoch != self.epoch {
+            self.stats.invalidated += self.entries.len() as u64;
+            self.entries.clear();
+            self.epoch = epoch;
+        }
     }
 }
 
@@ -141,5 +165,26 @@ mod tests {
         assert_eq!(cache.stats(), CacheStats::default());
         // Post-flush, the same request is a miss again (fresh POIs visible).
         assert!(cache.lookup(&cloak, &params).is_none());
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_stale_answers() {
+        let (cloak, params) = key();
+        let mut cache = AnswerCache::new();
+        cache.store(cloak, params.clone(), vec![PoiId(1)]);
+        assert_eq!(cache.lookup(&cloak, &params), Some(vec![PoiId(1)]));
+
+        // The anonymizer commits a new policy: answers cached under the
+        // old epoch must not be served.
+        cache.set_epoch(1);
+        assert_eq!(cache.epoch(), 1);
+        assert!(cache.lookup(&cloak, &params).is_none(), "stale answer served after epoch bump");
+        assert_eq!(cache.stats().invalidated, 1);
+
+        // Same epoch again: cached answers survive.
+        cache.store(cloak, params.clone(), vec![PoiId(2)]);
+        cache.set_epoch(1);
+        assert_eq!(cache.lookup(&cloak, &params), Some(vec![PoiId(2)]));
+        assert_eq!(cache.stats().invalidated, 1);
     }
 }

@@ -54,6 +54,13 @@ impl CloakedLbs {
         &mut self.cache
     }
 
+    /// Notifies the service that a new bulk policy was committed. Cached
+    /// answers from older epochs are invalidated so a post-commit hit can
+    /// never serve a candidate set computed for a previous policy's cloak.
+    pub fn set_policy_epoch(&mut self, epoch: u64) {
+        self.cache.set_epoch(epoch);
+    }
+
     /// Serves an anonymized request whose `poi` parameter names the
     /// category, then filters at the "client" with the sender's true
     /// location. The LBS half sees only `ar.region` and `ar.params`.
@@ -154,6 +161,27 @@ mod tests {
         assert_eq!(metrics.get(Counter::CacheHits), 4);
         assert_eq!(metrics.stage_calls(Stage::Serve), 5);
         assert!(metrics.stage_total(Stage::Serve) > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn policy_epoch_bump_flushes_cached_answers() {
+        let mut lbs = lbs();
+        let cloak: Region = Rect::new(0, 0, 64, 64).into();
+        lbs.nearest_for(&request(cloak, "rest"), Point::new(10, 10));
+        let answer = lbs.nearest_for(&request(cloak, "rest"), Point::new(10, 10));
+        assert!(answer.cache_hit);
+
+        // A new BulkPolicy is committed: the same (cloak, params) key must
+        // miss so the answer is recomputed under the new epoch.
+        lbs.set_policy_epoch(1);
+        let answer = lbs.nearest_for(&request(cloak, "rest"), Point::new(10, 10));
+        assert!(!answer.cache_hit, "regression: stale pre-commit answer served from cache");
+        assert_eq!(lbs.cache_mut().stats().invalidated, 1);
+
+        // Re-announcing the same epoch does not thrash the cache.
+        lbs.set_policy_epoch(1);
+        let answer = lbs.nearest_for(&request(cloak, "rest"), Point::new(10, 10));
+        assert!(answer.cache_hit);
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! Durable checkpoints: the committed state of the anonymizer at one WAL
+//! sequence number.
+//!
+//! A checkpoint file `checkpoint-<seq>.ckpt` holds the location database
+//! snapshot and the committed [`BulkPolicy`] as of WAL record `seq`, plus
+//! the runtime parameters (k, map, epoch) needed to resume. The spatial
+//! tree and DP matrix are *not* stored: both are deterministic functions
+//! of the database (proved by the tree and core test suites), so recovery
+//! rebuilds them — a checkpoint stays small and can never disagree with
+//! its own database.
+//!
+//! Files are written atomically (temp file + fsync + rename) and never
+//! modified afterwards; old checkpoints are kept, so a corrupt latest
+//! checkpoint degrades recovery to an older one plus a longer WAL replay,
+//! never to data loss (the WAL is never pruned).
+
+use crate::error::{io_err, RuntimeError};
+use crate::wal::crc32;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use lbs_geom::Rect;
+use lbs_model::{
+    decode_policy, decode_snapshot, encode_policy, encode_snapshot, BulkPolicy, LocationDb,
+};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const MAGIC: u32 = 0x4C42_5343; // "LBSC"
+const VERSION: u32 = 1;
+
+/// Committed runtime state as of one WAL sequence number.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Policy epoch at the checkpoint (count of commits so far).
+    pub epoch: u64,
+    /// WAL sequence number this state reflects: recovery replays records
+    /// with `seq > wal_seq`.
+    pub wal_seq: u64,
+    /// Anonymity level the runtime was configured with.
+    pub k: usize,
+    /// The map every tree is built over.
+    pub map: Rect,
+    /// Location database at `wal_seq`.
+    pub db: LocationDb,
+    /// Committed policy at `wal_seq`.
+    pub policy: BulkPolicy,
+}
+
+/// Canonical file name for the checkpoint at `seq`.
+pub fn checkpoint_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{seq:012}.ckpt"))
+}
+
+fn seq_of(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let middle = name.strip_prefix("checkpoint-")?.strip_suffix(".ckpt")?;
+    middle.parse().ok()
+}
+
+/// Serializes a checkpoint (trailing CRC included).
+pub fn encode_checkpoint(ckpt: &Checkpoint) -> Bytes {
+    let db_bytes = encode_snapshot(&ckpt.db);
+    let policy_bytes = encode_policy(&ckpt.policy);
+    let mut buf = BytesMut::with_capacity(64 + db_bytes.len() + policy_bytes.len());
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(ckpt.epoch);
+    buf.put_u64_le(ckpt.wal_seq);
+    buf.put_u64_le(ckpt.k as u64);
+    buf.put_i64_le(ckpt.map.x0);
+    buf.put_i64_le(ckpt.map.y0);
+    buf.put_i64_le(ckpt.map.x1);
+    buf.put_i64_le(ckpt.map.y1);
+    buf.put_u64_le(db_bytes.len() as u64);
+    buf.put_slice(&db_bytes);
+    buf.put_u64_le(policy_bytes.len() as u64);
+    buf.put_slice(&policy_bytes);
+    let crc = crc32(&buf);
+    buf.put_u32_le(crc);
+    buf.freeze()
+}
+
+/// Decodes and validates a checkpoint buffer.
+///
+/// # Errors
+/// [`RuntimeError::CorruptCheckpoint`] (with `path` for context) on any
+/// structural problem: truncation, bad magic/version, CRC mismatch, or a
+/// corrupt inner snapshot/policy.
+pub fn decode_checkpoint(raw: &[u8], path: &Path) -> Result<Checkpoint, RuntimeError> {
+    let corrupt =
+        |message: String| RuntimeError::CorruptCheckpoint { path: path.to_path_buf(), message };
+    if raw.len() < 64 + 4 {
+        return Err(corrupt(format!("truncated: {} bytes", raw.len())));
+    }
+    let (body, tail) = raw.split_at(raw.len() - 4);
+    let want_crc = u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]);
+    if crc32(body) != want_crc {
+        return Err(corrupt("checksum mismatch".into()));
+    }
+    let mut buf = Bytes::copy_from_slice(body);
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(corrupt(format!("bad magic {magic:#x}")));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(corrupt(format!("unsupported version {version}")));
+    }
+    let epoch = buf.get_u64_le();
+    let wal_seq = buf.get_u64_le();
+    let k = usize::try_from(buf.get_u64_le()).map_err(|_| corrupt("k overflows usize".into()))?;
+    let map = Rect::new(buf.get_i64_le(), buf.get_i64_le(), buf.get_i64_le(), buf.get_i64_le());
+    let db_len = buf.get_u64_le() as usize;
+    if buf.remaining() < db_len + 8 {
+        return Err(corrupt("truncated database section".into()));
+    }
+    let db_bytes = buf.split_to(db_len);
+    let policy_len = buf.get_u64_le() as usize;
+    if buf.remaining() != policy_len {
+        return Err(corrupt(format!(
+            "expected {policy_len} policy bytes, found {}",
+            buf.remaining()
+        )));
+    }
+    let db = decode_snapshot(db_bytes).map_err(|e| corrupt(format!("database: {e}")))?;
+    let policy = decode_policy(buf).map_err(|e| corrupt(format!("policy: {e}")))?;
+    Ok(Checkpoint { epoch, wal_seq, k, map, db, policy })
+}
+
+/// Writes a checkpoint atomically: temp file, fsync, rename. When `torn`
+/// is set (fault injection), only a prefix of the bytes is written and
+/// the temp file is left behind *without* renaming — exactly the on-disk
+/// state of a crash mid-checkpoint.
+///
+/// # Errors
+/// [`RuntimeError::Io`] on filesystem failure;
+/// [`RuntimeError::FaultInjected`] when `torn` fired.
+pub fn write_checkpoint(
+    dir: &Path,
+    ckpt: &Checkpoint,
+    torn: bool,
+) -> Result<PathBuf, RuntimeError> {
+    let bytes = encode_checkpoint(ckpt);
+    let final_path = checkpoint_path(dir, ckpt.wal_seq);
+    let tmp_path = final_path.with_extension("ckpt.tmp");
+    let mut file = std::fs::File::create(&tmp_path).map_err(|e| io_err("create", &tmp_path, e))?;
+    if torn {
+        let cut = bytes.len() / 2;
+        file.write_all(&bytes[..cut]).map_err(|e| io_err("write", &tmp_path, e))?;
+        let _ = file.sync_data();
+        return Err(RuntimeError::FaultInjected(format!(
+            "crash mid-checkpoint at seq {}",
+            ckpt.wal_seq
+        )));
+    }
+    file.write_all(&bytes).map_err(|e| io_err("write", &tmp_path, e))?;
+    file.sync_data().map_err(|e| io_err("sync", &tmp_path, e))?;
+    drop(file);
+    std::fs::rename(&tmp_path, &final_path).map_err(|e| io_err("rename", &tmp_path, e))?;
+    Ok(final_path)
+}
+
+/// Lists checkpoint files in `dir`, newest (highest seq) first. Temp
+/// files from torn writes are ignored.
+///
+/// # Errors
+/// [`RuntimeError::Io`] when the directory cannot be read.
+pub fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>, RuntimeError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err("read_dir", dir, e))?;
+    let mut found = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("read_dir", dir, e))?;
+        let path = entry.path();
+        if let Some(seq) = seq_of(&path) {
+            found.push((seq, path));
+        }
+    }
+    found.sort_by_key(|&(seq, _)| std::cmp::Reverse(seq));
+    Ok(found)
+}
+
+/// Loads the newest structurally valid checkpoint, skipping corrupt ones
+/// (a skipped checkpoint only means a longer WAL replay — the log is
+/// never pruned). Returns `None` when no valid checkpoint exists.
+///
+/// # Errors
+/// [`RuntimeError::Io`] on directory or file read failure.
+pub fn load_latest(dir: &Path) -> Result<Option<Checkpoint>, RuntimeError> {
+    for (_, path) in list_checkpoints(dir)? {
+        let raw = std::fs::read(&path).map_err(|e| io_err("read", &path, e))?;
+        match decode_checkpoint(&raw, &path) {
+            Ok(ckpt) => return Ok(Some(ckpt)),
+            Err(RuntimeError::CorruptCheckpoint { .. }) => continue,
+            Err(other) => return Err(other),
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbs_geom::Point;
+    use lbs_model::UserId;
+
+    fn sample(wal_seq: u64) -> Checkpoint {
+        let db = LocationDb::from_rows(
+            (0..8).map(|i| (UserId(i), Point::new(i as i64 * 3, 7 - i as i64))),
+        )
+        .unwrap();
+        let mut policy = BulkPolicy::new("test-policy");
+        for i in 0..8 {
+            policy.assign(UserId(i), Rect::square(0, 0, 32).into());
+        }
+        Checkpoint { epoch: 4, wal_seq, k: 3, map: Rect::square(0, 0, 32), db, policy }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lbs-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let ckpt = sample(17);
+        let bytes = encode_checkpoint(&ckpt);
+        let back = decode_checkpoint(&bytes, Path::new("x")).unwrap();
+        assert_eq!(back.epoch, 4);
+        assert_eq!(back.wal_seq, 17);
+        assert_eq!(back.k, 3);
+        assert_eq!(back.map, ckpt.map);
+        assert_eq!(encode_snapshot(&back.db), encode_snapshot(&ckpt.db));
+        assert_eq!(encode_policy(&back.policy), encode_policy(&ckpt.policy));
+    }
+
+    #[test]
+    fn every_truncation_and_any_bitflip_is_rejected() {
+        let bytes = encode_checkpoint(&sample(1));
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_checkpoint(&bytes[..cut], Path::new("x")).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+        for idx in [0, 5, 20, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.to_vec();
+            bad[idx] ^= 0x01;
+            assert!(decode_checkpoint(&bad, Path::new("x")).is_err(), "bitflip at {idx} accepted");
+        }
+    }
+
+    #[test]
+    fn load_latest_skips_corrupt_and_torn_files() {
+        let dir = tmp_dir("skip");
+        write_checkpoint(&dir, &sample(3), false).unwrap();
+        write_checkpoint(&dir, &sample(9), false).unwrap();
+        // Corrupt the newest in place.
+        let newest = checkpoint_path(&dir, 9);
+        let mut raw = std::fs::read(&newest).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        std::fs::write(&newest, &raw).unwrap();
+        // Plus a torn temp file from a crashed write of seq 12.
+        assert!(matches!(
+            write_checkpoint(&dir, &sample(12), true),
+            Err(RuntimeError::FaultInjected(_))
+        ));
+        assert!(!checkpoint_path(&dir, 12).exists(), "torn write must not publish");
+
+        let loaded = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(loaded.wal_seq, 3, "fell back past the corrupt newest checkpoint");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dir_has_no_state() {
+        let dir = tmp_dir("empty");
+        assert!(load_latest(&dir).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,121 @@
+//! Typed outcomes of the service runtime.
+
+use lbs_core::CoreError;
+use lbs_model::{ModelError, UserId};
+use std::path::{Path, PathBuf};
+
+/// Everything that can go wrong in the durable service runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// An I/O operation on the WAL or a checkpoint failed.
+    Io {
+        /// What was being attempted (`"open"`, `"append"`, `"rename"`, …).
+        op: &'static str,
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying error, stringified (io::Error is not `Clone`/`Eq`).
+        message: String,
+    },
+    /// A checkpoint file failed structural validation (recovery skips it
+    /// and falls back to an older checkpoint plus a longer WAL replay).
+    CorruptCheckpoint {
+        /// The offending file.
+        path: PathBuf,
+        /// Why decoding rejected it.
+        message: String,
+    },
+    /// Recovery was requested on a directory with no valid checkpoint.
+    NoState(PathBuf),
+    /// Creation was requested on a directory that already holds runtime
+    /// state; use recovery instead of clobbering it.
+    AlreadyInitialized(PathBuf),
+    /// An anonymization-core failure (DP, tree, insufficient population).
+    Core(CoreError),
+    /// A model-layer failure (invalid churn batch, corrupt snapshot).
+    Model(ModelError),
+    /// The request's deadline expired before the work completed. DP
+    /// progress made so far is kept; the degradation ladder decides what
+    /// the sender receives instead.
+    DeadlineExceeded,
+    /// A transient failure persisted through every backoff attempt.
+    RetriesExhausted {
+        /// Attempts made (initial try plus retries).
+        attempts: u32,
+        /// The final attempt's error, stringified.
+        last: String,
+    },
+    /// A deterministic fault-injection hook fired (tests only; carries
+    /// the injection site).
+    FaultInjected(String),
+    /// Bottom rung of the degradation ladder: the request was shed
+    /// because no rung could answer without weakening k-anonymity.
+    Shed {
+        /// The sender whose request was rejected.
+        user: UserId,
+    },
+    /// The user is not present in the location database.
+    UnknownUser(UserId),
+}
+
+impl RuntimeError {
+    /// Whether a retry with backoff could plausibly succeed: injected
+    /// faults and worker panics are transient; corruption, deadline
+    /// expiry, and validation failures are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            RuntimeError::FaultInjected(_)
+                | RuntimeError::Core(CoreError::WorkerPanic(_))
+                | RuntimeError::Core(CoreError::StaleMatrix(_))
+        )
+    }
+}
+
+/// Wraps an `io::Error` with the operation and path that hit it.
+pub fn io_err(op: &'static str, path: &Path, e: std::io::Error) -> RuntimeError {
+    RuntimeError::Io { op, path: path.to_path_buf(), message: e.to_string() }
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Io { op, path, message } => {
+                write!(f, "{op} failed on {}: {message}", path.display())
+            }
+            RuntimeError::CorruptCheckpoint { path, message } => {
+                write!(f, "corrupt checkpoint {}: {message}", path.display())
+            }
+            RuntimeError::NoState(dir) => {
+                write!(f, "no valid checkpoint found in {}", dir.display())
+            }
+            RuntimeError::AlreadyInitialized(dir) => {
+                write!(f, "{} already holds runtime state; recover instead", dir.display())
+            }
+            RuntimeError::Core(e) => write!(f, "core error: {e}"),
+            RuntimeError::Model(e) => write!(f, "model error: {e}"),
+            RuntimeError::DeadlineExceeded => write!(f, "deadline expired before completion"),
+            RuntimeError::RetriesExhausted { attempts, last } => {
+                write!(f, "still failing after {attempts} attempts: {last}")
+            }
+            RuntimeError::FaultInjected(site) => write!(f, "injected fault at {site}"),
+            RuntimeError::Shed { user } => {
+                write!(f, "request from {user:?} shed: no degradation rung preserves anonymity")
+            }
+            RuntimeError::UnknownUser(user) => write!(f, "unknown user {user:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<CoreError> for RuntimeError {
+    fn from(e: CoreError) -> Self {
+        RuntimeError::Core(e)
+    }
+}
+
+impl From<ModelError> for RuntimeError {
+    fn from(e: ModelError) -> Self {
+        RuntimeError::Model(e)
+    }
+}

@@ -1,0 +1,459 @@
+//! Crash-safe anonymization service runtime.
+//!
+//! The paper's Section IV evaluates incremental maintenance of the
+//! `Bulk_dp` matrix under churn, implicitly assuming a long-running
+//! anonymizer. This crate makes that assumption hold under failure:
+//!
+//! * **Durability** — churn batches go through a CRC-framed write-ahead
+//!   log ([`wal`]) before they touch any state; committed state is
+//!   periodically checkpointed ([`checkpoint`]) with atomic publication.
+//!   Crash recovery loads the newest valid checkpoint, rebuilds the tree
+//!   and matrix (deterministic functions of the database), and replays
+//!   the WAL suffix recomputing only dirty DP rows — bit-identical to a
+//!   run that never crashed, at every crash point.
+//! * **Deadline budgets** — every request may carry a deadline; the DP
+//!   refresh cancels cooperatively at semi-quadrant (row) granularity,
+//!   and transient faults retry with seeded-jitter exponential backoff.
+//!   All time is injected through a [`Clock`], so schedules replay.
+//! * **Degradation ladder** ([`degrade`]) — fresh optimal policy →
+//!   last-committed cloak → coarser semi-quadrant ancestor cloak →
+//!   explicit rejection; every rung preserves Definition 6, degrading
+//!   cost and latency but never anonymity.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checkpoint;
+mod clock;
+mod degrade;
+mod error;
+mod runtime;
+mod wal;
+
+pub use checkpoint::{
+    checkpoint_path, decode_checkpoint, encode_checkpoint, list_checkpoints, load_latest,
+    write_checkpoint, Checkpoint,
+};
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use degrade::{ancestor_chain, degraded_policy, DegradedPolicy, Rung};
+pub use error::RuntimeError;
+pub use runtime::{
+    backoff_delay, RecoveryReport, RuntimeBuilder, RuntimeConfig, ServedRequest, ServiceRuntime,
+};
+pub use wal::{crc32, encode_frame, scan, Wal, WalRecord, MAX_RECORD_BYTES, WAL_FILE};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbs_core::verify_policy_aware;
+    use lbs_geom::{Point, Rect};
+    use lbs_metrics::{Counter, Metrics};
+    use lbs_model::{encode_policy, LocationDb, Move, RequestParams, UserId, UserUpdate};
+    use lbs_parallel::FaultPlan;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use std::path::PathBuf;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const SIDE: i64 = 64;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lbs-rt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn seed_db(seed: u64, n: usize) -> LocationDb {
+        let mut rng = StdRng::seed_from_u64(seed);
+        LocationDb::from_rows((0..n).map(|i| {
+            (UserId(i as u64), Point::new(rng.gen_range(0..SIDE), rng.gen_range(0..SIDE)))
+        }))
+        .unwrap()
+    }
+
+    fn batches(seed: u64, db: &LocationDb, rounds: usize) -> Vec<Vec<UserUpdate>> {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+        let mut present: Vec<UserId> = db.users().collect();
+        let mut next_id = present.iter().map(|u| u.0).max().unwrap_or(0) + 1;
+        (0..rounds)
+            .map(|_| {
+                let mut batch: Vec<UserUpdate> = Vec::new();
+                for _ in 0..4 {
+                    let user = present[rng.gen_range(0..present.len())];
+                    if batch.iter().any(|u| u.user() == user) {
+                        continue;
+                    }
+                    batch.push(UserUpdate::Move(Move {
+                        user,
+                        to: Point::new(rng.gen_range(0..SIDE), rng.gen_range(0..SIDE)),
+                    }));
+                }
+                if rng.gen_range(0..3) == 0 {
+                    batch.push(UserUpdate::Insert {
+                        user: UserId(next_id),
+                        at: Point::new(rng.gen_range(0..SIDE), rng.gen_range(0..SIDE)),
+                    });
+                    present.push(UserId(next_id));
+                    next_id += 1;
+                }
+                if rng.gen_range(0..4) == 0 && present.len() > 30 {
+                    if let Some(&victim) =
+                        present.iter().find(|u| !batch.iter().any(|b| b.user() == **u))
+                    {
+                        batch.push(UserUpdate::Delete { user: victim });
+                        present.retain(|&u| u != victim);
+                    }
+                }
+                batch
+            })
+            .collect()
+    }
+
+    fn manual_builder(k: usize) -> RuntimeBuilder {
+        RuntimeBuilder::new(RuntimeConfig::new(k, Rect::square(0, 0, SIDE)))
+            .clock(Arc::new(ManualClock::new()))
+    }
+
+    #[test]
+    fn apply_commit_matches_incremental_reference() {
+        let dir = tmp_dir("commit");
+        let db0 = seed_db(41, 50);
+        let k = 4;
+        let mut rt = manual_builder(k).create(&dir, &db0).unwrap();
+        assert_eq!(rt.epoch(), 1);
+        for (i, batch) in batches(41, &db0, 6).iter().enumerate() {
+            let seq = rt.apply_batch(batch).unwrap();
+            assert_eq!(seq, i as u64 + 1);
+            assert!(rt.pending_rows() > 0 || batch.is_empty());
+            rt.commit().unwrap();
+            assert_eq!(rt.committed_seq(), seq);
+            let policy = rt.committed_policy();
+            assert!(policy.is_masking_and_total(rt.db()));
+            assert!(verify_policy_aware(policy, rt.db(), k).is_ok());
+        }
+        assert_eq!(rt.epoch(), 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_batches_touch_nothing_durable() {
+        let dir = tmp_dir("invalid");
+        let db0 = seed_db(5, 40);
+        let mut rt = manual_builder(3).create(&dir, &db0).unwrap();
+        let wal_len = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+        assert!(rt
+            .apply_batch(&[UserUpdate::Move(Move { user: UserId(999), to: Point::new(1, 1) })])
+            .is_err());
+        assert!(rt
+            .apply_batch(&[UserUpdate::Insert { user: UserId(999), at: Point::new(SIDE + 5, 1) }])
+            .is_err());
+        assert_eq!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(), wal_len);
+        assert_eq!(rt.durable_seq(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_without_wal_suffix_restores_checkpoint_state() {
+        let dir = tmp_dir("reload");
+        let db0 = seed_db(77, 45);
+        let k = 3;
+        let expected = {
+            let mut rt = manual_builder(k).create(&dir, &db0).unwrap();
+            for batch in batches(77, &db0, 4) {
+                rt.apply_batch(&batch).unwrap();
+                rt.commit().unwrap();
+            }
+            rt.checkpoint_now().unwrap();
+            encode_policy(rt.committed_policy())
+        };
+        let (rt, report) = manual_builder(k).recover(&dir).unwrap();
+        assert_eq!(report.checkpoint_seq, 4);
+        assert_eq!(report.replayed, 0);
+        assert_eq!(encode_policy(rt.committed_policy()), expected);
+        assert_eq!(rt.epoch(), 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_replays_wal_suffix_bit_identically() {
+        let k = 4;
+        let db0 = seed_db(13, 55);
+        let rounds = 8;
+        // Reference: never crashes, commits every batch, checkpoints only
+        // at creation (seq 0), so recovery must replay the whole WAL.
+        let ref_dir = tmp_dir("ref");
+        let mut cfg = RuntimeConfig::new(k, Rect::square(0, 0, SIDE));
+        cfg.checkpoint_every = 0;
+        let mut reference = RuntimeBuilder::new(cfg)
+            .clock(Arc::new(ManualClock::new()))
+            .create(&ref_dir, &db0)
+            .unwrap();
+        let mut per_round = Vec::new();
+        for batch in batches(13, &db0, rounds) {
+            reference.apply_batch(&batch).unwrap();
+            reference.commit().unwrap();
+            per_round.push(encode_policy(reference.committed_policy()));
+        }
+
+        let metrics = Arc::new(Metrics::new());
+        let (recovered, report) = RuntimeBuilder::new(cfg)
+            .clock(Arc::new(ManualClock::new()))
+            .metrics(Arc::clone(&metrics))
+            .faults(FaultPlan::new().stall_during_replay(3, Duration::from_millis(40)))
+            .recover(&ref_dir)
+            .unwrap();
+        assert_eq!(report.checkpoint_seq, 0);
+        assert_eq!(report.replayed, rounds);
+        assert!(report.replay_time >= Duration::from_millis(40), "injected stall counted");
+        assert_eq!(metrics.get(Counter::RecoveryReplayMs), 40);
+        assert_eq!(
+            encode_policy(recovered.committed_policy()),
+            *per_round.last().unwrap(),
+            "recovered policy bit-identical to the uninterrupted run"
+        );
+        assert_eq!(recovered.epoch(), reference.epoch());
+        std::fs::remove_dir_all(&ref_dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_initialized_dir_and_recover_refuses_empty() {
+        let dir = tmp_dir("guard");
+        let db0 = seed_db(2, 30);
+        let rt = manual_builder(3).create(&dir, &db0).unwrap();
+        drop(rt);
+        assert!(matches!(
+            manual_builder(3).create(&dir, &db0),
+            Err(RuntimeError::AlreadyInitialized(_))
+        ));
+        let empty = tmp_dir("guard-empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(matches!(manual_builder(3).recover(&empty), Err(RuntimeError::NoState(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&empty).unwrap();
+    }
+
+    #[test]
+    fn injected_commit_panics_retry_with_deterministic_backoff() {
+        let dir = tmp_dir("retry");
+        let db0 = seed_db(8, 40);
+        let clock = Arc::new(ManualClock::new());
+        let metrics = Arc::new(Metrics::new());
+        // Epoch 2's first two attempts panic; the third succeeds.
+        let mut rt = manual_builder(4)
+            .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+            .metrics(Arc::clone(&metrics))
+            .faults(FaultPlan::new().panic_on(2, 2))
+            .create(&dir, &db0)
+            .unwrap();
+        rt.apply_batch(&batches(8, &db0, 1)[0]).unwrap();
+        let before = clock.now();
+        rt.commit().unwrap();
+        assert_eq!(rt.epoch(), 2);
+        assert_eq!(metrics.get(Counter::TaskRetries), 2);
+        assert_eq!(metrics.get(Counter::WorkerPanics), 2);
+        let elapsed = clock.now() - before;
+        // Exactly the seeded backoff schedule advanced the manual clock.
+        let cfg = RuntimeConfig::new(4, Rect::square(0, 0, SIDE));
+        let expected = backoff_delay(cfg.backoff_base, cfg.retry_seed ^ 2, 0)
+            + backoff_delay(cfg.backoff_base, cfg.retry_seed ^ 2, 1);
+        assert_eq!(elapsed, expected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retries_exhaust_into_typed_error_and_ladder_still_serves() {
+        let dir = tmp_dir("exhaust");
+        let db0 = seed_db(19, 48);
+        let k = 4;
+        let metrics = Arc::new(Metrics::new());
+        let mut cfg = RuntimeConfig::new(k, Rect::square(0, 0, SIDE));
+        cfg.max_retries = 1;
+        let mut rt = RuntimeBuilder::new(cfg)
+            .clock(Arc::new(ManualClock::new()))
+            .metrics(Arc::clone(&metrics))
+            .faults(FaultPlan::new().panic_on(2, 99))
+            .create(&dir, &db0)
+            .unwrap();
+        rt.apply_batch(&batches(19, &db0, 1)[0]).unwrap();
+        assert!(matches!(rt.commit(), Err(RuntimeError::RetriesExhausted { attempts: 2, .. })));
+        // The ladder answers from the committed policy instead.
+        let (rung, region) = rt.cloak_for(UserId(1), None).unwrap();
+        assert!(matches!(rung, Rung::Committed | Rung::Coarsened));
+        assert!(region.contains(&rt.db().location(UserId(1)).unwrap()));
+        assert!(
+            metrics.get(Counter::DegradedCommitted) + metrics.get(Counter::DegradedCoarsened) == 1
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deadline_cancellation_degrades_then_late_commit_is_identical() {
+        let dir = tmp_dir("deadline");
+        let db0 = seed_db(29, 60);
+        let k = 4;
+        let clock = Arc::new(ManualClock::new());
+        let mut cfg = RuntimeConfig::new(k, Rect::square(0, 0, SIDE));
+        cfg.checkpoint_every = 0;
+        let mut rt = RuntimeBuilder::new(cfg)
+            .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+            .create(&dir, &db0)
+            .unwrap();
+        rt.apply_batch(&batches(29, &db0, 1)[0]).unwrap();
+        // Deadline already expired: the refresh cancels at its first
+        // semi-quadrant row and the request degrades.
+        clock.advance(Duration::from_millis(10));
+        let expired = Some(Duration::from_millis(5));
+        assert!(matches!(rt.commit_with_deadline(expired), Err(RuntimeError::DeadlineExceeded)));
+        // Some sender must still be servable on a degraded rung (newly
+        // inserted or under-k-group senders are legitimately shed).
+        let (rung, _) = rt
+            .db()
+            .users()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .find_map(|u| rt.cloak_for(u, expired).ok())
+            .expect("at least one degraded answer");
+        assert_ne!(rung, Rung::Fresh);
+        // A later unconstrained commit completes and matches a run that
+        // never saw the deadline.
+        rt.commit().unwrap();
+        let via_deadline = encode_policy(rt.committed_policy());
+        let clean_dir = tmp_dir("deadline-clean");
+        let mut clean = RuntimeBuilder::new(cfg)
+            .clock(Arc::new(ManualClock::new()))
+            .create(&clean_dir, &db0)
+            .unwrap();
+        clean.apply_batch(&batches(29, &db0, 1)[0]).unwrap();
+        clean.commit().unwrap();
+        assert_eq!(via_deadline, encode_policy(clean.committed_policy()));
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&clean_dir).unwrap();
+    }
+
+    #[test]
+    fn crash_mid_checkpoint_retries_and_survivors_recover() {
+        let dir = tmp_dir("ckpt-crash");
+        let db0 = seed_db(31, 42);
+        let metrics = Arc::new(Metrics::new());
+        let mut rt = manual_builder(3)
+            .metrics(Arc::clone(&metrics))
+            .faults(FaultPlan::new().crash_mid_checkpoint(1, 1))
+            .create(&dir, &db0)
+            .unwrap();
+        rt.apply_batch(&batches(31, &db0, 1)[0]).unwrap();
+        rt.commit().unwrap();
+        // Checkpoint at seq 1 crashed once (torn tmp left), then succeeded.
+        rt.checkpoint_now().unwrap();
+        assert_eq!(metrics.get(Counter::FaultsInjected), 1);
+        assert!(metrics.get(Counter::CheckpointsWritten) >= 2);
+        let expected = encode_policy(rt.committed_policy());
+        drop(rt);
+        let (recovered, report) = manual_builder(3).recover(&dir).unwrap();
+        assert_eq!(report.checkpoint_seq, 1);
+        assert_eq!(encode_policy(recovered.committed_policy()), expected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn new_sender_is_shed_until_the_next_commit() {
+        let dir = tmp_dir("shed");
+        let db0 = seed_db(37, 36);
+        let k = 3;
+        let metrics = Arc::new(Metrics::new());
+        let mut cfg = RuntimeConfig::new(k, Rect::square(0, 0, SIDE));
+        cfg.max_retries = 0;
+        let mut rt = RuntimeBuilder::new(cfg)
+            .clock(Arc::new(ManualClock::new()))
+            .metrics(Arc::clone(&metrics))
+            .faults(FaultPlan::new().panic_on(2, 99))
+            .create(&dir, &db0)
+            .unwrap();
+        rt.apply_batch(&[UserUpdate::Insert { user: UserId(500), at: Point::new(3, 3) }]).unwrap();
+        // Commit is being blocked by injected faults: the brand-new sender
+        // has no committed cloak and must be shed, not served some guess.
+        assert!(matches!(
+            rt.cloak_for(UserId(500), None),
+            Err(RuntimeError::Shed { user: UserId(500) })
+        ));
+        assert_eq!(metrics.get(Counter::RequestsShed), 1);
+        assert!(matches!(rt.cloak_for(UserId(9999), None), Err(RuntimeError::UnknownUser(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn end_to_end_serve_bumps_cache_epoch_on_commit() {
+        use lbs_query::{Poi, PoiId, PoiStore};
+        let dir = tmp_dir("serve");
+        let db0 = seed_db(43, 40);
+        let pois = vec![
+            Poi { id: PoiId(0), location: Point::new(8, 8), category: "rest".into() },
+            Poi { id: PoiId(1), location: Point::new(50, 50), category: "rest".into() },
+        ];
+        let store = PoiStore::build(Rect::square(0, 0, SIDE), 16, pois).unwrap();
+        let mut rt =
+            manual_builder(4).lbs(lbs_query::CloakedLbs::new(store)).create(&dir, &db0).unwrap();
+        let params = RequestParams::from_pairs([("poi", "rest")]);
+        let served = rt.serve(UserId(0), params.clone(), None).unwrap();
+        assert_eq!(served.rung, Rung::Fresh);
+        let answer = served.answer.unwrap();
+        assert!(answer.nearest.is_some());
+        // Same request again: cache hit under the same epoch.
+        let again = rt.serve(UserId(0), params.clone(), None).unwrap();
+        assert!(again.answer.unwrap().cache_hit);
+        // Commit bumps the epoch → cached answers invalidated.
+        rt.apply_batch(&batches(43, &db0, 1)[0]).unwrap();
+        rt.commit().unwrap();
+        let after = rt.serve(UserId(0), params, None).unwrap();
+        assert!(!after.answer.unwrap().cache_hit, "stale cross-epoch answer served");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_ladder_rung_passes_the_policy_aware_verifier() {
+        let dir = tmp_dir("rungs");
+        let db0 = seed_db(53, 60);
+        let k = 4;
+        let mut cfg = RuntimeConfig::new(k, Rect::square(0, 0, SIDE));
+        cfg.max_retries = 0;
+        let mut rt = RuntimeBuilder::new(cfg)
+            .clock(Arc::new(ManualClock::new()))
+            .faults(FaultPlan::new().panic_on(2, 99))
+            .create(&dir, &db0)
+            .unwrap();
+
+        // Rung 0 (fresh): the full committed policy is k-anonymous.
+        assert!(verify_policy_aware(rt.committed_policy(), rt.db(), k).is_ok());
+        let (rung, _) = rt.cloak_for(UserId(0), None).unwrap();
+        assert_eq!(rung, Rung::Fresh);
+
+        // Push churn while commits are blocked, collect every degraded
+        // answer, and verify the rung-2/3 output as one policy over the
+        // served population.
+        for batch in batches(53, &db0, 3) {
+            rt.apply_batch(&batch).unwrap();
+        }
+        let users: Vec<UserId> = rt.db().users().collect();
+        let mut degraded = lbs_model::BulkPolicy::new("observed-degraded");
+        let mut rungs_seen = std::collections::BTreeSet::new();
+        let mut served_rows = Vec::new();
+        for &user in &users {
+            match rt.cloak_for(user, None) {
+                Ok((rung, region)) => {
+                    assert_ne!(rung, Rung::Fresh, "commits are blocked");
+                    rungs_seen.insert(rung.name());
+                    degraded.assign(user, region);
+                    served_rows.push((user, rt.db().location(user).unwrap()));
+                }
+                Err(RuntimeError::Shed { .. }) => {}
+                Err(other) => panic!("unexpected: {other}"),
+            }
+        }
+        let served = LocationDb::from_rows(served_rows).unwrap();
+        assert!(served.len() >= k);
+        assert!(
+            verify_policy_aware(&degraded, &served, k).is_ok(),
+            "degraded rungs must stay policy-aware k-anonymous"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,318 @@
+//! The write-ahead log: one append-only `wal.log` per runtime directory.
+//!
+//! Frame format, little-endian throughout:
+//!
+//! ```text
+//! [payload_len: u32][crc32(payload): u32][payload]
+//! payload = [seq: u64][encode_updates bytes]
+//! ```
+//!
+//! Records carry consecutive sequence numbers starting at 1. On open the
+//! whole log is scanned; the first record that is truncated, fails its
+//! CRC, fails batch decoding, or breaks the sequence ends the valid
+//! prefix, and the file is truncated back to it — a torn tail from a
+//! crash mid-append can never resurrect as data. The log is never rotated
+//! or pruned (compaction is future work), which is what lets recovery
+//! fall back to *any* older checkpoint: the replay suffix is always
+//! present.
+
+use crate::error::{io_err, RuntimeError};
+use bytes::{Buf, Bytes};
+use lbs_model::{decode_updates, encode_updates, UserUpdate};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of the log inside a runtime directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Upper bound on one record's payload, so a corrupt length header can
+/// never drive a multi-gigabyte allocation.
+pub const MAX_RECORD_BYTES: u32 = 16 * 1024 * 1024;
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) — implemented inline because
+/// the workspace vendors no checksum crate.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// One valid record recovered from the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Sequence number (1-based, consecutive).
+    pub seq: u64,
+    /// The churn batch.
+    pub updates: Vec<UserUpdate>,
+    /// Byte offset one past this record's frame — the log length at which
+    /// exactly records `1..=seq` are durable. Crash sweeps cut here.
+    pub end_offset: u64,
+}
+
+/// Encodes one frame (header + payload) for `seq` and `updates`.
+pub fn encode_frame(seq: u64, updates: &[UserUpdate]) -> Vec<u8> {
+    let body = encode_updates(updates);
+    let mut payload = Vec::with_capacity(8 + body.len());
+    payload.extend_from_slice(&seq.to_le_bytes());
+    payload.extend_from_slice(&body);
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&u32::try_from(payload.len()).unwrap_or(u32::MAX).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Scans raw log bytes into the valid record prefix. Returns the records
+/// and the byte length of the valid prefix; everything past it is torn or
+/// corrupt and must be discarded.
+pub fn scan(raw: &[u8]) -> (Vec<WalRecord>, u64) {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    let mut expected_seq = 1u64;
+    while raw.len() - offset >= 8 {
+        let len =
+            u32::from_le_bytes([raw[offset], raw[offset + 1], raw[offset + 2], raw[offset + 3]]);
+        let want_crc = u32::from_le_bytes([
+            raw[offset + 4],
+            raw[offset + 5],
+            raw[offset + 6],
+            raw[offset + 7],
+        ]);
+        if !(8..=MAX_RECORD_BYTES).contains(&len) {
+            break;
+        }
+        let body_start = offset + 8;
+        let body_end = body_start + len as usize;
+        if body_end > raw.len() {
+            break; // torn tail
+        }
+        let payload = &raw[body_start..body_end];
+        if crc32(payload) != want_crc {
+            break;
+        }
+        let mut buf = Bytes::copy_from_slice(payload);
+        let seq = buf.get_u64_le();
+        if seq != expected_seq {
+            break;
+        }
+        let Ok(updates) = decode_updates(buf) else {
+            break;
+        };
+        records.push(WalRecord { seq, updates, end_offset: body_end as u64 });
+        offset = body_end;
+        expected_seq += 1;
+    }
+    (records, offset as u64)
+}
+
+/// Append handle over the log; torn tails were truncated at open.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    next_seq: u64,
+    len: u64,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log in `dir`, truncates any invalid
+    /// tail, and returns the handle plus the valid records for replay.
+    ///
+    /// # Errors
+    /// [`RuntimeError::Io`] on any filesystem failure.
+    pub fn open(dir: &Path) -> Result<(Self, Vec<WalRecord>), RuntimeError> {
+        let path = dir.join(WAL_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| io_err("open", &path, e))?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw).map_err(|e| io_err("read", &path, e))?;
+        let (records, valid_len) = scan(&raw);
+        if valid_len < raw.len() as u64 {
+            file.set_len(valid_len).map_err(|e| io_err("truncate", &path, e))?;
+            file.sync_data().map_err(|e| io_err("sync", &path, e))?;
+        }
+        file.seek(SeekFrom::Start(valid_len)).map_err(|e| io_err("seek", &path, e))?;
+        let next_seq = records.last().map_or(1, |r| r.seq + 1);
+        Ok((Wal { file, path, next_seq, len: valid_len }, records))
+    }
+
+    /// Appends and syncs one churn batch; returns its sequence number.
+    /// The batch is durable when this returns.
+    ///
+    /// # Errors
+    /// [`RuntimeError::Io`] on write or sync failure.
+    pub fn append(&mut self, updates: &[UserUpdate]) -> Result<u64, RuntimeError> {
+        let seq = self.next_seq;
+        let frame = encode_frame(seq, updates);
+        self.file.write_all(&frame).map_err(|e| io_err("append", &self.path, e))?;
+        self.file.sync_data().map_err(|e| io_err("sync", &self.path, e))?;
+        self.next_seq += 1;
+        self.len += frame.len() as u64;
+        Ok(seq)
+    }
+
+    /// Next sequence number to be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Current valid byte length of the log.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbs_geom::Point;
+    use lbs_model::{Move, UserId};
+
+    fn batch(n: u64) -> Vec<UserUpdate> {
+        vec![
+            UserUpdate::Move(Move { user: UserId(n), to: Point::new(n as i64, 2 * n as i64) }),
+            UserUpdate::Insert { user: UserId(100 + n), at: Point::new(1, 1) },
+        ]
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lbs-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_reopen_replays_everything() {
+        let dir = tmp_dir("replay");
+        {
+            let (mut wal, records) = Wal::open(&dir).unwrap();
+            assert!(records.is_empty());
+            for n in 1..=5 {
+                assert_eq!(wal.append(&batch(n)).unwrap(), n);
+            }
+        }
+        let (wal, records) = Wal::open(&dir).unwrap();
+        assert_eq!(records.len(), 5);
+        assert_eq!(wal.next_seq(), 6);
+        for (i, rec) in records.iter().enumerate() {
+            assert_eq!(rec.seq, i as u64 + 1);
+            assert_eq!(rec.updates, batch(rec.seq));
+        }
+        // Offsets are strictly increasing and end at the file length.
+        assert_eq!(records.last().unwrap().end_offset, wal.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_torn_tail_is_discarded_exactly_to_a_record_boundary() {
+        let dir = tmp_dir("torn");
+        let (mut wal, _) = Wal::open(&dir).unwrap();
+        for n in 1..=3 {
+            wal.append(&batch(n)).unwrap();
+        }
+        drop(wal);
+        let full = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        let (records, valid) = scan(&full);
+        assert_eq!(valid, full.len() as u64);
+        let boundaries: Vec<u64> = records.iter().map(|r| r.end_offset).collect();
+
+        for cut in 0..full.len() {
+            let (recs, valid) = scan(&full[..cut]);
+            let durable = boundaries.iter().filter(|&&b| b <= cut as u64).count();
+            assert_eq!(recs.len(), durable, "cut at {cut}");
+            assert_eq!(valid, if durable == 0 { 0 } else { boundaries[durable - 1] });
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_byte_ends_the_valid_prefix_and_open_truncates() {
+        let dir = tmp_dir("corrupt");
+        let (mut wal, _) = Wal::open(&dir).unwrap();
+        for n in 1..=4 {
+            wal.append(&batch(n)).unwrap();
+        }
+        drop(wal);
+        let path = dir.join(WAL_FILE);
+        let full = std::fs::read(&path).unwrap();
+        let (records, _) = scan(&full);
+        // Flip a byte inside record 3's payload.
+        let mut bad = full.clone();
+        let idx = records[1].end_offset as usize + 12;
+        bad[idx] ^= 0x40;
+        std::fs::write(&path, &bad).unwrap();
+
+        let (wal, recs) = Wal::open(&dir).unwrap();
+        assert_eq!(recs.len(), 2, "records after the corruption are unreachable");
+        assert_eq!(wal.len(), records[1].end_offset);
+        assert_eq!(wal.next_seq(), 3);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            records[1].end_offset,
+            "open truncated the corrupt tail"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn appending_after_torn_open_continues_the_sequence() {
+        let dir = tmp_dir("continue");
+        let (mut wal, _) = Wal::open(&dir).unwrap();
+        for n in 1..=3 {
+            wal.append(&batch(n)).unwrap();
+        }
+        drop(wal);
+        let path = dir.join(WAL_FILE);
+        let full = std::fs::read(&path).unwrap();
+        let (records, _) = scan(&full);
+        // Tear mid-record 3.
+        std::fs::write(&path, &full[..records[2].end_offset as usize - 5]).unwrap();
+
+        let (mut wal, recs) = Wal::open(&dir).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(wal.append(&batch(9)).unwrap(), 3);
+        drop(wal);
+        let (_, recs) = Wal::open(&dir).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[2].updates, batch(9));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_length_header_is_rejected() {
+        let mut raw = (MAX_RECORD_BYTES + 1).to_le_bytes().to_vec();
+        raw.extend_from_slice(&[0u8; 12]);
+        let (recs, valid) = scan(&raw);
+        assert!(recs.is_empty());
+        assert_eq!(valid, 0);
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE CRC-32 of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

@@ -8,14 +8,18 @@
 //! below it, and reporting the dirty node set the DP must revisit.
 
 use crate::{Children, NodeId, SpatialTree};
-use lbs_model::Move;
-use std::collections::HashSet;
+use lbs_model::{Move, UserUpdate};
+use std::collections::{HashMap, HashSet};
 
-/// Outcome of [`SpatialTree::apply_moves`].
+/// Outcome of [`SpatialTree::apply_moves`] / [`SpatialTree::apply_updates`].
 #[derive(Debug, Clone, Default)]
 pub struct UpdateReport {
     /// Moves applied.
     pub moved: usize,
+    /// Users inserted.
+    pub inserted: usize,
+    /// Users deleted.
+    pub deleted: usize,
     /// Leaves split because their population reached the threshold.
     pub splits: usize,
     /// Subtrees collapsed because their population fell below the threshold.
@@ -34,22 +38,70 @@ impl SpatialTree {
     /// Validation is all-or-nothing: if any move references an unknown user
     /// or an off-map point, nothing is applied.
     pub fn apply_moves(&mut self, moves: &[Move]) -> Result<UpdateReport, String> {
-        for m in moves {
-            if !self.user_leaf.contains_key(&m.user) {
-                return Err(format!("unknown user {}", m.user));
-            }
-            if !self.config.map.contains(&m.to) {
-                return Err(format!("user {} target {} is off the map", m.user, m.to));
+        let updates: Vec<UserUpdate> = moves.iter().copied().map(UserUpdate::Move).collect();
+        self.apply_updates(&updates)
+    }
+
+    /// Applies a churn batch (moves, inserts, deletes) in order,
+    /// restructures lazily materialized nodes, and reports the dirty set.
+    ///
+    /// Validation is all-or-nothing and order-aware (a batch may insert a
+    /// user and then move it): if any update references a user in the
+    /// wrong membership state or an off-map point, nothing is applied.
+    pub fn apply_updates(&mut self, updates: &[UserUpdate]) -> Result<UpdateReport, String> {
+        let mut overlay: HashMap<lbs_model::UserId, bool> = HashMap::new();
+        for up in updates {
+            let user = up.user();
+            let present =
+                overlay.get(&user).copied().unwrap_or_else(|| self.user_leaf.contains_key(&user));
+            match *up {
+                UserUpdate::Move(m) => {
+                    if !present {
+                        return Err(format!("unknown user {}", m.user));
+                    }
+                    if !self.config.map.contains(&m.to) {
+                        return Err(format!("user {} target {} is off the map", m.user, m.to));
+                    }
+                }
+                UserUpdate::Insert { at, .. } => {
+                    if present {
+                        return Err(format!("duplicate user {user}"));
+                    }
+                    if !self.config.map.contains(&at) {
+                        return Err(format!("user {user} target {at} is off the map"));
+                    }
+                    overlay.insert(user, true);
+                }
+                UserUpdate::Delete { .. } => {
+                    if !present {
+                        return Err(format!("unknown user {user}"));
+                    }
+                    overlay.insert(user, false);
+                }
             }
         }
 
         let mut report = UpdateReport::default();
-        for m in moves {
-            let old_leaf = self.detach_user(m.user);
-            let new_leaf = self.attach_user(m.user, m.to);
-            report.moved += 1;
-            self.mark_path_dirty(old_leaf, &mut report.dirty);
-            self.mark_path_dirty(new_leaf, &mut report.dirty);
+        for up in updates {
+            match *up {
+                UserUpdate::Move(m) => {
+                    let old_leaf = self.detach_user(m.user);
+                    let new_leaf = self.attach_user(m.user, m.to);
+                    report.moved += 1;
+                    self.mark_path_dirty(old_leaf, &mut report.dirty);
+                    self.mark_path_dirty(new_leaf, &mut report.dirty);
+                }
+                UserUpdate::Insert { user, at } => {
+                    let leaf = self.attach_user(user, at);
+                    report.inserted += 1;
+                    self.mark_path_dirty(leaf, &mut report.dirty);
+                }
+                UserUpdate::Delete { user } => {
+                    let leaf = self.detach_user(user);
+                    report.deleted += 1;
+                    self.mark_path_dirty(leaf, &mut report.dirty);
+                }
+            }
         }
 
         self.collapse_pass(&mut report);
@@ -69,7 +121,7 @@ impl SpatialTree {
 
     /// Removes `user` from its leaf and decrements counts up to the root.
     fn detach_user(&mut self, user: lbs_model::UserId) -> NodeId {
-        // lbs-lint: allow(no-unwrap-in-lib, reason = "apply_moves validates every move's user against the index before any mutation")
+        // lbs-lint: allow(no-unwrap-in-lib, reason = "apply_updates validates every update's user against the index before any mutation")
         let leaf = self.user_leaf.remove(&user).expect("validated before application");
         let list = &mut self.users[leaf.index()];
         // lbs-lint: allow(no-unwrap-in-lib, reason = "user_leaf and the per-leaf user lists are updated in lockstep, so membership agrees")
@@ -87,7 +139,7 @@ impl SpatialTree {
     /// Adds `user` at `p` to the current leaf containing `p` and increments
     /// counts up to the root.
     fn attach_user(&mut self, user: lbs_model::UserId, p: lbs_geom::Point) -> NodeId {
-        // lbs-lint: allow(no-unwrap-in-lib, reason = "apply_moves rejects off-map destinations before any mutation, so a containing leaf exists")
+        // lbs-lint: allow(no-unwrap-in-lib, reason = "apply_updates rejects off-map destinations before any mutation, so a containing leaf exists")
         let leaf = self.leaf_containing(&p).expect("validated to be on the map");
         self.users[leaf.index()].push((user, p));
         self.user_leaf.insert(user, leaf);
@@ -313,6 +365,76 @@ mod tests {
             let fresh = SpatialTree::build(&reference, cfg).unwrap();
             assert_eq!(rect_set(&tree), rect_set(&fresh), "round {round}");
         }
+    }
+
+    #[test]
+    fn churn_batches_match_fresh_builds() {
+        use lbs_model::UserUpdate;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        let side = 64;
+        let points: Vec<(i64, i64)> =
+            (0..30).map(|_| (rng.gen_range(0..side), rng.gen_range(0..side))).collect();
+        let mut reference = db(&points);
+        let mut next_id = 30u64;
+        let cfg = TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, side), 3);
+        let mut tree = SpatialTree::build(&reference, cfg).unwrap();
+        for round in 0..20 {
+            let mut updates = Vec::new();
+            // A few moves of existing users.
+            let ids: Vec<_> = reference.users().collect();
+            for _ in 0..3 {
+                let user = ids[rng.gen_range(0..ids.len())];
+                if updates.iter().any(|u: &UserUpdate| u.user() == user) {
+                    continue;
+                }
+                updates.push(UserUpdate::Move(Move {
+                    user,
+                    to: Point::new(rng.gen_range(0..side), rng.gen_range(0..side)),
+                }));
+            }
+            // One insert, and one delete of a user not otherwise touched.
+            updates.push(UserUpdate::Insert {
+                user: UserId(next_id),
+                at: Point::new(rng.gen_range(0..side), rng.gen_range(0..side)),
+            });
+            next_id += 1;
+            if let Some(&victim) = ids.iter().find(|u| !updates.iter().any(|up| up.user() == **u)) {
+                updates.push(UserUpdate::Delete { user: victim });
+            }
+
+            reference.apply_updates(&updates).unwrap();
+            let report = tree.apply_updates(&updates).unwrap();
+            assert!(report.inserted >= 1, "round {round}");
+            tree.check_invariants().unwrap_or_else(|e| panic!("round {round}: {e}"));
+            let fresh = SpatialTree::build(&reference, cfg).unwrap();
+            assert_eq!(rect_set(&tree), rect_set(&fresh), "round {round}");
+            assert_eq!(tree.count(tree.root()), reference.len(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn invalid_churn_batches_are_atomic() {
+        use lbs_model::UserUpdate;
+        let db = db(&[(1, 1), (2, 2), (6, 6)]);
+        let cfg = TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, 8), 2);
+        let mut tree = SpatialTree::build(&db, cfg).unwrap();
+        let before = rect_set(&tree);
+        // Insert of an existing user.
+        let dup = [UserUpdate::Insert { user: UserId(0), at: Point::new(3, 3) }];
+        assert!(tree.apply_updates(&dup).is_err());
+        // Delete then move of the same (now absent) user.
+        let gone = [
+            UserUpdate::Delete { user: UserId(1) },
+            UserUpdate::Move(Move { user: UserId(1), to: Point::new(4, 4) }),
+        ];
+        assert!(tree.apply_updates(&gone).is_err());
+        // Off-map insert.
+        let off = [UserUpdate::Insert { user: UserId(9), at: Point::new(99, 99) }];
+        assert!(tree.apply_updates(&off).is_err());
+        assert_eq!(rect_set(&tree), before, "no partial application");
+        assert!(tree.leaf_of_user(UserId(1)).is_some());
+        tree.check_invariants().unwrap();
     }
 
     fn db_after(base: &LocationDb, moves: &[(u64, (i64, i64))]) -> LocationDb {

@@ -43,4 +43,15 @@ echo "== conformance-smoke (budget: 60 s) =="
 #   cargo test --release --test conformance_smoke -- --ignored
 timeout 60 target/release/lbs conformance --golden tests/golden
 
+echo "== recovery-smoke (budget: 60 s) =="
+# Crash-safe runtime sweep: one reference service run, then >= 50 seeded
+# crash points (WAL tears at record boundaries and mid-frame, torn
+# checkpoint temp files, corrupted newest checkpoints), each recovered and
+# proven byte-identical to the never-crashed run — plus the degradation
+# ladder audited against the PRE-enumerating attacker on every rung. Runs
+# via the release CLI so the stage stays well inside its 60-second budget.
+# A red run prints each failing crash offset/variant; rerun directly with
+#   target/release/lbs recovery-smoke
+timeout 60 target/release/lbs recovery-smoke
+
 echo "CI OK"

@@ -28,6 +28,9 @@
 //!   execution engine, and multi-server runs.
 //! * [`metrics`] — lock-free counters, stage timers, and the
 //!   serde-serializable [`metrics::MetricsSnapshot`] observability layer.
+//! * [`runtime`] — the crash-safe service runtime: write-ahead log,
+//!   checkpoints, deadline-budgeted commits, and the privacy-safe
+//!   degradation ladder.
 //!
 //! ## Quickstart
 //!
@@ -63,6 +66,7 @@ pub use lbs_metrics as metrics;
 pub use lbs_model as model;
 pub use lbs_parallel as parallel;
 pub use lbs_query as query;
+pub use lbs_runtime as runtime;
 pub use lbs_sim as sim;
 pub use lbs_tree as tree;
 pub use lbs_workload as workload;
@@ -91,6 +95,10 @@ pub mod prelude {
     pub use lbs_query::{
         nn_candidates, range_candidates, AnswerCache, ClientAnswer, CloakedLbs, Poi, PoiId,
         PoiStore,
+    };
+    pub use lbs_runtime::{
+        Clock, ManualClock, Rung, RuntimeBuilder, RuntimeConfig, RuntimeError, ServiceRuntime,
+        SystemClock,
     };
     pub use lbs_tree::{SpatialTree, TreeConfig, TreeKind, TreeStats};
     pub use lbs_workload::{generate_master, random_moves, sample, BayAreaConfig};

@@ -5,6 +5,7 @@
 //! users while the failure persists — and reported in the panic message.
 
 use lbs_attack::audit_policy;
+use lbs_conformance::{crash_sweep, CrashSweepConfig};
 use lbs_core::{
     anonymize_per_user_k, bulk_dp_fast, verify_per_user_k, verify_policy_aware, KRequirements,
     StickyAnonymizer,
@@ -341,5 +342,40 @@ proptest! {
             let leaf = tree.leaf_of_user(user).unwrap();
             prop_assert!(tree.node(leaf).rect.contains(&moved));
         }
+    }
+}
+
+proptest! {
+    // Each case runs a full crash-point sweep (a reference service run
+    // plus one recovery per seeded tear), so the case budget stays small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Crash-safe recovery, over random service histories: at every
+    /// seeded crash point — WAL tears at record boundaries and mid-frame,
+    /// torn checkpoint temp files, a corrupted newest checkpoint — the
+    /// recovered committed [`BulkPolicy`] is byte-for-byte identical to
+    /// the never-crashed run's policy at the same durable sequence.
+    #[test]
+    fn recovery_is_bit_identical_at_every_crash_point(
+        seed in 0u64..(1 << 32),
+        users in 12usize..32,
+        k in 2usize..5,
+        rounds in 4u64..8,
+        checkpoint_every in 1u64..4,
+    ) {
+        let cfg = CrashSweepConfig { seed, users, k, rounds, checkpoint_every };
+        let scratch = std::env::temp_dir().join(format!(
+            "lbs-prop-sweep-{}-{seed:x}-{users}-{k}-{rounds}-{checkpoint_every}",
+            std::process::id()
+        ));
+        let sweep = crash_sweep(&scratch, &cfg);
+        let _ = std::fs::remove_dir_all(&scratch);
+        let report =
+            sweep.map_err(|e| TestCaseError::fail(format!("reference run: {e}")))?;
+        prop_assert!(report.is_clean(), "crash sweep failed: {:?}", report.failures);
+        // Every WAL record contributes boundary and mid-frame tears, and
+        // the periodic checkpoint-fault variants must actually run.
+        prop_assert!(report.points as u64 >= 4 * rounds);
+        prop_assert!(report.torn_checkpoint_points >= 1);
     }
 }
