@@ -34,7 +34,7 @@ use lbs_baselines::{
 use lbs_bench::{secs, timed, MasterWorkload, Table};
 use lbs_core::{verify_policy_aware, Anonymizer, IncrementalAnonymizer};
 use lbs_geom::{Point, Rect, Region};
-use lbs_metrics::{Counter, Metrics, Stage};
+use lbs_metrics::{median_p95_ns, Counter, Metrics, Stage};
 use lbs_model::{CloakingPolicy, LocationDb, UserId};
 use lbs_parallel::{anonymize_partitioned, anonymize_work_stealing, EngineConfig};
 use lbs_tree::{leaf_csv, SpatialTree, TreeConfig, TreeKind, TreeStats};
@@ -282,6 +282,12 @@ fn fig3(w: &MasterWorkload) {
 }
 
 /// Figure 4(a): bulk anonymization time vs |D|, one column per #servers.
+///
+/// Each cell is the median of [`FIG4A_REPEATS`] back-to-back runs — the
+/// same aggregation the `lbs bench` snapshot suite uses — so a single
+/// noisy run on a shared VM cannot distort the table.
+const FIG4A_REPEATS: usize = 3;
+
 fn fig4a(w: &MasterWorkload) {
     println!("== fig4a: bulk anonymization time (s) vs |D|, k=50 ==\n");
     let k = 50;
@@ -293,16 +299,22 @@ fn fig4a(w: &MasterWorkload) {
         let db = w.sample(n);
         let mut cells = vec![n.to_string()];
         for &s in &servers {
-            let (outcome, _) = timed(|| anonymize_partitioned(&db, w.config().map(), k, s));
-            let outcome = outcome.expect("partitioned anonymization");
-            cells.push(secs(outcome.simulated_wall_time()));
+            let samples: Vec<u64> = (0..FIG4A_REPEATS)
+                .map(|_| {
+                    let (outcome, _) = timed(|| anonymize_partitioned(&db, w.config().map(), k, s));
+                    let outcome = outcome.expect("partitioned anonymization");
+                    outcome.simulated_wall_time().as_nanos() as u64
+                })
+                .collect();
+            let (median, _) = median_p95_ns(&samples);
+            cells.push(format!("{:.3}", median as f64 / 1e9));
         }
         t.row(cells);
     }
     println!("{}", t.render());
     println!(
         "(simulated parallel wall time = partitioning + slowest server; servers share \
-         nothing, see DESIGN.md §5)\n"
+         nothing, see DESIGN.md §5; each cell = median of {FIG4A_REPEATS} runs)\n"
     );
 }
 

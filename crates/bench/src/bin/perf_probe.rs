@@ -1,5 +1,8 @@
-//! Scratch performance probe (paper scale).
-use lbs_core::Anonymizer;
+//! Scratch performance probe (paper scale), with the per-stage breakdown
+//! of the single-jurisdiction build: tree build vs DP vs extraction.
+use lbs_core::{Anonymizer, DpScratch};
+use lbs_metrics::{Metrics, Stage};
+use lbs_tree::{TreeConfig, TreeKind};
 use lbs_workload::{generate_master, sample, BayAreaConfig};
 use std::time::Instant;
 
@@ -13,12 +16,20 @@ fn main() {
     let t0 = Instant::now();
     let db = sample(&master, n, 1);
     eprintln!("sample {} in {:?}", db.len(), t0.elapsed());
+    let metrics = Metrics::new();
+    let mut scratch = DpScratch::new();
+    let tree_config = TreeConfig::lazy(TreeKind::Binary, cfg.map(), k);
     let t0 = Instant::now();
-    let engine = Anonymizer::build(&db, cfg.map(), k).unwrap();
+    let engine =
+        Anonymizer::build_instrumented(&db, tree_config, k, Some(&mut scratch), Some(&metrics))
+            .unwrap();
     eprintln!(
         "anonymize n={n} k={k}: {:?} cost={} stats: {}",
         t0.elapsed(),
         engine.cost(),
         engine.tree_stats()
     );
+    for stage in [Stage::TreeBuild, Stage::Dp, Stage::Extract] {
+        eprintln!("  {stage:?}: {:?}", metrics.stage_total(stage));
+    }
 }

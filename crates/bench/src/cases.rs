@@ -1,0 +1,250 @@
+//! Benchmark case bodies for the `lbs bench` suite.
+//!
+//! **Timing constraint** (enforced by the `no-wall-clock-in-bench-cases`
+//! lint): case bodies never read `Instant`/`SystemTime` directly. The
+//! only clock in this module is the harness [`Sampler`] handed to each
+//! case — setup runs untimed, and exactly the region inside
+//! [`Sampler::sample`] is charged, under one shared calibration.
+
+use crate::suite::{Sampler, Tier};
+use crate::MasterWorkload;
+use lbs_core::{Anonymizer, DpScratch, IncrementalAnonymizer};
+use lbs_geom::Point;
+use lbs_model::{AnonymizedRequest, Move, RequestId, RequestParams, UserId};
+use lbs_parallel::{anonymize_work_stealing, EngineConfig};
+use lbs_query::{CloakedLbs, Poi, PoiId, PoiStore};
+use lbs_tree::{TreeConfig, TreeKind};
+use lbs_workload::{derive_seed, random_moves};
+use std::collections::HashMap;
+
+/// Shared state for one suite run: the master seed, lazily generated
+/// workloads keyed by user count (generated once, reused by every case
+/// that asks for the same size), and a DP scratch arena reused across
+/// cases and repeats — the same cross-run reuse the parallel engine's
+/// `ScratchPool` gives its workers.
+pub struct WorkBench {
+    seed: u64,
+    workloads: HashMap<usize, MasterWorkload>,
+    scratch: DpScratch,
+}
+
+impl WorkBench {
+    /// An empty bench with the given master seed.
+    pub fn new(seed: u64) -> Self {
+        WorkBench { seed, workloads: HashMap::new(), scratch: DpScratch::new() }
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if !self.workloads.contains_key(&n) {
+            self.workloads.insert(n, MasterWorkload::generate_sized(n, self.seed));
+        }
+    }
+}
+
+/// A case body: untimed setup plus `sampler.repeats()` timed iterations.
+pub type CaseBody = Box<dyn FnMut(&mut WorkBench, &mut Sampler)>;
+
+/// One named benchmark case: `run` performs untimed setup, then times
+/// `sampler.repeats()` iterations through the harness timer.
+pub struct CaseDef {
+    /// Stable case key, e.g. `bulk_dp/n1750000/k50` — snapshot JSON and
+    /// `--compare` match on it.
+    pub name: String,
+    /// The case body.
+    pub run: CaseBody,
+}
+
+/// The paper's core measurement: full bulk anonymization (tree build +
+/// `Bulk_dp` + policy extraction) at `n` users, anonymity level `k`.
+fn bulk_dp(n: usize, k: usize) -> CaseDef {
+    CaseDef {
+        name: format!("bulk_dp/n{n}/k{k}"),
+        run: Box::new(move |wb, sampler| {
+            wb.ensure(n);
+            let WorkBench { workloads, scratch, .. } = wb;
+            let w = &workloads[&n];
+            let (db, map) = (w.master(), w.config().map());
+            for _ in 0..sampler.repeats() {
+                let engine = sampler.sample(|| {
+                    Anonymizer::build_instrumented(
+                        db,
+                        TreeConfig::lazy(TreeKind::Binary, map, k),
+                        k,
+                        Some(&mut *scratch),
+                        None,
+                    )
+                });
+                assert!(engine.is_ok(), "bulk_dp workload anonymizes");
+            }
+        }),
+    }
+}
+
+/// Commit latency of the incremental anonymizer: each repeat stages one
+/// pre-generated churn batch (1% of users moving ≤ 200 m, the Figure
+/// 5(b) model) and times `apply_moves` — dirty-row recomputation
+/// included, policy extraction excluded.
+fn incremental_commit(n: usize) -> CaseDef {
+    let k = 10;
+    CaseDef {
+        name: format!("incremental_commit/n{n}"),
+        run: Box::new(move |wb, sampler| {
+            wb.ensure(n);
+            let seed = wb.seed;
+            let w = &wb.workloads[&n];
+            let (db, map) = (w.master(), w.config().map());
+            let mut inc =
+                IncrementalAnonymizer::new(db, TreeConfig::lazy(TreeKind::Binary, map, k), k)
+                    .expect("bench workload anonymizes");
+            let batches: Vec<Vec<Move>> = (0..u64::from(sampler.repeats()))
+                .map(|i| random_moves(db, &map, 0.01, 200.0, derive_seed(seed, 0xbe9c + i)))
+                .collect();
+            for batch in &batches {
+                let report = sampler.sample(|| inc.apply_moves(batch));
+                assert!(report.is_ok(), "churn batch stays on-map");
+            }
+        }),
+    }
+}
+
+/// Work-stealing engine throughput at a fixed jurisdiction count and
+/// varying worker count — the scaling curve CI watches for scheduler
+/// regressions.
+fn engine_scaling(n: usize, workers: usize, servers: usize) -> CaseDef {
+    let k = 10;
+    CaseDef {
+        name: format!("engine_scaling/n{n}/w{workers}"),
+        run: Box::new(move |wb, sampler| {
+            wb.ensure(n);
+            let w = &wb.workloads[&n];
+            let (db, map) = (w.master(), w.config().map());
+            let cfg = EngineConfig { workers, ..EngineConfig::default() };
+            for _ in 0..sampler.repeats() {
+                let outcome =
+                    sampler.sample(|| anonymize_work_stealing(db, map, k, servers, &cfg, None));
+                assert!(outcome.is_ok(), "engine run succeeds");
+            }
+        }),
+    }
+}
+
+/// The CSP answer-cache hit path: a warmed cache serves a fixed request
+/// set; every timed request must hit (asserted), so the number is pure
+/// cache lookup + client-side filtering.
+fn query_cache_hit(n: usize, requests: usize) -> CaseDef {
+    let k = 10;
+    CaseDef {
+        name: format!("query_cache/n{n}/hit_path"),
+        run: Box::new(move |wb, sampler| {
+            wb.ensure(n);
+            let w = &wb.workloads[&n];
+            let (db, map) = (w.master(), w.config().map());
+            let engine = Anonymizer::build(db, map, k).expect("bench workload anonymizes");
+            let locations: HashMap<UserId, Point> = db.iter().collect();
+            let pois: Vec<Poi> = db
+                .iter()
+                .step_by(40)
+                .enumerate()
+                .map(|(i, (_, p))| Poi {
+                    id: PoiId(i as u64),
+                    location: p,
+                    category: "cafe".into(),
+                })
+                .collect();
+            let store = PoiStore::build(map, map.width() / 32, pois).expect("grid divides map");
+            let mut lbs = CloakedLbs::new(store);
+            let reqs: Vec<(AnonymizedRequest, Point)> = engine
+                .policy()
+                .iter()
+                .take(requests)
+                .enumerate()
+                .map(|(i, (user, region))| {
+                    let ar = AnonymizedRequest::new(
+                        RequestId(i as u64),
+                        *region,
+                        RequestParams::from_pairs([("poi", "cafe")]),
+                    );
+                    (ar, locations[&user])
+                })
+                .collect();
+            for (ar, p) in &reqs {
+                let _ = lbs.nearest_for(ar, *p); // warm the cache, untimed
+            }
+            for _ in 0..sampler.repeats() {
+                let hits = sampler.sample(|| {
+                    let mut hits = 0usize;
+                    for (ar, p) in &reqs {
+                        if lbs.nearest_for(ar, *p).cache_hit {
+                            hits += 1;
+                        }
+                    }
+                    hits
+                });
+                assert_eq!(hits, reqs.len(), "warm cache serves every request");
+            }
+        }),
+    }
+}
+
+/// The tier's case list, in execution order. Deterministic: same tier →
+/// same names, regardless of seed or host.
+pub fn cases(tier: Tier) -> Vec<CaseDef> {
+    match tier {
+        Tier::Smoke => vec![
+            bulk_dp(10_000, 10),
+            bulk_dp(10_000, 50),
+            incremental_commit(10_000),
+            engine_scaling(10_000, 2, 16),
+            query_cache_hit(10_000, 512),
+        ],
+        Tier::Full => vec![
+            bulk_dp(100_000, 10),
+            bulk_dp(100_000, 50),
+            bulk_dp(1_000_000, 10),
+            bulk_dp(1_000_000, 50),
+            bulk_dp(1_750_000, 10),
+            bulk_dp(1_750_000, 50),
+            incremental_commit(100_000),
+            engine_scaling(250_000, 1, 64),
+            engine_scaling(250_000, 2, 64),
+            engine_scaling(250_000, 4, 64),
+            engine_scaling(250_000, 8, 64),
+            query_cache_hit(100_000, 2_048),
+        ],
+        Tier::All => {
+            let mut out = cases(Tier::Smoke);
+            for case in cases(Tier::Full) {
+                if !out.iter().any(|existing| existing.name == case.name) {
+                    out.push(case);
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::case_names;
+
+    #[test]
+    fn case_names_are_unique_per_tier() {
+        for tier in [Tier::Smoke, Tier::Full, Tier::All] {
+            let names = case_names(tier);
+            let mut deduped = names.clone();
+            deduped.sort();
+            deduped.dedup();
+            assert_eq!(deduped.len(), names.len(), "duplicate case name in {tier:?}");
+        }
+    }
+
+    #[test]
+    fn all_tier_is_smoke_union_full() {
+        let all = case_names(Tier::All);
+        for name in case_names(Tier::Smoke).iter().chain(case_names(Tier::Full).iter()) {
+            assert!(all.contains(name), "{name} missing from All");
+        }
+        assert_eq!(all.len(), case_names(Tier::Smoke).len() + case_names(Tier::Full).len());
+    }
+}

@@ -1,0 +1,231 @@
+//! Machine-normalized performance snapshots.
+//!
+//! A [`BenchSnapshot`] is the committed artifact of one `lbs bench` run:
+//! per-case median/p95 nanoseconds plus a *host calibration scalar* — the
+//! time of a fixed splitmix64 spin loop on the machine that produced the
+//! snapshot. Comparing two snapshots divides each case by its snapshot's
+//! calibration first, so a faster CI box does not mask a real regression
+//! and a slower laptop does not invent one. Case keys live in a
+//! `BTreeMap`, so serialization order (and therefore the committed JSON
+//! diff) is stable across runs.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Bump when the JSON layout changes incompatibly.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One benchmark case's aggregated timings.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaseRecord {
+    /// Median wall nanoseconds over the repeats (upper-middle element for
+    /// even counts — always an observed sample).
+    pub median_ns: u64,
+    /// Nearest-rank p95 over the repeats.
+    pub p95_ns: u64,
+    /// How many timed iterations produced the statistics.
+    pub iters: u32,
+}
+
+/// A full suite run: environment fingerprint plus per-case records.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchSnapshot {
+    /// Layout version ([`SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// Master workload seed the suite ran under.
+    pub seed: u64,
+    /// Git revision of the tree that produced the snapshot (or
+    /// `"unknown"` outside a git checkout).
+    pub git_rev: String,
+    /// Nanoseconds the fixed calibration spin loop took on this host
+    /// (see [`crate::suite::calibrate_ns`]). Never zero.
+    pub host_calibration_ns: u64,
+    /// Case name → aggregated timings, in stable (sorted) order.
+    pub cases: BTreeMap<String, CaseRecord>,
+}
+
+impl BenchSnapshot {
+    /// Pretty JSON, newline-terminated, key order stable.
+    pub fn to_json(&self) -> String {
+        // to_string_pretty cannot fail on this map-and-scalars shape.
+        let mut s = serde_json::to_string_pretty(self).unwrap_or_default();
+        s.push('\n');
+        s
+    }
+
+    /// Parses a snapshot, rejecting unknown schema versions.
+    ///
+    /// # Errors
+    /// Malformed JSON or a schema newer than this binary understands.
+    pub fn from_json(raw: &str) -> Result<Self, String> {
+        let snap: BenchSnapshot =
+            serde_json::from_str(raw).map_err(|e| format!("snapshot parse error: {e}"))?;
+        if snap.schema > SCHEMA_VERSION {
+            return Err(format!(
+                "snapshot schema {} is newer than supported {}",
+                snap.schema, SCHEMA_VERSION
+            ));
+        }
+        Ok(snap)
+    }
+
+    /// This snapshot's normalized time for `case`: median nanoseconds
+    /// divided by the host calibration scalar (dimensionless).
+    pub fn normalized(&self, case: &str) -> Option<f64> {
+        let rec = self.cases.get(case)?;
+        Some(rec.median_ns as f64 / self.host_calibration_ns.max(1) as f64)
+    }
+}
+
+/// One case's old-vs-new comparison line.
+#[derive(Debug, Clone)]
+pub struct CaseComparison {
+    /// Case name.
+    pub name: String,
+    /// Raw median in the baseline snapshot.
+    pub old_ns: u64,
+    /// Raw median in the new snapshot.
+    pub new_ns: u64,
+    /// Normalized new/old ratio: > 1 means slower after calibration.
+    pub ratio: f64,
+    /// Whether the slowdown exceeds the threshold.
+    pub regressed: bool,
+}
+
+/// Outcome of comparing two snapshots.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// The regression threshold in percent that was applied.
+    pub threshold_pct: f64,
+    /// Per-case lines for every case present in both snapshots, in
+    /// baseline order.
+    pub rows: Vec<CaseComparison>,
+    /// Baseline cases the new run did not execute (informational — a
+    /// smoke run compared against a full baseline is expected to skip
+    /// most of it).
+    pub missing_in_new: Vec<String>,
+    /// Cases the new run added (informational).
+    pub added_in_new: Vec<String>,
+}
+
+impl CompareReport {
+    /// Whether the comparison passes (no case regressed beyond the
+    /// threshold). Cases missing on either side never fail the gate.
+    pub fn passed(&self) -> bool {
+        self.rows.iter().all(|r| !r.regressed)
+    }
+
+    /// The regressed rows, worst first.
+    pub fn regressions(&self) -> Vec<&CaseComparison> {
+        let mut out: Vec<&CaseComparison> = self.rows.iter().filter(|r| r.regressed).collect();
+        out.sort_by(|a, b| b.ratio.total_cmp(&a.ratio));
+        out
+    }
+
+    /// Human-readable table of every compared case.
+    pub fn render(&self) -> String {
+        let mut table = crate::Table::new(&["case", "old(ms)", "new(ms)", "norm-ratio", "verdict"]);
+        for row in &self.rows {
+            table.row(vec![
+                row.name.clone(),
+                format!("{:.3}", row.old_ns as f64 / 1e6),
+                format!("{:.3}", row.new_ns as f64 / 1e6),
+                format!("{:.3}", row.ratio),
+                if row.regressed { "REGRESSED".into() } else { "ok".into() },
+            ]);
+        }
+        let mut out = table.render();
+        if !self.missing_in_new.is_empty() {
+            out.push_str(&format!("not re-run ({} baseline cases)\n", self.missing_in_new.len()));
+        }
+        for name in &self.added_in_new {
+            out.push_str(&format!("new case (no baseline): {name}\n"));
+        }
+        out
+    }
+}
+
+/// Compares `new` against the `old` baseline: a case regresses when its
+/// calibration-normalized median grew by more than `threshold_pct`
+/// percent. Only cases present in both snapshots gate the result.
+pub fn compare(old: &BenchSnapshot, new: &BenchSnapshot, threshold_pct: f64) -> CompareReport {
+    let limit = 1.0 + threshold_pct / 100.0;
+    let mut rows = Vec::new();
+    let mut missing_in_new = Vec::new();
+    for (name, old_rec) in &old.cases {
+        let Some(new_rec) = new.cases.get(name) else {
+            missing_in_new.push(name.clone());
+            continue;
+        };
+        let old_norm = old_rec.median_ns.max(1) as f64 / old.host_calibration_ns.max(1) as f64;
+        let new_norm = new_rec.median_ns as f64 / new.host_calibration_ns.max(1) as f64;
+        let ratio = new_norm / old_norm;
+        rows.push(CaseComparison {
+            name: name.clone(),
+            old_ns: old_rec.median_ns,
+            new_ns: new_rec.median_ns,
+            ratio,
+            regressed: ratio > limit,
+        });
+    }
+    let added_in_new = new.cases.keys().filter(|k| !old.cases.contains_key(*k)).cloned().collect();
+    CompareReport { threshold_pct, rows, missing_in_new, added_in_new }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(cal: u64, cases: &[(&str, u64)]) -> BenchSnapshot {
+        BenchSnapshot {
+            schema: SCHEMA_VERSION,
+            seed: 42,
+            git_rev: "deadbeef".into(),
+            host_calibration_ns: cal,
+            cases: cases
+                .iter()
+                .map(|&(name, ns)| {
+                    (name.to_string(), CaseRecord { median_ns: ns, p95_ns: ns, iters: 5 })
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let s = snap(1000, &[("a", 100), ("b", 200)]);
+        let report = compare(&s, &s, 20.0);
+        assert!(report.passed());
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.rows.iter().all(|r| (r.ratio - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn calibration_cancels_host_speed() {
+        // New host is 2x slower overall (calibration 2000 vs 1000), and the
+        // case is 2x slower raw — normalized that is *no* change.
+        let old = snap(1000, &[("a", 100)]);
+        let new = snap(2000, &[("a", 200)]);
+        let report = compare(&old, &new, 20.0);
+        assert!(report.passed());
+        assert!((report.rows[0].ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_cases_are_informational_not_failures() {
+        let old = snap(1000, &[("a", 100), ("only-old", 50)]);
+        let new = snap(1000, &[("a", 100), ("only-new", 70)]);
+        let report = compare(&old, &new, 20.0);
+        assert!(report.passed());
+        assert_eq!(report.missing_in_new, vec!["only-old".to_string()]);
+        assert_eq!(report.added_in_new, vec!["only-new".to_string()]);
+    }
+
+    #[test]
+    fn schema_from_the_future_is_rejected() {
+        let mut s = snap(1000, &[]);
+        s.schema = SCHEMA_VERSION + 1;
+        let err = BenchSnapshot::from_json(&s.to_json()).unwrap_err();
+        assert!(err.contains("newer"), "{err}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Snapshot-format and runner-determinism tests for the `lbs bench`
+//! suite: serde round-trips, stable case ordering, same-seed
+//! reproducibility, and the regression gate's threshold behavior.
+
+use lbs_bench::snapshot::{compare, BenchSnapshot, CaseRecord, SCHEMA_VERSION};
+use lbs_bench::suite::{case_names, run_suite, Tier};
+use std::collections::BTreeMap;
+
+fn synthetic(cal: u64, cases: &[(&str, u64)]) -> BenchSnapshot {
+    BenchSnapshot {
+        schema: SCHEMA_VERSION,
+        seed: 99,
+        git_rev: "cafebabe".into(),
+        host_calibration_ns: cal,
+        cases: cases
+            .iter()
+            .map(|&(name, ns)| {
+                (name.to_string(), CaseRecord { median_ns: ns, p95_ns: ns + ns / 10, iters: 5 })
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn snapshot_json_round_trips_exactly() {
+    let snap = synthetic(12_345, &[("bulk_dp/n100000/k10", 1_000_000), ("query/hit", 5_000)]);
+    let json = snap.to_json();
+    let back = BenchSnapshot::from_json(&json).expect("round-trip parses");
+    assert_eq!(back, snap);
+    // And the re-serialization is byte-identical — committed snapshots
+    // never churn from a parse/emit cycle.
+    assert_eq!(back.to_json(), json);
+}
+
+#[test]
+fn case_order_in_json_is_sorted_and_insertion_independent() {
+    // Same cases inserted in opposite orders serialize identically: the
+    // BTreeMap, not insertion history, owns the order.
+    let a = synthetic(1, &[("z/case", 10), ("a/case", 20), ("m/case", 30)]);
+    let b = synthetic(1, &[("m/case", 30), ("a/case", 20), ("z/case", 10)]);
+    assert_eq!(a.to_json(), b.to_json());
+    let keys: Vec<&String> = a.cases.keys().collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+}
+
+#[test]
+fn tier_case_lists_are_deterministic() {
+    assert_eq!(case_names(Tier::Smoke), case_names(Tier::Smoke));
+    assert_eq!(case_names(Tier::Full), case_names(Tier::Full));
+    assert!(!case_names(Tier::Smoke).is_empty());
+    // The paper-scale grid is present by name.
+    let full = case_names(Tier::Full);
+    for expected in [
+        "bulk_dp/n100000/k10",
+        "bulk_dp/n100000/k50",
+        "bulk_dp/n1000000/k10",
+        "bulk_dp/n1000000/k50",
+        "bulk_dp/n1750000/k10",
+        "bulk_dp/n1750000/k50",
+        "incremental_commit/n100000",
+        "engine_scaling/n250000/w1",
+        "engine_scaling/n250000/w2",
+        "engine_scaling/n250000/w4",
+        "engine_scaling/n250000/w8",
+        "query_cache/n100000/hit_path",
+    ] {
+        assert!(full.iter().any(|n| n == expected), "{expected} missing from full tier");
+    }
+}
+
+#[test]
+fn same_seed_runs_produce_identical_case_lists_and_iteration_counts() {
+    let mut sink = Vec::new();
+    let first = run_suite(Tier::Smoke, 7, 1, "r".into(), &mut sink);
+    let second = run_suite(Tier::Smoke, 7, 1, "r".into(), &mut sink);
+    assert_eq!(first.seed, second.seed);
+    let keys = |s: &BenchSnapshot| s.cases.keys().cloned().collect::<Vec<_>>();
+    assert_eq!(keys(&first), keys(&second));
+    let iters = |s: &BenchSnapshot| {
+        s.cases.iter().map(|(k, r)| (k.clone(), r.iters)).collect::<BTreeMap<_, _>>()
+    };
+    assert_eq!(iters(&first), iters(&second));
+    // And the key set is exactly the advertised case list.
+    let mut advertised = case_names(Tier::Smoke);
+    advertised.sort();
+    assert_eq!(keys(&first), advertised);
+}
+
+#[test]
+fn compare_flags_25_percent_slowdown_but_not_5_percent() {
+    let old = synthetic(1_000, &[("a", 100_000), ("b", 200_000)]);
+
+    // 5% slower on one case: inside the 20% budget.
+    let mild = synthetic(1_000, &[("a", 105_000), ("b", 200_000)]);
+    let report = compare(&old, &mild, 20.0);
+    assert!(report.passed(), "5% must not trip a 20% gate");
+    assert!(report.regressions().is_empty());
+
+    // 25% slower on one case: beyond the budget, and attributed to it.
+    let bad = synthetic(1_000, &[("a", 125_000), ("b", 200_000)]);
+    let report = compare(&old, &bad, 20.0);
+    assert!(!report.passed(), "25% must trip a 20% gate");
+    let regressions = report.regressions();
+    assert_eq!(regressions.len(), 1);
+    assert_eq!(regressions[0].name, "a");
+    assert!((regressions[0].ratio - 1.25).abs() < 1e-9);
+    assert!(report.render().contains("REGRESSED"));
+}
+
+#[test]
+fn compare_normalizes_by_host_calibration() {
+    let old = synthetic(1_000, &[("a", 100_000)]);
+    // Raw 30% slowdown on a host whose calibration also grew 30%: the
+    // machine got slower, the code did not.
+    let new = synthetic(1_300, &[("a", 130_000)]);
+    assert!(compare(&old, &new, 20.0).passed());
+    // Raw parity on a host that got 30% faster: a real 30% regression.
+    let hidden = synthetic(769, &[("a", 100_000)]);
+    assert!(!compare(&old, &hidden, 20.0).passed());
+}

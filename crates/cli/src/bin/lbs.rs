@@ -9,7 +9,7 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: lbs <gen|anonymize|audit|stats|compare|lookup|conformance|lint|serve|recover|recovery-smoke> \
+                "usage: lbs <gen|anonymize|audit|stats|compare|lookup|conformance|lint|bench|serve|recover|recovery-smoke> \
                  [--key value]...\n\
                  see `cargo doc -p lbs-cli` for the full command reference"
             );

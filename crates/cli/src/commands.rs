@@ -38,6 +38,8 @@ pub enum CliError {
     Lint(String),
     /// Service runtime failure (WAL, checkpoint, recovery, serving).
     Runtime(lbs_runtime::RuntimeError),
+    /// Benchmark suite failure or a snapshot comparison beyond threshold.
+    Bench(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -49,7 +51,7 @@ impl std::fmt::Display for CliError {
                     f,
                     "unknown command {c:?}; try \
                      gen/anonymize/audit/stats/compare/lookup/conformance/lint/\
-                     serve/recover/recovery-smoke"
+                     bench/serve/recover/recovery-smoke"
                 )
             }
             CliError::Io(e) => write!(f, "io error: {e}"),
@@ -64,6 +66,7 @@ impl std::fmt::Display for CliError {
             }
             CliError::Lint(msg) => write!(f, "lint failed: {msg}"),
             CliError::Runtime(e) => write!(f, "runtime error: {e}"),
+            CliError::Bench(msg) => write!(f, "bench failed: {msg}"),
         }
     }
 }
@@ -109,6 +112,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "lookup" => lookup(args, out),
         "conformance" => conformance(args, out),
         "lint" => lint(args, out),
+        "bench" => bench(args, out),
         "serve" => serve(args, out),
         "recover" => recover(args, out),
         "recovery-smoke" => recovery_smoke(args, out),
@@ -356,6 +360,48 @@ fn lint(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
              `// lbs-lint: allow(<lint>, reason = \"…\")`)",
             report.errors()
         )));
+    }
+    Ok(())
+}
+
+/// `lbs bench`: run the seeded performance suite and emit / gate on a
+/// machine-normalized snapshot.
+///
+/// `--suite smoke|full|all` picks the case list (default `full`),
+/// `--json PATH` writes the snapshot, `--compare OLD.json` compares this
+/// run against a committed baseline and fails when any shared case's
+/// calibration-normalized median regressed more than `--threshold`
+/// percent (default 20).
+fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let tier = lbs_bench::suite::Tier::parse(args.optional("suite").unwrap_or("full"))
+        .map_err(CliError::Bench)?;
+    let seed = args.parse_or("seed", BayAreaConfig::default().seed)?;
+    let repeats: u32 = args.parse_or("repeats", 5u32)?;
+    let threshold: f64 = args.parse_or("threshold", 20.0f64)?;
+    let rev = match find_workspace_root() {
+        Ok(root) => lbs_bench::suite::git_rev(&root),
+        Err(_) => "unknown".to_string(),
+    };
+    let snap = lbs_bench::suite::run_suite(tier, seed, repeats, rev, out);
+    if let Some(path) = args.optional("json") {
+        std::fs::write(path, snap.to_json())?;
+        writeln!(out, "snapshot written to {path}")?;
+    }
+    if let Some(old_path) = args.optional("compare") {
+        let raw = std::fs::read_to_string(old_path)?;
+        let old = lbs_bench::snapshot::BenchSnapshot::from_json(&raw).map_err(CliError::Bench)?;
+        let report = lbs_bench::snapshot::compare(&old, &snap, threshold);
+        write!(out, "{}", report.render())?;
+        if !report.passed() {
+            let worst = report.regressions();
+            return Err(CliError::Bench(format!(
+                "{} case(s) regressed beyond {threshold}% (worst: {} at {:.2}x normalized)",
+                worst.len(),
+                worst[0].name,
+                worst[0].ratio
+            )));
+        }
+        writeln!(out, "compare: ok ({} shared cases within {threshold}%)", report.rows.len())?;
     }
     Ok(())
 }
@@ -631,6 +677,84 @@ mod tests {
         let msg = run_line(&["compare", "--snapshot", &snap, "--k", "10"]).unwrap();
         assert!(msg.contains("policy-aware"), "{msg}");
         assert!(msg.contains("casper"), "{msg}");
+    }
+
+    #[test]
+    fn bench_smoke_snapshot_and_compare_gate() {
+        use lbs_bench::snapshot::{BenchSnapshot, CaseRecord, SCHEMA_VERSION};
+        use lbs_bench::suite::{case_names, Tier};
+
+        let dir = TempDir::new("bench");
+        let baseline = |median_ns: u64, cal: u64| {
+            let cases = case_names(Tier::Smoke)
+                .into_iter()
+                .map(|name| (name, CaseRecord { median_ns, p95_ns: median_ns, iters: 1 }))
+                .collect();
+            BenchSnapshot {
+                schema: SCHEMA_VERSION,
+                seed: 7,
+                git_rev: "test".into(),
+                host_calibration_ns: cal,
+                cases,
+            }
+        };
+
+        // A baseline so slow no real run can regress against it: the
+        // compare-pass path and the snapshot write in one suite run.
+        let slow = dir.path("slow.json");
+        std::fs::write(&slow, baseline(u64::MAX / 1_000, 1).to_json()).unwrap();
+        let snap_path = dir.path("bench.json");
+        let msg = run_line(&[
+            "bench",
+            "--suite",
+            "smoke",
+            "--repeats",
+            "2",
+            "--seed",
+            "7",
+            "--json",
+            &snap_path,
+            "--compare",
+            &slow,
+        ])
+        .unwrap();
+        assert!(msg.contains("calibration:"), "{msg}");
+        assert!(msg.contains("snapshot written"), "{msg}");
+        assert!(msg.contains("compare: ok"), "{msg}");
+
+        let snap = BenchSnapshot::from_json(&std::fs::read_to_string(&snap_path).unwrap()).unwrap();
+        assert_eq!(snap.seed, 7);
+        assert_eq!(snap.schema, SCHEMA_VERSION);
+        assert!(snap.host_calibration_ns >= 1);
+        let mut expect = case_names(Tier::Smoke);
+        expect.sort();
+        assert_eq!(snap.cases.keys().cloned().collect::<Vec<_>>(), expect);
+
+        // A baseline so fast every case must regress: the nonzero-exit path.
+        let fast = dir.path("fast.json");
+        std::fs::write(&fast, baseline(1, u64::MAX / 1_000).to_json()).unwrap();
+        let err = run_line(&[
+            "bench",
+            "--suite",
+            "smoke",
+            "--repeats",
+            "1",
+            "--seed",
+            "7",
+            "--compare",
+            &fast,
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Bench(ref msg) if msg.contains("regressed")), "{err:?}");
+    }
+
+    #[test]
+    fn bench_rejects_unknown_suite() {
+        let err = run_line(&["bench", "--suite", "gigantic"]).unwrap_err();
+        assert!(
+            matches!(err, CliError::Bench(ref msg) if msg.contains("unknown suite")),
+            "{err:?}"
+        );
     }
 
     #[test]

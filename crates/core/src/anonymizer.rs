@@ -52,8 +52,9 @@ impl Anonymizer {
     /// As [`Anonymizer::build_with_config`], with two production hooks:
     ///
     /// * `scratch` — a caller-owned [`DpScratch`] arena reused across
-    ///   builds (binary trees only; the quad DP manages its own buffers).
-    ///   The work-stealing engine hands each worker thread one arena so
+    ///   builds (both tree kinds; the arena carries the flat-tree
+    ///   snapshot, the row cost arena, and the quad-DP buffers). The
+    ///   work-stealing engine hands each worker thread one arena so
     ///   steady-state jurisdiction builds allocate nothing in the DP loop.
     /// * `metrics` — a [`Metrics`] sink receiving [`Stage::TreeBuild`],
     ///   [`Stage::Dp`], and [`Stage::Extract`] spans plus the
@@ -83,7 +84,10 @@ impl Anonymizer {
                 Some(arena) => bulk_dp_fast_with_scratch(&tree, k, arena),
                 None => bulk_dp_fast(&tree, k),
             },
-            TreeKind::Quad => crate::bulk_dp_fast_quad(&tree, k),
+            TreeKind::Quad => match scratch {
+                Some(arena) => crate::bulk_dp_fast_quad_with_scratch(&tree, k, arena),
+                None => crate::bulk_dp_fast_quad(&tree, k),
+            },
         })?;
         let (cost, policy) = staged(metrics, Stage::Extract, || {
             let cost = matrix.optimal_cost(&tree)?;

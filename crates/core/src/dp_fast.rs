@@ -22,6 +22,7 @@
 //! the constant factor small enough to bulk-anonymize a million users in
 //! seconds on one core.
 
+use crate::flat::{minplus_argmin, ConvKernel, FlatTree, NO_CHILD};
 use crate::{CoreError, DpMatrix, Entry, Row, INFINITE_COST};
 use lbs_tree::{NodeId, SpatialTree, TreeKind};
 
@@ -73,12 +74,287 @@ pub fn bulk_dp_fast_with_scratch(
     if tree.config().kind != TreeKind::Binary {
         return Err(CoreError::Tree("bulk_dp_fast requires a binary (semi-quadrant) tree".into()));
     }
+    bulk_dp_fast_arena(tree, k, scratch)
+}
+
+/// The pre-arena row-at-a-time `Bulk_dp`: a literal postorder walk of the
+/// `NodeId` arena computing one [`Row`] per node through the same
+/// two-stage block decomposition. Kept as the differential baseline for
+/// the arena-flattened bulk path (and as the engine behind incremental
+/// row repair, which recomputes rows one at a time by construction).
+///
+/// # Errors
+/// Same conditions as [`bulk_dp_fast`].
+pub fn bulk_dp_fast_rowwise(
+    tree: &SpatialTree,
+    k: usize,
+    use_lemma5: bool,
+) -> Result<DpMatrix, CoreError> {
+    if k == 0 {
+        return Err(CoreError::InvalidK);
+    }
+    if tree.config().kind != TreeKind::Binary {
+        return Err(CoreError::Tree("bulk_dp_fast requires a binary (semi-quadrant) tree".into()));
+    }
+    let mut scratch = Scratch { use_lemma5, ..Scratch::default() };
     let mut matrix = DpMatrix::new(k, tree.arena_len());
     for id in tree.postorder() {
-        let row = compute_row_with(tree, &matrix, id, k, &mut scratch.inner)?;
+        let row = compute_row_with(tree, &matrix, id, k, &mut scratch)?;
         matrix.set_row(id, row);
     }
     Ok(matrix)
+}
+
+/// The arena-flattened bulk sweep: snapshot the tree breadth-first into
+/// SoA arrays, run the DP by scanning slots in reverse (children before
+/// parents, no pointer chasing), and keep every dense row in one
+/// contiguous cost arena so each parent's convolution reads its
+/// children's costs as dense `&[u128]` slices. The block decomposition,
+/// branch evaluation order, and tie-breaks are exactly those of
+/// [`compute_row_with`], so the produced matrix is bit-identical to the
+/// row-wise reference — `tests/differential.rs` pins this.
+fn bulk_dp_fast_arena(
+    tree: &SpatialTree,
+    k: usize,
+    scratch: &mut DpScratch,
+) -> Result<DpMatrix, CoreError> {
+    let use_lemma5 = scratch.inner.use_lemma5;
+    scratch.flat.rebuild(tree);
+    let flat = &scratch.flat;
+    let n = flat.len();
+    let a = &mut scratch.rows;
+    a.off.clear();
+    a.off.resize(n, 0);
+    a.len.clear();
+    a.len.resize(n, 0);
+    a.cost.clear();
+    a.split.clear();
+
+    for slot in (0..n).rev() {
+        let d = flat.count[slot];
+        let area = flat.area[slot];
+        let cap = dense_cap_with(d, flat.depth[slot], k, use_lemma5);
+        a.off[slot] = a.cost.len();
+        let first = flat.first_child[slot];
+        if first == NO_CHILD {
+            if let Some(cap) = cap {
+                for u in 0..=cap {
+                    a.cost.push(area * (d - u) as u128);
+                    a.split.push([0; 4]);
+                }
+                a.len[slot] = cap + 1;
+            }
+            continue;
+        }
+        debug_assert_eq!(flat.arity[slot], 2, "binary tree");
+        let (c1, c2) = (first as usize, first as usize + 1);
+        let pair = ChildPair {
+            dense1: &a.cost[a.off[c1]..a.off[c1] + a.len[c1]],
+            dense2: &a.cost[a.off[c2]..a.off[c2] + a.len[c2]],
+            d1: flat.count[c1],
+            d2: flat.count[c2],
+        };
+        combine_children(pair, d, area, cap, k, &mut scratch.inner, &mut scratch.out);
+        a.cost.extend_from_slice(&scratch.out.cost);
+        a.split.extend_from_slice(&scratch.out.split);
+        a.len[slot] = scratch.out.cost.len();
+    }
+
+    // Materialize the arena into the caller-visible matrix format. The
+    // forward scan reads the cost arena back-to-front region-wise but
+    // each row's cells contiguously.
+    let mut matrix = DpMatrix::new(k, tree.arena_len());
+    for slot in 0..n {
+        let (off, len) = (a.off[slot], a.len[slot]);
+        let dense: Vec<Entry> =
+            (off..off + len).map(|i| Entry { cost: a.cost[i], split: a.split[i] }).collect();
+        let special = if flat.first_child[slot] == NO_CHILD {
+            Entry::zero([0; 4])
+        } else {
+            let c1 = flat.first_child[slot] as usize;
+            Entry::zero([flat.count[c1] as u32, flat.count[c1 + 1] as u32, 0, 0])
+        };
+        matrix.set_row(flat.ids[slot], Row { d: flat.count[slot], dense, special });
+    }
+    Ok(matrix)
+}
+
+/// The two children of a binary node, as dense cost slices into the row
+/// arena plus their populations.
+struct ChildPair<'a> {
+    dense1: &'a [u128],
+    dense2: &'a [u128],
+    d1: usize,
+    d2: usize,
+}
+
+/// Which Stage-2 branch won a dense cell, carrying just enough to
+/// reconstruct the split after the fact. Deferring split resolution to
+/// the single winner (instead of materializing one per candidate branch)
+/// is what lets the convolution drop its argmin column: the winning
+/// `l1` for a `Conv(j)` cell is recovered by one ascending rescan of the
+/// diagonal, which finds the *first* `l1` attaining the minimum — the
+/// same representative the strict-`<` update rule of the row-wise loop
+/// records.
+#[derive(Clone, Copy)]
+enum Win {
+    /// Block 1 at sum `j`: split `[l1, j−l1, 0, 0]` with `l1` rescanned.
+    Conv(u32),
+    /// Block 2 at `l1` (covers both the exact `u = l1 + d2` cell and the
+    /// suffix branch): split `[l1, d2, 0, 0]`.
+    S2(u32),
+    /// Block 3 at `l2`: split `[d1, l2, 0, 0]`.
+    S3(u32),
+    /// Block 4 (`j = d`): split `[d1, d2, 0, 0]`.
+    Block4,
+}
+
+/// One parent row of the arena sweep: Stage 1 (block decomposition of
+/// `temp`) and Stage 2 (resolving every dense `u`), writing cost and
+/// split columns into `out`. This is [`compute_row_with`]'s internal-node
+/// body transcribed onto slices — same branches, same order, same
+/// strict-`<` / `<=` asymmetries — with the convolution running
+/// cost-only over contiguous slices and each cell's split resolved once
+/// from the winning branch.
+fn combine_children(
+    pair: ChildPair<'_>,
+    d: usize,
+    area: u128,
+    cap: Option<usize>,
+    k: usize,
+    ws: &mut Scratch,
+    out: &mut OutRow,
+) {
+    let ChildPair { dense1, dense2, d1, d2 } = pair;
+    let (a1, a2) = (dense1.len(), dense2.len());
+
+    // ---- Stage 1: temp[m][j], decomposed into four blocks. ----
+    // Block 1 (dense×dense): the cost-only (min,+) convolution kernel.
+    let conv_len = if a1 > 0 && a2 > 0 { a1 + a2 - 1 } else { 0 };
+    ws.kernel.convolve_into(dense1, dense2, &mut ws.conv_cost);
+    // Suffix minima of conv_cost[j] + j·area for the "cloak ≥ k here" branch.
+    ws.conv_suffix.clear();
+    ws.conv_suffix.resize(conv_len + 1, (INFINITE_COST, 0));
+    for j in (0..conv_len).rev() {
+        let weighted = ws.conv_cost[j].saturating_add(area * j as u128);
+        ws.conv_suffix[j] = if weighted <= ws.conv_suffix[j + 1].0 {
+            (weighted, j as u32)
+        } else {
+            ws.conv_suffix[j + 1]
+        };
+    }
+    // Block 2 (dense₁×special₂): j = l1 + d2, cost D₁[l1].
+    ws.s2_suffix.clear();
+    ws.s2_suffix.resize(a1 + 1, (INFINITE_COST, 0));
+    for l1 in (0..a1).rev() {
+        let weighted = dense1[l1].saturating_add(area * (l1 + d2) as u128);
+        ws.s2_suffix[l1] = if weighted <= ws.s2_suffix[l1 + 1].0 {
+            (weighted, l1 as u32)
+        } else {
+            ws.s2_suffix[l1 + 1]
+        };
+    }
+    // Block 3 (special₁×dense₂): j = d1 + l2, cost D₂[l2].
+    ws.s3_suffix.clear();
+    ws.s3_suffix.resize(a2 + 1, (INFINITE_COST, 0));
+    for l2 in (0..a2).rev() {
+        let weighted = dense2[l2].saturating_add(area * (d1 + l2) as u128);
+        ws.s3_suffix[l2] = if weighted <= ws.s3_suffix[l2 + 1].0 {
+            (weighted, l2 as u32)
+        } else {
+            ws.s3_suffix[l2 + 1]
+        };
+    }
+    // Block 4 (special×special): j = d, cost 0, always present.
+    let block4_weighted = area * d as u128;
+
+    // ---- Stage 2: M[m][u] over u ∈ [0..cap] ∪ {d}. ----
+    // Same candidate branches in the same order with the same strict-`<`
+    // updates as the row-wise loop; only the bookkeeping differs — each
+    // branch records a `Win` tag, and the single winner's split is
+    // materialized after the scan.
+    out.cost.clear();
+    out.split.clear();
+    if let Some(cap) = cap {
+        out.cost.reserve(cap + 1);
+        out.split.reserve(cap + 1);
+        for u in 0..=cap {
+            let mut best_cost = INFINITE_COST;
+            let mut win: Option<Win> = None;
+
+            // Exact branch j == u (m cloaks nothing).
+            if u < conv_len && ws.conv_cost[u] < best_cost {
+                best_cost = ws.conv_cost[u];
+                win = Some(Win::Conv(u as u32));
+            }
+            if u >= d2 && u - d2 < a1 {
+                let cost = dense1[u - d2];
+                if cost < best_cost {
+                    best_cost = cost;
+                    win = Some(Win::S2((u - d2) as u32));
+                }
+            }
+            if u >= d1 && u - d1 < a2 {
+                let cost = dense2[u - d1];
+                if cost < best_cost {
+                    best_cost = cost;
+                    win = Some(Win::S3((u - d1) as u32));
+                }
+            }
+            // (Block 4 exact would need u == d, impossible for dense u.)
+
+            // Cloak-at-least-k branch: min over j ≥ u + k of temp[j] +
+            // (j−u)·area, evaluated per block via the suffix arrays. Each
+            // stored value is temp[j] + j·area; subtract u·area at the end.
+            let lo = u + k;
+            let mut weighted_best = INFINITE_COST;
+            let mut weighted_win = Win::Block4;
+            let (w, j) = ws.conv_suffix[lo.min(conv_len)];
+            if w < weighted_best {
+                weighted_best = w;
+                weighted_win = Win::Conv(j);
+            }
+            let l1_from = lo.saturating_sub(d2).min(a1);
+            let (w, l1) = ws.s2_suffix[l1_from];
+            if w < weighted_best {
+                weighted_best = w;
+                weighted_win = Win::S2(l1);
+            }
+            let l2_from = lo.saturating_sub(d1).min(a2);
+            let (w, l2) = ws.s3_suffix[l2_from];
+            if w < weighted_best {
+                weighted_best = w;
+                weighted_win = Win::S3(l2);
+            }
+            if d >= lo && block4_weighted < weighted_best {
+                weighted_best = block4_weighted;
+                weighted_win = Win::Block4;
+            }
+            if weighted_best != INFINITE_COST {
+                let cost = weighted_best - area * u as u128;
+                if cost < best_cost {
+                    best_cost = cost;
+                    win = Some(weighted_win);
+                }
+            }
+
+            let split = match win {
+                Some(Win::Conv(j)) => {
+                    let l1 = minplus_argmin(dense1, dense2, j as usize, ws.conv_cost[j as usize]);
+                    [l1, j - l1, 0, 0]
+                }
+                Some(Win::S2(l1)) => [l1, d2 as u32, 0, 0],
+                Some(Win::S3(l2)) => [d1 as u32, l2, 0, 0],
+                Some(Win::Block4) => [d1 as u32, d2 as u32, 0, 0],
+                // Unreachable: block 4 guarantees a finite candidate for
+                // every dense u (u ≤ d−k ⟹ d ≥ u+k). Mirrors
+                // `Entry::UNREACHABLE`'s split for defense in depth.
+                None => [0; 4],
+            };
+            out.cost.push(best_cost);
+            out.split.push(split);
+        }
+    }
 }
 
 /// Reusable DP scratch arena for [`bulk_dp_fast_with_scratch`].
@@ -90,6 +366,35 @@ pub fn bulk_dp_fast_with_scratch(
 #[derive(Debug, Default)]
 pub struct DpScratch {
     inner: Scratch,
+    /// Breadth-first SoA snapshot of the tree being swept.
+    pub(crate) flat: FlatTree,
+    /// Contiguous per-row result arena (all dense cells of all rows).
+    pub(crate) rows: RowArena,
+    /// Staging row: a parent's cells are built here, then appended to
+    /// `rows` (the append would otherwise alias the child slices being
+    /// read).
+    out: OutRow,
+    /// Sparse-table buffers of the quad-tree sweep.
+    pub(crate) quad: crate::dp_fast_quad::QuadArena,
+}
+
+/// The dense cells of every computed row, stored as parallel cost/split
+/// columns. `off[slot] .. off[slot]+len[slot]` indexes slot's row; cost
+/// reads during the child convolution touch only the `u128` column —
+/// half the stride of the 32-byte [`Entry`] layout.
+#[derive(Debug, Default)]
+pub(crate) struct RowArena {
+    pub(crate) off: Vec<usize>,
+    pub(crate) len: Vec<usize>,
+    pub(crate) cost: Vec<u128>,
+    pub(crate) split: Vec<[u32; 4]>,
+}
+
+/// One row being assembled (cost and split columns).
+#[derive(Debug, Default)]
+struct OutRow {
+    cost: Vec<u128>,
+    split: Vec<[u32; 4]>,
 }
 
 impl DpScratch {
@@ -101,12 +406,18 @@ impl DpScratch {
     /// A fresh arena with the Lemma-5 bound switchable off (the ablation
     /// knob of [`bulk_dp_fast_with_options`]).
     pub fn with_lemma5(use_lemma5: bool) -> Self {
-        DpScratch { inner: Scratch { use_lemma5, ..Scratch::default() } }
+        DpScratch { inner: Scratch { use_lemma5, ..Scratch::default() }, ..DpScratch::default() }
     }
 
     /// Whether the Lemma-5 pass-up bound is applied by DPs using this arena.
     pub fn use_lemma5(&self) -> bool {
         self.inner.use_lemma5
+    }
+
+    /// Flips the Lemma-5 knob on an existing arena (a pooled arena may be
+    /// checked out by runs with either setting; buffers are kept).
+    pub fn set_lemma5(&mut self, use_lemma5: bool) {
+        self.inner.use_lemma5 = use_lemma5;
     }
 }
 
@@ -137,6 +448,8 @@ pub(crate) struct Scratch {
     /// Block-1 (dense×dense) convolution: cost and argmin l₁ per sum j.
     conv_cost: Vec<u128>,
     conv_arg: Vec<u32>,
+    /// The two-lane cost-only convolution kernel (arena sweep).
+    kernel: ConvKernel,
     /// Suffix minima of `conv_cost[j] + j·area` (value, argmin j).
     conv_suffix: Vec<(u128, u32)>,
     /// Suffix minima of `D₁[l₁] + (l₁+d₂)·area` over l₁ (value, argmin l₁).
@@ -151,6 +464,7 @@ impl Default for Scratch {
             use_lemma5: true,
             conv_cost: Vec::new(),
             conv_arg: Vec::new(),
+            kernel: ConvKernel::default(),
             conv_suffix: Vec::new(),
             s2_suffix: Vec::new(),
             s3_suffix: Vec::new(),
@@ -158,21 +472,12 @@ impl Default for Scratch {
     }
 }
 
-/// Computes one matrix row (allocating scratch per call). The incremental
-/// maintainer uses this for its dirty rows.
+/// Computes one matrix row into caller-owned scratch. The incremental
+/// maintainer hoists one [`Scratch`] across its whole dirty-row sweep.
 ///
 /// # Errors
 /// [`CoreError::StaleMatrix`] when a child row is missing (postorder
 /// discipline violated — a caller bug surfaced as a value, not a panic).
-pub(crate) fn compute_row(
-    tree: &SpatialTree,
-    matrix: &DpMatrix,
-    id: NodeId,
-    k: usize,
-) -> Result<Row, CoreError> {
-    compute_row_with(tree, matrix, id, k, &mut Scratch::default())
-}
-
 pub(crate) fn compute_row_with(
     tree: &SpatialTree,
     matrix: &DpMatrix,

@@ -17,16 +17,32 @@
 //! the corresponding binary node, so the `(k+1)·h(m)` budget is, if
 //! anything, conservative relative to the binary-tree lemma.)
 
-use crate::{CoreError, DpMatrix, Entry, Row, INFINITE_COST};
+use crate::flat::NO_CHILD;
+use crate::{CoreError, DpMatrix, DpScratch, Entry, Row, INFINITE_COST};
 use lbs_tree::{NodeId, SpatialTree, TreeKind};
 
 /// One sparse cost-by-sum table entry: the cheapest way for a child pair
 /// to pass up exactly `j` locations, with the split achieving it.
 #[derive(Debug, Clone, Copy)]
-struct SumEntry {
+pub(crate) struct SumEntry {
     j: usize,
     cost: u128,
     split: [u32; 2],
+}
+
+/// Reusable sparse-table buffers of the quad sweep: the four candidate
+/// lists, both pair tables, their projections, the final table, and its
+/// suffix minima. Retained across nodes (and across calls, inside
+/// [`DpScratch`]) so the steady-state quad DP allocates nothing.
+#[derive(Debug, Default)]
+pub(crate) struct QuadArena {
+    cand: [Vec<(usize, u128)>; 4],
+    s12: Vec<SumEntry>,
+    s34: Vec<SumEntry>,
+    pair12: Vec<(usize, u128)>,
+    pair34: Vec<(usize, u128)>,
+    total: Vec<SumEntry>,
+    suffix: Vec<(u128, usize)>,
 }
 
 /// Runs the optimized `Bulk_dp` over a **quad** tree.
@@ -35,6 +51,39 @@ struct SumEntry {
 /// [`CoreError::InvalidK`] for `k = 0`; [`CoreError::Tree`] when handed a
 /// binary tree (use [`crate::bulk_dp_fast`] there).
 pub fn bulk_dp_fast_quad(tree: &SpatialTree, k: usize) -> Result<DpMatrix, CoreError> {
+    let mut scratch = DpScratch::new();
+    bulk_dp_fast_quad_with_scratch(tree, k, &mut scratch)
+}
+
+/// As [`bulk_dp_fast_quad`], reusing a caller-owned [`DpScratch`] arena
+/// across calls (the quad analogue of
+/// [`crate::bulk_dp_fast_with_scratch`]). The quad DP always applies the
+/// Lemma-5 cap with the node's quad depth — the arena's ablation knob
+/// only affects binary sweeps, as before.
+///
+/// # Errors
+/// Same conditions as [`bulk_dp_fast_quad`].
+pub fn bulk_dp_fast_quad_with_scratch(
+    tree: &SpatialTree,
+    k: usize,
+    scratch: &mut DpScratch,
+) -> Result<DpMatrix, CoreError> {
+    if k == 0 {
+        return Err(CoreError::InvalidK);
+    }
+    if tree.config().kind != TreeKind::Quad {
+        return Err(CoreError::Tree("bulk_dp_fast_quad requires a quad tree".into()));
+    }
+    bulk_dp_fast_quad_arena(tree, k, scratch)
+}
+
+/// The pre-arena row-at-a-time quad sweep: a literal postorder walk
+/// computing one [`Row`] per node. Kept as the differential baseline for
+/// the arena-flattened path.
+///
+/// # Errors
+/// Same conditions as [`bulk_dp_fast_quad`].
+pub fn bulk_dp_fast_quad_rowwise(tree: &SpatialTree, k: usize) -> Result<DpMatrix, CoreError> {
     if k == 0 {
         return Err(CoreError::InvalidK);
     }
@@ -45,6 +94,145 @@ pub fn bulk_dp_fast_quad(tree: &SpatialTree, k: usize) -> Result<DpMatrix, CoreE
     for id in tree.postorder() {
         let row = quad_row(tree, &matrix, id, k)?;
         matrix.set_row(id, row);
+    }
+    Ok(matrix)
+}
+
+/// The arena-flattened quad sweep: reverse scan of the breadth-first SoA
+/// snapshot with all sparse tables drawn from [`QuadArena`]. Performs
+/// exactly the operation sequence of [`quad_row`] — same candidate
+/// enumeration order, same `sort_unstable`/`dedup` on the same input
+/// sequence, same suffix sweep and cursor walk — so the produced matrix
+/// is bit-identical to the row-wise reference.
+fn bulk_dp_fast_quad_arena(
+    tree: &SpatialTree,
+    k: usize,
+    scratch: &mut DpScratch,
+) -> Result<DpMatrix, CoreError> {
+    scratch.flat.rebuild(tree);
+    let flat = &scratch.flat;
+    let q = &mut scratch.quad;
+    let a = &mut scratch.rows;
+    let n = flat.len();
+    a.off.clear();
+    a.off.resize(n, 0);
+    a.len.clear();
+    a.len.resize(n, 0);
+    a.cost.clear();
+    a.split.clear();
+
+    for slot in (0..n).rev() {
+        let d = flat.count[slot];
+        let area = flat.area[slot];
+        let cap = dense_cap(d, flat.depth[slot], k);
+        a.off[slot] = a.cost.len();
+        let first = flat.first_child[slot];
+        if first == NO_CHILD {
+            if let Some(cap) = cap {
+                for u in 0..=cap {
+                    a.cost.push(area * (d - u) as u128);
+                    a.split.push([0; 4]);
+                }
+                a.len[slot] = cap + 1;
+            }
+            continue;
+        }
+        debug_assert_eq!(flat.arity[slot], 4, "quad tree");
+        let c0 = first as usize;
+        // Candidate lists: each child's dense cells as (l, cost) pairs
+        // plus its special value (d(child), 0) — the special cell is
+        // always free, exactly as `candidates` reads it off a `Row`.
+        for i in 0..4 {
+            let ci = c0 + i;
+            let (off, len) = (a.off[ci], a.len[ci]);
+            let cand = &mut q.cand[i];
+            cand.clear();
+            cand.extend(a.cost[off..off + len].iter().enumerate().map(|(l, &c)| (l, c)));
+            cand.push((flat.count[ci], 0));
+        }
+
+        // Associate: (c1 ⊗ c2) ⊗ (c3 ⊗ c4).
+        let (cand01, cand23) = q.cand.split_at(2);
+        convolve_into(&cand01[0], &cand01[1], &mut q.s12);
+        convolve_into(&cand23[0], &cand23[1], &mut q.s34);
+        q.pair12.clear();
+        q.pair12.extend(q.s12.iter().map(|e| (e.j, e.cost)));
+        q.pair34.clear();
+        q.pair34.extend(q.s34.iter().map(|e| (e.j, e.cost)));
+        convolve_into(&q.pair12, &q.pair34, &mut q.total);
+
+        // Suffix minima of total[i].cost + j·area for the "cloak ≥ k" branch.
+        q.suffix.clear();
+        q.suffix.resize(q.total.len() + 1, (INFINITE_COST, usize::MAX));
+        for i in (0..q.total.len()).rev() {
+            let weighted = q.total[i].cost.saturating_add(area * q.total[i].j as u128);
+            q.suffix[i] =
+                if weighted <= q.suffix[i + 1].0 { (weighted, i) } else { q.suffix[i + 1] };
+        }
+
+        let id = flat.ids[slot];
+        let (s12, s34, total) = (&q.s12, &q.s34, &q.total);
+        let lookup = |table: &[SumEntry], j: usize, side: &str| -> Result<[u32; 2], CoreError> {
+            let idx = table.binary_search_by_key(&j, |e| e.j).map_err(|_| {
+                CoreError::StaleMatrix(format!(
+                    "pass-up sum {j} missing from the {side} pair table of {id:?}; \
+                     convolution tables are inconsistent with the final table"
+                ))
+            })?;
+            Ok(table[idx].split)
+        };
+        let resolve = |entry: &SumEntry| -> Result<[u32; 4], CoreError> {
+            let s12 = lookup(s12, entry.split[0] as usize, "c1⊗c2")?;
+            let s34 = lookup(s34, entry.split[1] as usize, "c3⊗c4")?;
+            Ok([s12[0], s12[1], s34[0], s34[1]])
+        };
+
+        if let Some(cap) = cap {
+            let mut exact = 0usize;
+            let mut lower = 0usize;
+            for u in 0..=cap {
+                let mut best = Entry::UNREACHABLE;
+                while exact < total.len() && total[exact].j < u {
+                    exact += 1;
+                }
+                if exact < total.len() && total[exact].j == u {
+                    best = Entry { cost: total[exact].cost, split: resolve(&total[exact])? };
+                }
+                while lower < total.len() && total[lower].j < u + k {
+                    lower += 1;
+                }
+                let (weighted, argmin) = q.suffix[lower];
+                if weighted != INFINITE_COST {
+                    let cost = weighted - area * u as u128;
+                    if cost < best.cost {
+                        best = Entry { cost, split: resolve(&total[argmin])? };
+                    }
+                }
+                a.cost.push(best.cost);
+                a.split.push(best.split);
+            }
+            a.len[slot] = cap + 1;
+        }
+    }
+
+    // Materialize the arena into the caller-visible matrix format.
+    let mut matrix = DpMatrix::new(k, tree.arena_len());
+    for slot in 0..n {
+        let (off, len) = (a.off[slot], a.len[slot]);
+        let dense: Vec<Entry> =
+            (off..off + len).map(|i| Entry { cost: a.cost[i], split: a.split[i] }).collect();
+        let special = if flat.first_child[slot] == NO_CHILD {
+            Entry::zero([0; 4])
+        } else {
+            let c0 = flat.first_child[slot] as usize;
+            Entry::zero([
+                flat.count[c0] as u32,
+                flat.count[c0 + 1] as u32,
+                flat.count[c0 + 2] as u32,
+                flat.count[c0 + 3] as u32,
+            ])
+        };
+        matrix.set_row(flat.ids[slot], Row { d: flat.count[slot], dense, special });
     }
     Ok(matrix)
 }
@@ -62,9 +250,15 @@ fn candidates(row: &Row) -> Vec<(usize, u128)> {
     out
 }
 
-/// All pair sums of two candidate lists, sorted by `j`, min-cost per `j`.
-fn convolve(a: &[(usize, u128)], b: &[(usize, u128)]) -> Vec<SumEntry> {
-    let mut pairs: Vec<SumEntry> = Vec::with_capacity(a.len() * b.len());
+/// All pair sums of two candidate lists, sorted by `j`, min-cost per `j`,
+/// written into a reused buffer. The enumeration order (`a` outer, `b`
+/// inner) and the `sort_unstable`/`dedup` pair are part of the
+/// bit-identity contract: `sort_unstable` is deterministic for a given
+/// input sequence, so the arena and row-wise sweeps — which feed it the
+/// same sequence — pick the same representative among equal-cost splits.
+fn convolve_into(a: &[(usize, u128)], b: &[(usize, u128)], out: &mut Vec<SumEntry>) {
+    out.clear();
+    out.reserve(a.len() * b.len());
     for &(la, ca) in a {
         if ca == INFINITE_COST {
             continue;
@@ -73,12 +267,18 @@ fn convolve(a: &[(usize, u128)], b: &[(usize, u128)]) -> Vec<SumEntry> {
             if cb == INFINITE_COST {
                 continue;
             }
-            pairs.push(SumEntry { j: la + lb, cost: ca + cb, split: [la as u32, lb as u32] });
+            out.push(SumEntry { j: la + lb, cost: ca + cb, split: [la as u32, lb as u32] });
         }
     }
-    pairs.sort_unstable_by_key(|e| (e.j, e.cost));
-    pairs.dedup_by_key(|e| e.j);
-    pairs
+    out.sort_unstable_by_key(|e| (e.j, e.cost));
+    out.dedup_by_key(|e| e.j);
+}
+
+/// Allocating wrapper over [`convolve_into`] (the row-wise path).
+fn convolve(a: &[(usize, u128)], b: &[(usize, u128)]) -> Vec<SumEntry> {
+    let mut out = Vec::new();
+    convolve_into(a, b, &mut out);
+    out
 }
 
 /// Computes one quad-node row via associated convolution.

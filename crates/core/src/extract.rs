@@ -9,8 +9,7 @@
 
 use crate::{Configuration, CoreError, DpMatrix, INFINITE_COST};
 use lbs_model::{BulkPolicy, UserId};
-use lbs_tree::{NodeId, SpatialTree};
-use std::collections::HashMap;
+use lbs_tree::SpatialTree;
 
 impl DpMatrix {
     /// Reads off the optimal complete configuration (the pass-up count
@@ -22,12 +21,13 @@ impl DpMatrix {
     pub fn extract_configuration(&self, tree: &SpatialTree) -> Result<Configuration, CoreError> {
         self.optimal_cost(tree)?; // validates feasibility and freshness
         let mut config = Configuration::new();
-        let mut targets: HashMap<NodeId, usize> = HashMap::new();
-        targets.insert(tree.root(), 0);
+        // Pass-up targets, indexed by arena slot (the root's is 0; every
+        // other live node's is written by its parent before it is popped).
+        let mut targets = vec![0usize; tree.arena_len()];
         // Preorder: parents fix their children's pass-up targets.
         let mut stack = vec![tree.root()];
         while let Some(id) = stack.pop() {
-            let u = targets[&id];
+            let u = targets[id.index()];
             config.set(id, u);
             let row = self
                 .row(id)
@@ -36,7 +36,7 @@ impl DpMatrix {
                 CoreError::StaleMatrix(format!("row {id} has no feasible entry for u={u}"))
             })?;
             for (i, &child) in tree.node(id).children.as_slice().iter().enumerate() {
-                targets.insert(child, entry.split[i] as usize);
+                targets[child.index()] = entry.split[i] as usize;
                 stack.push(child);
             }
         }
@@ -56,35 +56,48 @@ impl DpMatrix {
     /// reproduce policies bit-identically from a rebuilt tree).
     pub fn extract_policy(&self, tree: &SpatialTree) -> Result<BulkPolicy, CoreError> {
         let config = self.extract_configuration(tree)?;
-        let mut policy = BulkPolicy::new(format!("policy-aware-optimal(k={})", self.k));
+        // Cloaks are batched and handed to `BulkPolicy::from_assignments`
+        // in one bulk load: at paper scale the per-user ordered-map insert
+        // (random user-id order out of the postorder walk) costs more than
+        // the entire DP row sweep.
+        let mut assignments: Vec<(UserId, lbs_geom::Region)> =
+            Vec::with_capacity(tree.node(tree.root()).count);
         // Bottom-up: each node receives its children's passed-up users,
-        // cloaks all but C(m) of them, and forwards the rest.
-        let mut passed: HashMap<NodeId, Vec<UserId>> = HashMap::new();
+        // cloaks all but C(m) of them, and forwards the rest. Pools are
+        // indexed by arena slot; `mem::take` hands a child's pool to its
+        // parent and leaves an empty Vec behind.
+        let mut passed: Vec<Vec<UserId>> = vec![Vec::new(); tree.arena_len()];
+        let mut pool: Vec<UserId> = Vec::new(); // reused across nodes
         for id in tree.postorder() {
             let node = tree.node(id);
             let u = config
                 .get(id)
                 .ok_or_else(|| CoreError::StaleMatrix(format!("no target for {id}")))?;
-            let mut pool: Vec<UserId> = if node.is_leaf() {
-                tree.leaf_users(id).iter().map(|&(user, _)| user).collect()
+            pool.clear();
+            if node.is_leaf() {
+                pool.extend(tree.leaf_users(id).iter().map(|&(user, _)| user));
             } else {
-                let mut pool = Vec::new();
                 for &child in node.children.as_slice() {
-                    pool.append(&mut passed.remove(&child).unwrap_or_default());
+                    pool.append(&mut std::mem::take(&mut passed[child.index()]));
                 }
-                pool
-            };
-            debug_assert!(u <= pool.len(), "{id}: pass-up exceeds pool");
-            pool.sort_unstable();
-            let forwarded = pool.split_off(pool.len() - u);
-            for user in pool {
-                policy.assign(user, node.rect.into());
             }
-            passed.insert(id, forwarded);
+            debug_assert!(u <= pool.len(), "{id}: pass-up exceeds pool");
+            // Canonical split: the `u` largest ids pass up, the rest are
+            // cloaked here. An O(|pool|) partition suffices — the cloaked
+            // *set* (not order) determines the policy, and the final bulk
+            // load sorts globally — so this produces the same policy a
+            // full per-pool sort would, bit for bit.
+            let cut = pool.len() - u;
+            if u > 0 && cut > 0 {
+                pool.select_nth_unstable(cut);
+            }
+            let region: lbs_geom::Region = node.rect.into();
+            assignments.extend(pool[..cut].iter().map(|&user| (user, region)));
+            passed[id.index()] = pool[cut..].to_vec();
         }
-        let leftover = passed.remove(&tree.root()).unwrap_or_default();
+        let leftover = std::mem::take(&mut passed[tree.root().index()]);
         debug_assert!(leftover.is_empty(), "complete configuration leaves nobody uncloaked");
-        Ok(policy)
+        Ok(BulkPolicy::from_assignments(format!("policy-aware-optimal(k={})", self.k), assignments))
     }
 }
 

@@ -1,0 +1,278 @@
+//! Breadth-first arena flattening of a [`SpatialTree`] and the SoA
+//! (min,+) convolution kernel shared by the binary and quad bulk DPs.
+//!
+//! The tree crate's arena is optimized for incremental maintenance:
+//! nodes carry parent links, tombstones, and rectangles, and a bulk DP
+//! walking it in postorder chases `NodeId` indirections into 100+-byte
+//! `Node` records for every row. A bulk sweep only needs four scalars per
+//! node — population, depth, area, child links — so [`FlatTree`] snapshots
+//! the live tree into parallel arrays laid out in breadth-first order:
+//! siblings are adjacent, a node's slot is always smaller than its
+//! children's, and a reverse slot scan visits children before parents
+//! (the postorder discipline the DP requires) with zero pointer chasing.
+//!
+//! The per-row result cells live in one contiguous cost arena (`u128`
+//! costs and `[u32; 4]` splits in separate arrays) instead of per-node
+//! `Vec<Entry>` rows, so the Stage-1 convolution of a parent reads its
+//! children's costs as two dense `&[u128]` slices — half the memory
+//! traffic of the 32-byte `Entry` stride, and contiguous for the
+//! hardware prefetcher.
+
+use lbs_tree::{NodeId, SpatialTree};
+
+/// Sentinel for "no children" in [`FlatTree::first_child`].
+pub(crate) const NO_CHILD: u32 = u32::MAX;
+
+/// A breadth-first structure-of-arrays snapshot of the live nodes of a
+/// [`SpatialTree`]. Slot 0 is the root; children of slot `s` occupy
+/// `first_child[s] ..` contiguously.
+#[derive(Debug, Default)]
+pub(crate) struct FlatTree {
+    /// Arena id of each slot (for materializing matrix rows at the end).
+    pub ids: Vec<NodeId>,
+    /// `d(m)`: population of the slot's region.
+    pub count: Vec<usize>,
+    /// Depth below the root (`h(m)`, Lemma 5).
+    pub depth: Vec<u16>,
+    /// Rectangle area of the slot's region.
+    pub area: Vec<u128>,
+    /// Slot of the first child; siblings are adjacent. [`NO_CHILD`] at leaves.
+    pub first_child: Vec<u32>,
+    /// Number of children: 0 (leaf), 2 (binary), or 4 (quad).
+    pub arity: Vec<u8>,
+}
+
+impl FlatTree {
+    /// Rebuilds the snapshot from `tree`, reusing all buffers.
+    pub fn rebuild(&mut self, tree: &SpatialTree) {
+        self.ids.clear();
+        self.count.clear();
+        self.depth.clear();
+        self.area.clear();
+        self.first_child.clear();
+        self.arity.clear();
+
+        // `ids` doubles as the BFS queue: `head` dequeues while children
+        // are appended at the tail, so slot order is breadth-first and
+        // every parent's slot precedes its children's.
+        self.ids.push(tree.root());
+        let mut head = 0;
+        while head < self.ids.len() {
+            let node = tree.node(self.ids[head]);
+            self.count.push(node.count);
+            self.depth.push(node.depth);
+            self.area.push(node.rect.area());
+            let kids = node.children.as_slice();
+            self.arity.push(kids.len() as u8);
+            if kids.is_empty() {
+                self.first_child.push(NO_CHILD);
+            } else {
+                self.first_child.push(self.ids.len() as u32);
+                self.ids.extend_from_slice(kids);
+            }
+            head += 1;
+        }
+    }
+
+    /// Number of live nodes in the snapshot.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+/// Costs small enough for the u64 fast lane of [`ConvKernel`]: sums of
+/// two stay below `u64::MAX` with headroom.
+const NARROW_LIMIT: u128 = (u64::MAX / 4) as u128;
+
+/// The SoA (min,+) convolution kernel of the two-stage k-summation:
+/// `out[j] = min_{l1+l2=j} c1[l1] + c2[l2]`, cost-only.
+///
+/// The kernel carries **no argmin column** — dropping it is what makes
+/// the inner loop an unconditional `min` over a contiguous window, free
+/// of data-dependent branches and stores of a second array. The DP
+/// resolves the one argmin it actually needs per output cell afterwards
+/// with [`minplus_argmin`]. When every input cost is below 2⁶² (the
+/// common case: costs are exact `area·users` products), the loop runs in
+/// u64 lanes, which the compiler turns into straight-line SIMD; a u128
+/// scalar lane with the same update rule covers the rest. Both lanes
+/// compute identical integer minima.
+///
+/// Output length is `c1.len() + c2.len() - 1` (empty when either input
+/// is empty). Costs must be finite: the DP guarantees every dense cell
+/// is reachable (the special×special block always provides a finite
+/// fallback), so plain `+` cannot overflow here.
+#[derive(Debug, Default)]
+pub struct ConvKernel {
+    c1_64: Vec<u64>,
+    c2_64: Vec<u64>,
+    conv_64: Vec<u64>,
+}
+
+impl ConvKernel {
+    /// Convolves `c1 ⊗ c2` into `out` (reusing the kernel's u64 lanes).
+    pub fn convolve_into(&mut self, c1: &[u128], c2: &[u128], out: &mut Vec<u128>) {
+        let (a1, a2) = (c1.len(), c2.len());
+        let conv_len = if a1 > 0 && a2 > 0 { a1 + a2 - 1 } else { 0 };
+        out.clear();
+        if conv_len == 0 {
+            return;
+        }
+        let narrow = c1.iter().all(|&c| c <= NARROW_LIMIT) && c2.iter().all(|&c| c <= NARROW_LIMIT);
+        if narrow {
+            self.c1_64.clear();
+            self.c1_64.extend(c1.iter().map(|&c| c as u64));
+            self.c2_64.clear();
+            self.c2_64.extend(c2.iter().map(|&c| c as u64));
+            self.conv_64.clear();
+            self.conv_64.resize(conv_len, u64::MAX);
+            for (l1, &base) in self.c1_64.iter().enumerate() {
+                // Row l1 lands on the contiguous output window
+                // [l1, l1+a2); zipped slices kill the bounds checks.
+                let window = &mut self.conv_64[l1..l1 + a2];
+                for (slot, &c) in window.iter_mut().zip(&self.c2_64) {
+                    let cand = base + c;
+                    *slot = (*slot).min(cand);
+                }
+            }
+            // Every j ∈ [0, conv_len) is covered by some (l1, l2) pair,
+            // so no u64::MAX sentinel survives to be widened.
+            out.extend(self.conv_64.iter().map(|&c| c as u128));
+        } else {
+            out.resize(conv_len, crate::INFINITE_COST);
+            for (l1, &base) in c1.iter().enumerate() {
+                let window = &mut out[l1..l1 + a2];
+                for (slot, &c) in window.iter_mut().zip(c2) {
+                    let cand = base + c;
+                    if cand < *slot {
+                        *slot = cand;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Allocating wrapper over [`ConvKernel::convolve_into`] — the reference
+/// surface for property tests of the kernel.
+pub fn minplus_convolve(c1: &[u128], c2: &[u128]) -> Vec<u128> {
+    let mut out = Vec::new();
+    ConvKernel::default().convolve_into(c1, c2, &mut out);
+    out
+}
+
+/// Ascending rescan of convolution diagonal `j` for the smallest `l1`
+/// attaining `target` (the diagonal's minimum, as computed by
+/// [`ConvKernel`]). This is exactly the representative a strict-`<`
+/// update rule with `l1` ascending records, so split extraction through
+/// this function is bit-identical to an argmin column — the tie-break is
+/// part of the bit-identity contract with the row-wise DP.
+pub fn minplus_argmin(c1: &[u128], c2: &[u128], j: usize, target: u128) -> u32 {
+    let lo = (j + 1).saturating_sub(c2.len());
+    let hi = j.min(c1.len() - 1);
+    for l1 in lo..=hi {
+        if c1[l1] + c2[j - l1] == target {
+            return l1 as u32;
+        }
+    }
+    debug_assert!(false, "conv cell {j} lost its witness");
+    lo as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::INFINITE_COST;
+    use lbs_geom::{Point, Rect};
+    use lbs_model::{LocationDb, UserId};
+    use lbs_tree::{TreeConfig, TreeKind};
+
+    #[test]
+    fn convolve_matches_naive_reference() {
+        let c1 = [5u128, 2, 9];
+        let c2 = [1u128, 1, 3, 0];
+        let cost = minplus_convolve(&c1, &c2);
+        assert_eq!(cost.len(), 6);
+        for (j, &got) in cost.iter().enumerate() {
+            let mut best = INFINITE_COST;
+            let mut best_l1 = 0;
+            for (l1, &a) in c1.iter().enumerate() {
+                for (l2, &b) in c2.iter().enumerate() {
+                    if l1 + l2 == j && a + b < best {
+                        best = a + b;
+                        best_l1 = l1 as u32;
+                    }
+                }
+            }
+            assert_eq!(got, best, "j={j}");
+            assert_eq!(minplus_argmin(&c1, &c2, j, got), best_l1, "argmin at j={j}");
+        }
+    }
+
+    #[test]
+    fn argmin_ties_keep_smallest_l1() {
+        // c1[0]+c2[1] == c1[1]+c2[0] at j=1; the earlier l1 must win.
+        let cost = minplus_convolve(&[4, 4], &[4, 4]);
+        assert_eq!(cost, vec![8, 8, 8]);
+        assert_eq!(minplus_argmin(&[4, 4], &[4, 4], 1, 8), 0);
+        assert_eq!(minplus_argmin(&[4, 4], &[4, 4], 2, 8), 1);
+    }
+
+    #[test]
+    fn wide_costs_take_the_u128_lane_and_agree_with_naive() {
+        // One cost above the u64 fast-lane limit forces the scalar lane;
+        // results must be the same exact integers either way.
+        let big = super::NARROW_LIMIT + 7;
+        let c1 = [big, 3u128];
+        let c2 = [1u128, 0, 5];
+        let cost = minplus_convolve(&c1, &c2);
+        assert_eq!(cost, vec![big + 1, 4, 3, 8]);
+    }
+
+    #[test]
+    fn convolve_empty_inputs_yield_empty_output() {
+        assert_eq!(minplus_convolve(&[], &[1, 2]), Vec::<u128>::new());
+        assert_eq!(minplus_convolve(&[1, 2], &[]), Vec::<u128>::new());
+    }
+
+    #[test]
+    fn flat_tree_is_breadth_first_with_adjacent_siblings() {
+        let db = LocationDb::from_rows(
+            [(1i64, 1i64), (2, 13), (13, 2), (14, 14), (8, 8), (1, 14)]
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| (UserId(i as u64), Point::new(x, y))),
+        )
+        .unwrap();
+        let tree =
+            SpatialTree::build(&db, TreeConfig::lazy(TreeKind::Binary, Rect::square(0, 0, 16), 1))
+                .unwrap();
+        let mut flat = FlatTree::default();
+        flat.rebuild(&tree);
+        assert_eq!(flat.len(), tree.live_len());
+        assert_eq!(flat.ids[0], tree.root());
+        let mut total_children = 0usize;
+        for slot in 0..flat.len() {
+            let node = tree.node(flat.ids[slot]);
+            assert_eq!(flat.count[slot], node.count);
+            assert_eq!(flat.depth[slot], node.depth);
+            assert_eq!(flat.area[slot], node.rect.area());
+            let kids = node.children.as_slice();
+            assert_eq!(flat.arity[slot] as usize, kids.len());
+            total_children += kids.len();
+            if kids.is_empty() {
+                assert_eq!(flat.first_child[slot], NO_CHILD);
+            } else {
+                let first = flat.first_child[slot] as usize;
+                assert!(first > slot, "children come after their parent");
+                for (i, &kid) in kids.iter().enumerate() {
+                    assert_eq!(flat.ids[first + i], kid, "siblings are adjacent");
+                }
+            }
+        }
+        assert_eq!(total_children + 1, flat.len(), "every slot reachable once");
+        // Rebuilding reuses buffers and yields the same snapshot.
+        let ids = flat.ids.clone();
+        flat.rebuild(&tree);
+        assert_eq!(flat.ids, ids);
+    }
+}

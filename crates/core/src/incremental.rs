@@ -8,7 +8,7 @@
 //! locations". The dirty set comes ancestor-closed from the tree layer, so
 //! recomputation is a postorder sweep filtered to that set.
 
-use crate::dp_fast::compute_row;
+use crate::dp_fast::{compute_row_with, Scratch};
 use crate::{bulk_dp_fast, CoreError, DpMatrix};
 use lbs_geom::Area;
 use lbs_model::{BulkPolicy, LocationDb, Move, UserUpdate};
@@ -161,12 +161,15 @@ impl IncrementalAnonymizer {
         if self.pending.is_empty() {
             return Ok(report);
         }
+        // One scratch for the whole sweep: per-row convolution buffers
+        // grow to the widest dirty row once and are reused thereafter.
+        let mut scratch = Scratch::default();
         for id in self.tree.postorder() {
             if self.pending.contains(&id) {
                 if cancel() {
                     return Err(CoreError::Cancelled);
                 }
-                let row = compute_row(&self.tree, &self.matrix, id, self.k)?;
+                let row = compute_row_with(&self.tree, &self.matrix, id, self.k, &mut scratch)?;
                 self.matrix.set_row(id, row);
                 self.pending.remove(&id);
                 report.rows_recomputed += 1;

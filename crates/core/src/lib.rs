@@ -36,6 +36,7 @@ mod dp_fast;
 mod dp_fast_quad;
 mod error;
 mod extract;
+mod flat;
 mod incremental;
 mod matrix;
 mod per_user_k;
@@ -45,9 +46,15 @@ mod verify;
 pub use anonymizer::Anonymizer;
 pub use configuration::Configuration;
 pub use dp_dense::bulk_dp_dense;
-pub use dp_fast::{bulk_dp_fast, bulk_dp_fast_with_options, bulk_dp_fast_with_scratch, DpScratch};
-pub use dp_fast_quad::bulk_dp_fast_quad;
+pub use dp_fast::{
+    bulk_dp_fast, bulk_dp_fast_rowwise, bulk_dp_fast_with_options, bulk_dp_fast_with_scratch,
+    DpScratch,
+};
+pub use dp_fast_quad::{
+    bulk_dp_fast_quad, bulk_dp_fast_quad_rowwise, bulk_dp_fast_quad_with_scratch,
+};
 pub use error::CoreError;
+pub use flat::{minplus_argmin, minplus_convolve, ConvKernel};
 pub use incremental::{IncrementalAnonymizer, IncrementalReport};
 pub use matrix::{DpMatrix, Entry, Row, INFINITE_COST};
 pub use per_user_k::{anonymize_per_user_k, verify_per_user_k, KRequirements};

@@ -132,6 +132,18 @@ pub const LINTS: &[LintDef] = &[
               `From<io::Error>` impl) instead.",
     },
     LintDef {
+        name: "no-wall-clock-in-bench-cases",
+        severity: Severity::Error,
+        summary: "bench case bodies read time only through the harness Sampler",
+        doc: "Committed bench snapshots are comparable across hosts only because \
+              every recorded nanosecond flows through one timer (`suite::Sampler`) \
+              under one host calibration. A raw `Instant::now`/`SystemTime` inside \
+              `crates/bench/src/cases.rs` measures outside that contract: its \
+              numbers silently skip calibration and the median/p95 aggregation. \
+              Wrap the region in `sampler.sample(..)` instead; the timer itself \
+              lives in the suite/harness modules, which are exempt.",
+    },
+    LintDef {
         name: MALFORMED_PRAGMA,
         severity: Severity::Error,
         summary: "suppression pragmas must name a known lint and carry a reason",

@@ -43,6 +43,9 @@ pub enum Counter {
     TasksStolen,
     /// DP scratch arenas reused across tasks (vs freshly allocated).
     ScratchReuses,
+    /// Arena checkouts served from a `ScratchPool` (reuse across engine
+    /// runs, i.e. anonymization epochs) rather than freshly allocated.
+    ScratchPoolHits,
     /// Users assigned a cloak by a bulk anonymization.
     UsersAnonymized,
     /// Per-request policy lookups served.
@@ -79,11 +82,12 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 19] = [
         Counter::TasksInjected,
         Counter::TasksExecuted,
         Counter::TasksStolen,
         Counter::ScratchReuses,
+        Counter::ScratchPoolHits,
         Counter::UsersAnonymized,
         Counter::RequestsServed,
         Counter::CacheHits,
@@ -107,6 +111,7 @@ impl Counter {
             Counter::TasksExecuted => "tasks_executed",
             Counter::TasksStolen => "tasks_stolen",
             Counter::ScratchReuses => "scratch_reuses",
+            Counter::ScratchPoolHits => "scratch_pool_hits",
             Counter::UsersAnonymized => "users_anonymized",
             Counter::RequestsServed => "requests_served",
             Counter::CacheHits => "cache_hits",
@@ -314,6 +319,25 @@ impl Metrics {
     }
 }
 
+/// Median and 95th-percentile of a set of nanosecond samples, the summary
+/// statistics the benchmark runner snapshots per case.
+///
+/// Conventions (pinned so snapshots are comparable across versions):
+/// the median of an even-length set is the *upper* middle element (no
+/// averaging — the result is always one of the samples), and p95 is the
+/// nearest-rank percentile `⌈0.95·n⌉` (1-based), again always a sample.
+/// Returns `(0, 0)` for an empty slice.
+pub fn median_p95_ns(samples: &[u64]) -> (u64, u64) {
+    if samples.is_empty() {
+        return (0, 0);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    let p95 = sorted[(sorted.len() * 95).div_ceil(100) - 1];
+    (median, p95)
+}
+
 /// RAII timer returned by [`Metrics::start`].
 #[derive(Debug)]
 pub struct StageTimer<'a> {
@@ -479,6 +503,21 @@ mod tests {
         assert_eq!(m.get(Counter::RequestsServed), 40_000);
         assert_eq!(m.stage_calls(Stage::Serve), 4);
         assert_eq!(m.stage_total(Stage::Serve), Duration::from_nanos(40));
+    }
+
+    #[test]
+    fn median_and_p95_use_pinned_rank_conventions() {
+        assert_eq!(median_p95_ns(&[]), (0, 0));
+        assert_eq!(median_p95_ns(&[7]), (7, 7));
+        // Even length: upper middle, not an average.
+        assert_eq!(median_p95_ns(&[1, 3]), (3, 3));
+        assert_eq!(median_p95_ns(&[4, 1, 3, 2]), (3, 4));
+        // 20 samples: median = 11th smallest, p95 = 19th smallest.
+        let samples: Vec<u64> = (1..=20).rev().collect();
+        assert_eq!(median_p95_ns(&samples), (11, 19));
+        // 100 samples: p95 = 95th smallest.
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(median_p95_ns(&samples), (51, 95));
     }
 
     #[test]

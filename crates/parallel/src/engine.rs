@@ -241,6 +241,56 @@ impl FaultPlan {
 /// returned in partition (index) order.
 pub type TaskResult = (ServerReport, Vec<(UserId, Region)>);
 
+/// A cross-run cache of worker [`DpScratch`] arenas.
+///
+/// Within one engine run each worker already reuses its own arena from
+/// task to task ([`Counter::ScratchReuses`]); the pool extends that reuse
+/// across *runs* — the steady-state shape of a service re-anonymizing
+/// every epoch. Workers check an arena out at startup (a hit is counted
+/// under [`Counter::ScratchPoolHits`]; a miss allocates fresh) and check
+/// it back in when the run drains, so epoch `n+1` starts with epoch `n`'s
+/// fully grown buffers and the DP loop allocates nothing at all.
+///
+/// Pooling never changes results: arenas carry no row data between
+/// checkouts, only capacity.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    arenas: Mutex<Vec<DpScratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks an arena out, reusing a pooled one when available. The
+    /// Lemma-5 knob is (re)applied either way, so a pooled arena from a
+    /// differently configured run behaves identically to a fresh one.
+    pub fn checkout(&self, use_lemma5: bool, metrics: Option<&Metrics>) -> DpScratch {
+        match self.arenas.lock().pop() {
+            Some(mut arena) => {
+                arena.set_lemma5(use_lemma5);
+                if let Some(m) = metrics {
+                    m.incr(Counter::ScratchPoolHits);
+                }
+                arena
+            }
+            None => DpScratch::with_lemma5(use_lemma5),
+        }
+    }
+
+    /// Returns an arena to the pool for a later run.
+    pub fn checkin(&self, arena: DpScratch) {
+        self.arenas.lock().push(arena);
+    }
+
+    /// Arenas currently parked in the pool.
+    pub fn idle(&self) -> usize {
+        self.arenas.lock().len()
+    }
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -342,6 +392,39 @@ pub fn run_tasks_faulted<F>(
 where
     F: Fn(&mut DpScratch, &JurisdictionTask) -> Result<BulkPolicy, CoreError> + Sync,
 {
+    run_tasks_impl(tasks, config, server, metrics, faults, None)
+}
+
+/// [`run_tasks`] with worker arenas checked out of (and returned to) a
+/// caller-owned [`ScratchPool`], so repeated runs — re-anonymization
+/// epochs — stop allocating DP buffers after the first.
+///
+/// # Errors
+/// As [`run_tasks`].
+pub fn run_tasks_pooled<F>(
+    tasks: Vec<JurisdictionTask>,
+    config: &EngineConfig,
+    server: F,
+    metrics: Option<&Metrics>,
+    pool: &ScratchPool,
+) -> Result<Vec<TaskResult>, CoreError>
+where
+    F: Fn(&mut DpScratch, &JurisdictionTask) -> Result<BulkPolicy, CoreError> + Sync,
+{
+    run_tasks_impl(tasks, config, server, metrics, None, Some(pool))
+}
+
+fn run_tasks_impl<F>(
+    tasks: Vec<JurisdictionTask>,
+    config: &EngineConfig,
+    server: F,
+    metrics: Option<&Metrics>,
+    faults: Option<&FaultPlan>,
+    pool: Option<&ScratchPool>,
+) -> Result<Vec<TaskResult>, CoreError>
+where
+    F: Fn(&mut DpScratch, &JurisdictionTask) -> Result<BulkPolicy, CoreError> + Sync,
+{
     let task_count = tasks.len();
     let workers = config.effective_workers(task_count);
     let injector = Injector::new();
@@ -379,7 +462,10 @@ where
                     // worker's share of the injector.
                     std::thread::sleep(delay);
                 }
-                let mut scratch = DpScratch::with_lemma5(config.use_lemma5);
+                let mut scratch = match pool {
+                    Some(p) => p.checkout(config.use_lemma5, metrics),
+                    None => DpScratch::with_lemma5(config.use_lemma5),
+                };
                 let mut executed_here = 0usize;
                 while let Some(task) = find_task(me, local, injector, stealers, metrics) {
                     if let Some(m) = metrics {
@@ -453,6 +539,9 @@ where
                     }
                     executed_here += 1;
                 }
+                if let Some(p) = pool {
+                    p.checkin(scratch);
+                }
             });
         }
     })
@@ -488,7 +577,27 @@ pub fn anonymize_work_stealing(
     config: &EngineConfig,
     metrics: Option<&Metrics>,
 ) -> Result<ParallelOutcome, CoreError> {
-    anonymize_work_stealing_faulted(db, map, k, servers, config, metrics, None)
+    anonymize_work_stealing_impl(db, map, k, servers, config, metrics, None, None)
+}
+
+/// [`anonymize_work_stealing`] with worker arenas drawn from a caller-owned
+/// [`ScratchPool`]. Epoch loops (periodic re-anonymization of moving
+/// users) hold one pool for the lifetime of the service so every epoch
+/// after the first runs allocation-free in the DP; output is bit-identical
+/// to the unpooled run.
+///
+/// # Errors
+/// As [`anonymize_work_stealing`].
+pub fn anonymize_work_stealing_pooled(
+    db: &LocationDb,
+    map: Rect,
+    k: usize,
+    servers: usize,
+    config: &EngineConfig,
+    metrics: Option<&Metrics>,
+    pool: &ScratchPool,
+) -> Result<ParallelOutcome, CoreError> {
+    anonymize_work_stealing_impl(db, map, k, servers, config, metrics, None, Some(pool))
 }
 
 /// [`anonymize_work_stealing`] under a deterministic [`FaultPlan`]: the
@@ -508,6 +617,20 @@ pub fn anonymize_work_stealing_faulted(
     config: &EngineConfig,
     metrics: Option<&Metrics>,
     faults: Option<&FaultPlan>,
+) -> Result<ParallelOutcome, CoreError> {
+    anonymize_work_stealing_impl(db, map, k, servers, config, metrics, faults, None)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn anonymize_work_stealing_impl(
+    db: &LocationDb,
+    map: Rect,
+    k: usize,
+    servers: usize,
+    config: &EngineConfig,
+    metrics: Option<&Metrics>,
+    faults: Option<&FaultPlan>,
+    pool: Option<&ScratchPool>,
 ) -> Result<ParallelOutcome, CoreError> {
     fn staged<T>(metrics: Option<&Metrics>, stage: Stage, f: impl FnOnce() -> T) -> T {
         match metrics {
@@ -547,7 +670,7 @@ pub fn anonymize_work_stealing_faulted(
 
     // lbs-lint: allow(no-wall-clock-in-dp, reason = "server wall time is reported in ParallelOutcome timings only; task results are merge-order normalized")
     let run_started = Instant::now();
-    let task_results = run_tasks_faulted(tasks, config, server, metrics, faults)?;
+    let task_results = run_tasks_impl(tasks, config, server, metrics, faults, pool)?;
     let server_wall_time = run_started.elapsed();
 
     let outcome = staged(metrics, Stage::Merge, || {
@@ -780,6 +903,57 @@ mod tests {
         let c = FaultPlan::seeded(43, 32);
         let differs = (0..32).any(|i| a.should_panic(i, 0) != c.should_panic(i, 0));
         assert!(differs, "different seeds should produce different plans");
+    }
+
+    #[test]
+    fn pooled_runs_reuse_arenas_across_epochs_bit_identically() {
+        let (db, map) = workload(1_200);
+        let k = 10;
+        let seq = anonymize_partitioned(&db, map, k, 8).unwrap();
+        let pool = ScratchPool::new();
+        let cfg = EngineConfig { workers: 4, ..EngineConfig::default() };
+        let metrics = Metrics::new();
+        // Epoch 1 starts with an empty pool. A late-spawning worker may
+        // still hit (a fast sibling can drain the queue and check its
+        // arena back in first), so the invariant is conservation, not a
+        // hit count: every fresh allocation (checkout minus hit) grows
+        // the idle set left behind.
+        let first =
+            anonymize_work_stealing_pooled(&db, map, k, 8, &cfg, Some(&metrics), &pool).unwrap();
+        let workers = first.workers as u64;
+        let hits_cold = metrics.get(Counter::ScratchPoolHits);
+        assert_eq!(pool.idle() as u64 + hits_cold, workers, "arena conservation after epoch 1");
+        assert!(pool.idle() >= 1, "epoch 1 must leave at least one arena parked");
+        // Epoch 2 finds a warm pool: its first checkout is a hit.
+        let second =
+            anonymize_work_stealing_pooled(&db, map, k, 8, &cfg, Some(&metrics), &pool).unwrap();
+        assert!(
+            metrics.get(Counter::ScratchPoolHits) > hits_cold,
+            "a warm pool must serve at least one checkout"
+        );
+        assert!(pool.idle() >= 1);
+        // Both epochs are bit-identical to the sequential reference.
+        for outcome in [&first, &second] {
+            assert_eq!(outcome.total_cost, seq.total_cost);
+            assert_eq!(outcome.policy.len(), seq.policy.len());
+            for (user, region) in seq.policy.iter() {
+                assert_eq!(outcome.policy.cloak_of(user), Some(region));
+            }
+        }
+    }
+
+    #[test]
+    fn pool_checkout_reapplies_the_lemma5_knob() {
+        let pool = ScratchPool::new();
+        pool.checkin(DpScratch::with_lemma5(false));
+        let metrics = Metrics::new();
+        let arena = pool.checkout(true, Some(&metrics));
+        assert!(arena.use_lemma5(), "pooled arena must adopt the new run's setting");
+        assert_eq!(metrics.get(Counter::ScratchPoolHits), 1);
+        assert_eq!(pool.idle(), 0);
+        let fresh = pool.checkout(false, Some(&metrics));
+        assert!(!fresh.use_lemma5());
+        assert_eq!(metrics.get(Counter::ScratchPoolHits), 1, "empty pool allocates, no hit");
     }
 
     #[test]

@@ -29,8 +29,9 @@
 pub mod engine;
 
 pub use engine::{
-    anonymize_work_stealing, anonymize_work_stealing_faulted, run_tasks, run_tasks_faulted,
-    EngineConfig, FaultPlan, JurisdictionTask, TaskResult,
+    anonymize_work_stealing, anonymize_work_stealing_faulted, anonymize_work_stealing_pooled,
+    run_tasks, run_tasks_faulted, run_tasks_pooled, EngineConfig, FaultPlan, JurisdictionTask,
+    ScratchPool, TaskResult,
 };
 
 use lbs_core::{Anonymizer, CoreError};

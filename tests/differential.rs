@@ -10,8 +10,17 @@
 //! * The work-stealing engine vs the sequential server loop — identical
 //!   `total_cost`, per-user cloaks, and report order for every worker
 //!   count.
+//! * The arena-flattened bulk sweeps (`bulk_dp_fast`,
+//!   `bulk_dp_fast_quad`) vs their pre-arena row-at-a-time references —
+//!   whole-matrix equality (costs *and* split choices) across a seeded
+//!   density × k × tree-shape grid, plus the pooled 1–8-worker engine
+//!   paths that run the arena sweep in production.
 
-use lbs_core::{bulk_dp_dense, bulk_dp_fast, bulk_dp_fast_with_options, verify_policy_aware};
+use lbs_core::{
+    bulk_dp_dense, bulk_dp_fast, bulk_dp_fast_quad, bulk_dp_fast_quad_rowwise,
+    bulk_dp_fast_rowwise, bulk_dp_fast_with_options, verify_policy_aware,
+};
+use lbs_parallel::{anonymize_work_stealing_pooled, ScratchPool};
 use policy_aware_lbs::prelude::*;
 use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -125,6 +134,93 @@ fn disabling_lpt_ordering_does_not_change_the_result() {
     let ws = anonymize_work_stealing(&db, map, k, 8, &cfg, None).unwrap();
     assert_eq!(ws.total_cost, reference.total_cost);
     assert_same_policy(&reference.policy, &ws.policy, "FIFO injection order");
+}
+
+/// The arena-flattened binary sweep vs the pre-arena rowwise walk:
+/// whole-matrix equality (every row's costs and split vectors, not just
+/// the optimum) over a seeded density × k grid. Density is driven by the
+/// map side at fixed n — side 16 packs many users per leaf (dense rows,
+/// duplicate coordinates), side 4096 scatters them (deep sparse trees).
+#[test]
+fn arena_binary_sweep_is_byte_identical_to_rowwise_reference() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF_0004);
+    for side in [16i64, 64, 4096] {
+        for k in [1usize, 3, 10, 50] {
+            for trial in 0..3 {
+                let n = rng.gen_range(k.max(2)..260);
+                let db = LocationDb::from_rows((0..n).map(|i| {
+                    (UserId(i as u64), Point::new(rng.gen_range(0..side), rng.gen_range(0..side)))
+                }))
+                .unwrap();
+                let map = Rect::square(0, 0, side);
+                let tree =
+                    SpatialTree::build(&db, TreeConfig::lazy(TreeKind::Binary, map, k)).unwrap();
+                let context = format!("side={side} k={k} trial={trial} n={n}");
+
+                let rowwise = bulk_dp_fast_rowwise(&tree, k, true).unwrap();
+                let arena = bulk_dp_fast(&tree, k).unwrap();
+                assert_eq!(rowwise, arena, "{context}: binary matrices diverge");
+
+                let ref_policy = rowwise.extract_policy(&tree).unwrap();
+                let arena_policy = arena.extract_policy(&tree).unwrap();
+                assert_eq!(ref_policy.cost_exact(), arena_policy.cost_exact(), "{context}");
+                assert_same_policy(&ref_policy, &arena_policy, &context);
+                assert!(verify_policy_aware(&arena_policy, &db, k).is_ok(), "{context}");
+            }
+        }
+    }
+}
+
+/// Same contract for the quad-tree sweep: `bulk_dp_fast_quad` vs the
+/// rowwise quad walk over the density × k grid.
+#[test]
+fn arena_quad_sweep_is_byte_identical_to_rowwise_reference() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF_0005);
+    for side in [16i64, 64, 4096] {
+        for k in [1usize, 3, 10, 50] {
+            for trial in 0..3 {
+                let n = rng.gen_range(k.max(2)..260);
+                let db = LocationDb::from_rows((0..n).map(|i| {
+                    (UserId(i as u64), Point::new(rng.gen_range(0..side), rng.gen_range(0..side)))
+                }))
+                .unwrap();
+                let map = Rect::square(0, 0, side);
+                let tree =
+                    SpatialTree::build(&db, TreeConfig::lazy(TreeKind::Quad, map, k)).unwrap();
+                let context = format!("side={side} k={k} trial={trial} n={n}");
+
+                let rowwise = bulk_dp_fast_quad_rowwise(&tree, k).unwrap();
+                let arena = bulk_dp_fast_quad(&tree, k).unwrap();
+                assert_eq!(rowwise, arena, "{context}: quad matrices diverge");
+
+                let ref_policy = rowwise.extract_policy(&tree).unwrap();
+                let arena_policy = arena.extract_policy(&tree).unwrap();
+                assert_eq!(ref_policy.cost_exact(), arena_policy.cost_exact(), "{context}");
+                assert_same_policy(&ref_policy, &arena_policy, &context);
+            }
+        }
+    }
+}
+
+/// The clustered (Bay-Area-shaped) workload through every 1–8-worker
+/// engine path — plain and scratch-pooled — stays bit-identical to the
+/// sequential server loop. This is the production configuration of the
+/// arena sweep: each worker runs it in a reused `DpScratch`.
+#[test]
+fn arena_sweep_through_engine_paths_matches_sequential_servers() {
+    let k = 12;
+    let (db, map) = bay(2_500);
+    let reference = anonymize_partitioned(&db, map, k, 16).unwrap();
+    let pool = ScratchPool::new();
+    for workers in 1usize..=8 {
+        let cfg = EngineConfig { workers, ..EngineConfig::default() };
+        let plain = anonymize_work_stealing(&db, map, k, 16, &cfg, None).unwrap();
+        assert_eq!(plain.total_cost, reference.total_cost, "{workers} workers");
+        assert_same_policy(&reference.policy, &plain.policy, &format!("{workers} workers"));
+        let pooled = anonymize_work_stealing_pooled(&db, map, k, 16, &cfg, None, &pool).unwrap();
+        assert_eq!(pooled.total_cost, reference.total_cost, "{workers} workers pooled");
+        assert_same_policy(&reference.policy, &pooled.policy, &format!("{workers} workers pooled"));
+    }
 }
 
 proptest! {

@@ -7,8 +7,8 @@
 use lbs_attack::audit_policy;
 use lbs_conformance::{crash_sweep, CrashSweepConfig};
 use lbs_core::{
-    anonymize_per_user_k, bulk_dp_fast, verify_per_user_k, verify_policy_aware, KRequirements,
-    StickyAnonymizer,
+    anonymize_per_user_k, bulk_dp_fast, bulk_dp_fast_rowwise, minplus_argmin, minplus_convolve,
+    verify_per_user_k, verify_policy_aware, KRequirements, StickyAnonymizer, INFINITE_COST,
 };
 use policy_aware_lbs::prelude::*;
 use proptest::prelude::*;
@@ -176,8 +176,111 @@ fn shrinker_reaches_a_1_minimal_database() {
     }
 }
 
+/// Random min-plus cost vectors straddling the kernel's narrow/wide lane
+/// split: `wide == 1` entries are shifted past 2⁶² so a single one of
+/// them pushes the whole convolution onto the u128 scalar lane, while
+/// all-small vectors stay on the vectorized u64 lane.
+fn arb_cost_vec() -> impl Strategy<Value = Vec<u128>> {
+    prop::collection::vec((0u8..2, 0u64..1 << 50), 0..14).prop_map(|cells| {
+        cells
+            .into_iter()
+            .map(|(wide, v)| if wide == 1 { (v as u128) << 40 } else { v as u128 })
+            .collect()
+    })
+}
+
+/// Naive O(a₁·a₂) min-plus reference: per output diagonal, the minimum
+/// sum and the smallest `l1` attaining it (the bit-identity tie-break).
+fn naive_minplus(c1: &[u128], c2: &[u128]) -> Vec<(u128, u32)> {
+    if c1.is_empty() || c2.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![(INFINITE_COST, u32::MAX); c1.len() + c2.len() - 1];
+    for (l1, &a) in c1.iter().enumerate() {
+        for (l2, &b) in c2.iter().enumerate() {
+            let slot = &mut out[l1 + l2];
+            if a + b < slot.0 {
+                *slot = (a + b, l1 as u32);
+            }
+        }
+    }
+    out
+}
+
+/// Checks the SoA convolution kernel against [`naive_minplus`] on every
+/// internal node's children rows of a real DP run — the exact pool
+/// shapes (dense lengths capped by Lemma 5, `u_max` truncation) the
+/// production sweep feeds it. Reused by the shrinker.
+fn conv_pipeline(db: &LocationDb, k: usize) -> Result<(), String> {
+    let map = Rect::square(0, 0, SIDE);
+    let tree = SpatialTree::build(db, TreeConfig::lazy(TreeKind::Binary, map, k))
+        .map_err(|e| format!("tree: {e}"))?;
+    let matrix = match bulk_dp_fast_rowwise(&tree, k, true) {
+        Err(CoreError::InsufficientPopulation { .. }) => return Ok(()),
+        Err(e) => return Err(format!("dp: {e}")),
+        Ok(m) => m,
+    };
+    for id in tree.postorder() {
+        let node = tree.node(id);
+        let children = node.children.as_slice();
+        if children.len() != 2 {
+            continue;
+        }
+        let dense = |c: lbs_tree::NodeId| -> Result<Vec<u128>, String> {
+            let row = matrix.row(c).ok_or_else(|| format!("missing row for {c}"))?;
+            Ok(row.dense.iter().map(|e| e.cost).collect())
+        };
+        let (c1, c2) = (dense(children[0])?, dense(children[1])?);
+        let got = minplus_convolve(&c1, &c2);
+        let expect = naive_minplus(&c1, &c2);
+        if got.len() != expect.len() {
+            return Err(format!("{id}: conv length {} != naive {}", got.len(), expect.len()));
+        }
+        for (j, (&cost, &(want_cost, want_l1))) in got.iter().zip(&expect).enumerate() {
+            if cost != want_cost {
+                return Err(format!("{id} j={j}: kernel {cost} != naive {want_cost}"));
+            }
+            let l1 = minplus_argmin(&c1, &c2, j, cost);
+            if l1 != want_l1 {
+                return Err(format!("{id} j={j}: argmin {l1} != smallest witness {want_l1}"));
+            }
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The SoA k-summation kernel on raw random pools: every diagonal's
+    /// minimum and its smallest-`l1` witness match the naive reference,
+    /// on both the u64 narrow lane and the u128 wide lane.
+    #[test]
+    fn conv_kernel_matches_naive_reference_on_random_pools(
+        c1 in arb_cost_vec(),
+        c2 in arb_cost_vec(),
+    ) {
+        let got = minplus_convolve(&c1, &c2);
+        let expect = naive_minplus(&c1, &c2);
+        prop_assert_eq!(got.len(), expect.len());
+        for (j, (&cost, &(want_cost, want_l1))) in got.iter().zip(&expect).enumerate() {
+            prop_assert_eq!(cost, want_cost, "j={}", j);
+            prop_assert_eq!(minplus_argmin(&c1, &c2, j, cost), want_l1, "argmin j={}", j);
+        }
+    }
+
+    /// The kernel on the pool shapes a real DP produces (random db × k),
+    /// minimized through the 1-minimal shrinker on failure.
+    #[test]
+    fn conv_kernel_matches_naive_on_dp_pools(db in arb_db(), k in 1usize..6) {
+        if let Err(msg) = conv_pipeline(&db, k) {
+            let minimal = shrink_db(&db, |d| conv_pipeline(d, k).is_err());
+            return Err(TestCaseError::fail(format!(
+                "{msg}; minimal db: {}",
+                render_db(&minimal)
+            )));
+        }
+    }
 
     /// For every feasible (db, k): the extracted policy is masking, total,
     /// policy-aware k-anonymous, and its cost equals the matrix optimum.
