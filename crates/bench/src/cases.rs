@@ -186,6 +186,26 @@ fn query_cache_hit(n: usize, requests: usize) -> CaseDef {
     }
 }
 
+/// The paper's §V shared-nothing pipeline: jurisdiction partitioning,
+/// per-shard `Bulk_dp`, and the policy merge, timed end to end at a
+/// fixed population and varying shard count — the scaling curve behind
+/// `lbs serve --shards N`.
+fn shard_scaling(n: usize, shards: usize) -> CaseDef {
+    let k = 10;
+    CaseDef {
+        name: format!("shard_scaling/n{n}/s{shards}"),
+        run: Box::new(move |wb, sampler| {
+            wb.ensure(n);
+            let w = &wb.workloads[&n];
+            let (db, map) = (w.master(), w.config().map());
+            for _ in 0..sampler.repeats() {
+                let outcome = sampler.sample(|| lbs_runtime::sharded_bulk(db, map, k, shards));
+                assert!(outcome.is_ok(), "sharded bulk anonymizes");
+            }
+        }),
+    }
+}
+
 /// The tier's case list, in execution order. Deterministic: same tier →
 /// same names, regardless of seed or host.
 pub fn cases(tier: Tier) -> Vec<CaseDef> {
@@ -196,6 +216,7 @@ pub fn cases(tier: Tier) -> Vec<CaseDef> {
             incremental_commit(10_000),
             engine_scaling(10_000, 2, 16),
             query_cache_hit(10_000, 512),
+            shard_scaling(10_000, 2),
         ],
         Tier::Full => vec![
             bulk_dp(100_000, 10),
@@ -210,6 +231,9 @@ pub fn cases(tier: Tier) -> Vec<CaseDef> {
             engine_scaling(250_000, 4, 64),
             engine_scaling(250_000, 8, 64),
             query_cache_hit(100_000, 2_048),
+            shard_scaling(100_000, 2),
+            shard_scaling(100_000, 4),
+            shard_scaling(100_000, 8),
         ],
         Tier::All => {
             let mut out = cases(Tier::Smoke);

@@ -115,6 +115,14 @@ impl CompareReport {
         self.rows.iter().all(|r| !r.regressed)
     }
 
+    /// The two snapshots share no case name at all (and neither side is
+    /// empty): every gate is vacuously green, which almost always means
+    /// the wrong baseline file was compared. Callers should fail loudly
+    /// instead of reporting a silent pass.
+    pub fn is_disjoint(&self) -> bool {
+        self.rows.is_empty() && !self.missing_in_new.is_empty() && !self.added_in_new.is_empty()
+    }
+
     /// The regressed rows, worst first.
     pub fn regressions(&self) -> Vec<&CaseComparison> {
         let mut out: Vec<&CaseComparison> = self.rows.iter().filter(|r| r.regressed).collect();
@@ -219,6 +227,20 @@ mod tests {
         assert!(report.passed());
         assert_eq!(report.missing_in_new, vec!["only-old".to_string()]);
         assert_eq!(report.added_in_new, vec!["only-new".to_string()]);
+        assert!(!report.is_disjoint(), "case `a` is shared");
+    }
+
+    #[test]
+    fn zero_shared_cases_is_flagged_as_disjoint() {
+        let old = snap(1000, &[("old-a", 100), ("old-b", 50)]);
+        let new = snap(1000, &[("new-a", 100)]);
+        let report = compare(&old, &new, 20.0);
+        assert!(report.passed(), "nothing shared, so nothing can regress");
+        assert!(report.is_disjoint(), "zero shared cases must be loud, not a silent pass");
+        // A one-sided emptiness is not disjoint — it is an empty run.
+        let empty = snap(1000, &[]);
+        assert!(!compare(&old, &empty, 20.0).is_disjoint());
+        assert!(!compare(&empty, &new, 20.0).is_disjoint());
     }
 
     #[test]

@@ -51,7 +51,7 @@ impl std::fmt::Display for CliError {
                     f,
                     "unknown command {c:?}; try \
                      gen/anonymize/audit/stats/compare/lookup/conformance/lint/\
-                     bench/serve/recover/recovery-smoke"
+                     bench/serve/soak/recover/recovery-smoke"
                 )
             }
             CliError::Io(e) => write!(f, "io error: {e}"),
@@ -114,6 +114,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "lint" => lint(args, out),
         "bench" => bench(args, out),
         "serve" => serve(args, out),
+        "soak" => soak(args, out),
         "recover" => recover(args, out),
         "recovery-smoke" => recovery_smoke(args, out),
         other => Err(CliError::UnknownCommand(other.to_string())),
@@ -303,9 +304,11 @@ fn conformance(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         let dir = golden_dir
             .ok_or_else(|| CliError::Anonymize("--bless true requires --golden DIR".into()))?;
         let written = lbs_conformance::bless(&dir, seed).map_err(CliError::Anonymize)?;
+        let sharded = lbs_conformance::bless_sharded(&dir, seed).map_err(CliError::Anonymize)?;
         writeln!(
             out,
-            "blessed {written} golden records into {} (master seed {seed}); review the diff",
+            "blessed {written} golden records and {sharded} sharded records into {} \
+             (master seed {seed}); review the diff",
             dir.display()
         )?;
         return Ok(());
@@ -323,6 +326,10 @@ fn conformance(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     if let Some(dir) = golden_dir {
         match lbs_conformance::check(&dir, seed) {
             Ok(n) => writeln!(out, "golden corpus: {n} records match {}", dir.display())?,
+            Err(mut drift) => problems.append(&mut drift),
+        }
+        match lbs_conformance::check_sharded(&dir, seed) {
+            Ok(n) => writeln!(out, "sharded golden corpus: {n} records match {}", dir.display())?,
             Err(mut drift) => problems.append(&mut drift),
         }
     }
@@ -371,7 +378,8 @@ fn lint(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 /// `--json PATH` writes the snapshot, `--compare OLD.json` compares this
 /// run against a committed baseline and fails when any shared case's
 /// calibration-normalized median regressed more than `--threshold`
-/// percent (default 20).
+/// percent (default 20). A baseline sharing zero case names makes the
+/// gate vacuous and fails loudly unless `--allow-disjoint true`.
 fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let tier = lbs_bench::suite::Tier::parse(args.optional("suite").unwrap_or("full"))
         .map_err(CliError::Bench)?;
@@ -392,6 +400,25 @@ fn bench(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         let old = lbs_bench::snapshot::BenchSnapshot::from_json(&raw).map_err(CliError::Bench)?;
         let report = lbs_bench::snapshot::compare(&old, &snap, threshold);
         write!(out, "{}", report.render())?;
+        if report.is_disjoint() {
+            let allow: bool = args.parse_or("allow-disjoint", false)?;
+            writeln!(
+                out,
+                "WARNING: baseline {old_path} shares ZERO case names with this run \
+                 ({} baseline cases, {} new cases) — the regression gate checked nothing",
+                report.missing_in_new.len(),
+                report.added_in_new.len()
+            )?;
+            if !allow {
+                return Err(CliError::Bench(format!(
+                    "snapshot comparison is vacuous: no case name is shared with {old_path} \
+                     (wrong baseline file, or a renamed suite?); pass --allow-disjoint true \
+                     to accept an intentionally disjoint baseline"
+                )));
+            }
+            writeln!(out, "compare: vacuous pass accepted via --allow-disjoint")?;
+            return Ok(());
+        }
         if !report.passed() {
             let worst = report.regressions();
             return Err(CliError::Bench(format!(
@@ -419,11 +446,17 @@ fn service_churn(rt: &lbs_runtime::ServiceRuntime, seed: u64, round: u64) -> Vec
 /// rounds — durable churn ingestion, deadline-budgeted serving through
 /// the degradation ladder, periodic checkpoints. The directory can be
 /// re-served (or `lbs recover`ed) later; state survives kills.
+///
+/// `--shards N` (N > 1) runs the shared-nothing sharded service instead:
+/// the jurisdiction tree is partitioned into N shards, each with its own
+/// WAL and checkpoint lineage, and churn is epoch-pipelined through the
+/// admission-controlled batcher.
 fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let dir = std::path::PathBuf::from(args.required("dir")?);
     let rounds: u64 = args.parse_or("rounds", 5)?;
     let requests: usize = args.parse_or("requests", 8)?;
     let seed: u64 = args.parse_or("seed", 0x00C0_FFEE)?;
+    let shards: usize = args.parse_or("shards", 1)?;
     let deadline_ms: Option<u64> = match args.optional("deadline-ms") {
         None => None,
         Some(raw) => Some(raw.parse().map_err(|_| {
@@ -432,6 +465,22 @@ fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     };
     let metrics_path = args.optional("metrics-json").map(str::to_owned);
     let metrics = std::sync::Arc::new(Metrics::new());
+    if shards > 1 {
+        return serve_sharded(
+            args,
+            out,
+            ShardedServeOpts {
+                dir: &dir,
+                shards,
+                rounds,
+                requests,
+                seed,
+                deadline_ms,
+                metrics: &metrics,
+                metrics_path: metrics_path.as_deref(),
+            },
+        );
+    }
 
     let has_state = dir.is_dir() && lbs_runtime::load_latest(&dir)?.is_some();
     let mut runtime = if has_state {
@@ -504,6 +553,161 @@ fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Everything `serve_sharded` needs beyond the raw args.
+struct ShardedServeOpts<'a> {
+    dir: &'a std::path::Path,
+    shards: usize,
+    rounds: u64,
+    requests: usize,
+    seed: u64,
+    deadline_ms: Option<u64>,
+    metrics: &'a std::sync::Arc<Metrics>,
+    metrics_path: Option<&'a str>,
+}
+
+/// The `--shards N` arm of `lbs serve`: create or recover a sharded
+/// directory, then epoch-pipeline churn through `pump` while serving a
+/// seeded request sample against the per-shard degradation ladders.
+fn serve_sharded(
+    args: &Args,
+    out: &mut dyn Write,
+    opts: ShardedServeOpts<'_>,
+) -> Result<(), CliError> {
+    use lbs_runtime::{ShardedBuilder, ShardedConfig, SystemClock};
+
+    let clock: std::sync::Arc<dyn lbs_runtime::Clock> = std::sync::Arc::new(SystemClock::new());
+    let has_state = opts.dir.join(lbs_runtime::MANIFEST_FILE).is_file();
+    let mut runtime = if has_state {
+        // k and map are placeholders: each shard restores its own
+        // config from its newest checkpoint.
+        let cfg = ShardedConfig::new(2, Rect::square(0, 0, 2), opts.shards);
+        let builder = ShardedBuilder::new(cfg)
+            .clock(std::sync::Arc::clone(&clock))
+            .metrics(std::sync::Arc::clone(opts.metrics));
+        let (rt, reports) = builder.recover(opts.dir)?;
+        let replayed: usize = reports.iter().map(|r| r.replayed).sum();
+        writeln!(
+            out,
+            "recovered {} ({} shards, +{} replayed records total)",
+            opts.dir.display(),
+            rt.shard_count(),
+            replayed
+        )?;
+        let purged: usize = rt.reconciled_purges().iter().sum();
+        if purged > 0 {
+            writeln!(out, "reconciled {purged} torn-migration duplicate(s) across shards")?;
+        }
+        rt
+    } else {
+        let db = load_snapshot(args.required("snapshot")?)?;
+        let k: usize = args.required_parse("k")?;
+        let cfg = ShardedConfig::new(k, map_for(&db), opts.shards);
+        let builder = ShardedBuilder::new(cfg)
+            .clock(std::sync::Arc::clone(&clock))
+            .metrics(std::sync::Arc::clone(opts.metrics));
+        let rt = builder.create(opts.dir, &db)?;
+        writeln!(
+            out,
+            "created {} ({} users, k={k}, {} shards)",
+            opts.dir.display(),
+            db.len(),
+            rt.shard_count()
+        )?;
+        rt
+    };
+
+    let map = runtime.plan().map;
+    let mut rung_counts: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    let mut shed = 0u64;
+    let mut migrations = 0u64;
+    for round in 0..opts.rounds {
+        let db = runtime.merged_db()?;
+        let batch: Vec<UserUpdate> = random_moves(
+            &db,
+            &map,
+            0.2,
+            (map.x1 - map.x0) as f64 / 8.0,
+            derive_seed(opts.seed, round),
+        )
+        .into_iter()
+        .map(UserUpdate::Move)
+        .collect();
+        let pumped = runtime.pump(&batch)?;
+        migrations += pumped.migrations;
+        let users: Vec<UserId> = db.users().collect();
+        for i in 0..opts.requests.min(users.len()) {
+            let pick = derive_seed(opts.seed, round * 1009 + i as u64) as usize % users.len();
+            let deadline =
+                opts.deadline_ms.map(|ms| clock.now() + std::time::Duration::from_millis(ms));
+            match runtime.cloak_for(users[pick], deadline) {
+                Ok((rung, _)) => *rung_counts.entry(rung.name()).or_insert(0) += 1,
+                Err(RuntimeError::Shed { .. }) => shed += 1,
+                Err(other) => return Err(other.into()),
+            }
+        }
+        writeln!(
+            out,
+            "round {round}: pumped {} updates ({} staged, {} committed shards), epoch {}",
+            batch.len(),
+            pumped.staged,
+            pumped.committed_shards,
+            runtime.epoch()
+        )?;
+    }
+    let drained = runtime.drain()?;
+    let stats = runtime.merged_policy().stats();
+    writeln!(
+        out,
+        "served {} requests (rungs: {rung_counts:?}, shed {shed}); drained {drained} \
+         shard commits, {migrations} cross-shard migrations; final epoch {}, \
+         {} cloak groups, min group {}, aggregate cost {}",
+        rung_counts.values().sum::<u64>() + shed,
+        runtime.epoch(),
+        stats.groups,
+        stats.min_group,
+        runtime.aggregate_cost()
+    )?;
+    if let Some(mpath) = opts.metrics_path {
+        let json = serde_json::to_string_pretty(&opts.metrics.snapshot())
+            .map_err(|e| CliError::Anonymize(format!("metrics serialization: {e}")))?;
+        std::fs::write(mpath, json)?;
+        writeln!(out, "metrics -> {mpath}")?;
+    }
+    Ok(())
+}
+
+/// `lbs soak`: the deterministic sharded soak — seeded sustained traffic
+/// (moving users + cloaked queries per simulated second) through the
+/// epoch-pipelined sharded service, with seeded mid-traffic shard
+/// crashes. Fails unless recovery happens without a global stall, every
+/// served policy survives the PRE-enumerating attacker, and the sharded
+/// aggregate cost stays within the paper's divergence bound of the
+/// single-shard optimum. Same seed, same report — byte for byte.
+fn soak(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let mut cfg = lbs_conformance::SoakConfig::smoke();
+    cfg.seed = args.parse_or("seed", cfg.seed)?;
+    cfg.users = args.parse_or("users", cfg.users)?;
+    cfg.shards = args.parse_or("shards", cfg.shards)?;
+    cfg.k = args.parse_or("k", cfg.k)?;
+    cfg.epochs = args.parse_or("epochs", cfg.epochs)?;
+    cfg.queries_per_epoch = args.parse_or("queries-per-epoch", cfg.queries_per_epoch)?;
+    let scratch = match args.optional("scratch") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("lbs-soak-{}", std::process::id())),
+    };
+    std::fs::create_dir_all(&scratch)?;
+    let report =
+        lbs_conformance::soak(&scratch, &cfg).map_err(|e| CliError::Conformance(vec![e]))?;
+    write!(out, "{report}")?;
+    if report.is_clean() {
+        writeln!(out, "soak: PASS (replay with --seed {})", cfg.seed)?;
+        Ok(())
+    } else {
+        Err(CliError::Conformance(report.failures.clone()))
+    }
+}
+
 /// `lbs recover`: crash recovery of a service directory — newest valid
 /// checkpoint plus a WAL replay — followed by a policy-aware audit of the
 /// recovered committed policy.
@@ -571,6 +775,20 @@ fn recovery_smoke(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let mut problems = report.failures.clone();
     if report.points < 50 {
         problems.push(format!("only {} crash points swept (need >= 50)", report.points));
+    }
+    let sharded_cfg = lbs_conformance::ShardedSweepConfig {
+        seed: cfg.seed,
+        ..lbs_conformance::ShardedSweepConfig::default()
+    };
+    match lbs_conformance::sharded_crash_sweep(&scratch, &sharded_cfg) {
+        Ok(sharded) => {
+            write!(out, "{sharded}")?;
+            problems.extend(sharded.failures.clone());
+            if sharded.shards < 2 {
+                problems.push("sharded sweep collapsed to one shard".to_string());
+            }
+        }
+        Err(e) => problems.push(format!("sharded sweep: {e}")),
     }
     for ladder_seed in [3u64, 11, 42] {
         match lbs_conformance::audit_degradation_ladder(ladder_seed, 56, 4) {
@@ -832,15 +1050,16 @@ mod tests {
         let gdir = dir.path("golden");
         let msg = run_line(&["conformance", "--bless", "true", "--golden", &gdir, "--seed", "7"])
             .unwrap();
-        assert!(msg.contains("blessed 12 golden records"), "{msg}");
+        assert!(msg.contains("blessed 12 golden records and 3 sharded records"), "{msg}");
         assert!(msg.contains("seed 7"), "{msg}");
         let mut stems: Vec<String> = std::fs::read_dir(&gdir)
             .unwrap()
             .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
             .collect();
         stems.sort();
-        assert_eq!(stems.len(), 12);
+        assert_eq!(stems.len(), 15);
         assert!(stems.contains(&"uniform-k2-binary.json".to_string()), "{stems:?}");
+        assert!(stems.contains(&"sharded_8.json".to_string()), "{stems:?}");
 
         // Blessing without a target directory is a usage error.
         let err = run_line(&["conformance", "--bless", "true"]).unwrap_err();
@@ -920,6 +1139,114 @@ mod tests {
         std::fs::create_dir_all(&empty).unwrap();
         let err = run_line(&["recover", "--dir", &empty]).unwrap_err();
         assert!(matches!(err, CliError::Runtime(RuntimeError::NoState(_))), "{err:?}");
+    }
+
+    #[test]
+    fn serve_sharded_round_trip() {
+        let dir = TempDir::new("serve-sharded");
+        let snap = dir.path("snapshot.bin");
+        let service = dir.path("sharded-service");
+        run_line(&["gen", "--users", "400", "--seed", "9", "--out", &snap]).unwrap();
+
+        let msg = run_line(&[
+            "serve",
+            "--dir",
+            &service,
+            "--snapshot",
+            &snap,
+            "--k",
+            "4",
+            "--shards",
+            "2",
+            "--rounds",
+            "3",
+        ])
+        .unwrap();
+        assert!(msg.contains("2 shards"), "{msg}");
+        assert!(msg.contains("pumped"), "{msg}");
+        assert!(msg.contains("aggregate cost"), "{msg}");
+
+        // Re-serving the same directory takes the recovery path and keeps
+        // the same shard layout.
+        let msg =
+            run_line(&["serve", "--dir", &service, "--shards", "2", "--rounds", "2"]).unwrap();
+        assert!(msg.contains("recovered"), "{msg}");
+        assert!(msg.contains("2 shards"), "{msg}");
+    }
+
+    #[test]
+    fn soak_command_runs_the_smoke_preset() {
+        let dir = TempDir::new("soak");
+        let scratch = dir.path("scratch");
+        let msg = run_line(&[
+            "soak",
+            "--scratch",
+            &scratch,
+            "--users",
+            "400",
+            "--epochs",
+            "8",
+            "--queries-per-epoch",
+            "24",
+        ])
+        .unwrap();
+        assert!(msg.contains("soak: PASS"), "{msg}");
+        assert!(msg.contains("breaches"), "{msg}");
+    }
+
+    #[test]
+    fn bench_compare_against_disjoint_baseline_fails_loudly() {
+        use lbs_bench::snapshot::{BenchSnapshot, CaseRecord, SCHEMA_VERSION};
+
+        let dir = TempDir::new("bench-disjoint");
+        let alien = dir.path("alien.json");
+        let cases = [("renamed/case-a", 100u64), ("renamed/case-b", 50)]
+            .into_iter()
+            .map(|(name, ns)| {
+                (name.to_string(), CaseRecord { median_ns: ns, p95_ns: ns, iters: 1 })
+            })
+            .collect();
+        let snap = BenchSnapshot {
+            schema: SCHEMA_VERSION,
+            seed: 7,
+            git_rev: "test".into(),
+            host_calibration_ns: 1000,
+            cases,
+        };
+        std::fs::write(&alien, snap.to_json()).unwrap();
+
+        // Zero shared case names: the gate is vacuous, so it must fail…
+        let err = run_line(&[
+            "bench",
+            "--suite",
+            "smoke",
+            "--repeats",
+            "1",
+            "--seed",
+            "7",
+            "--compare",
+            &alien,
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Bench(ref msg) if msg.contains("vacuous")), "{err:?}");
+
+        // …unless the disjoint baseline is explicitly accepted.
+        let msg = run_line(&[
+            "bench",
+            "--suite",
+            "smoke",
+            "--repeats",
+            "1",
+            "--seed",
+            "7",
+            "--compare",
+            &alien,
+            "--allow-disjoint",
+            "true",
+        ])
+        .unwrap();
+        assert!(msg.contains("WARNING"), "{msg}");
+        assert!(msg.contains("vacuous pass accepted"), "{msg}");
     }
 
     #[test]

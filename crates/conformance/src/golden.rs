@@ -181,6 +181,134 @@ pub fn check(dir: &Path, master: u64) -> Result<usize, Vec<String>> {
     }
 }
 
+/// One frozen sharded-pipeline output: the shared-nothing partition of
+/// the jurisdiction tree at a fixed shard count, with the merged policy
+/// pinned by fingerprint and the per-shard parts pinned individually.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardedGoldenRecord {
+    /// Record id, also the file stem: `sharded_<n>`.
+    pub id: String,
+    /// The derived seed the database was generated from.
+    pub seed: u64,
+    /// Database size.
+    pub users: usize,
+    /// Anonymity level.
+    pub k: usize,
+    /// Shards requested from the planner.
+    pub shards_requested: usize,
+    /// Shards the plan settled on (the planner backs off rather than
+    /// produce an empty jurisdiction).
+    pub shards_actual: usize,
+    /// Exact aggregate cost of the merged sharded policy.
+    pub cost: u128,
+    /// Exact cost of the single-shard optimum over the same database —
+    /// pins the paper's ≤1% divergence bound alongside the policy itself.
+    pub single_cost: u128,
+    /// FNV-1a fingerprint of the merged whole-population assignment.
+    pub merged_fingerprint: u64,
+    /// Per-shard policy fingerprints, in plan order.
+    pub shard_fingerprints: Vec<u64>,
+}
+
+/// The sharded corpus cells: uniform 160-user population at k = 4,
+/// partitioned 2/4/8 ways. (Uniform, not clustered: the greedy
+/// partitioner backs off to fewer jurisdictions when a dense cluster
+/// swallows the population, and the corpus wants real splits.) Pure
+/// function of `master`.
+///
+/// # Errors
+/// Propagates planning/DP failures as messages.
+pub fn compute_sharded_corpus(master: u64) -> Result<Vec<ShardedGoldenRecord>, String> {
+    let users = 160usize;
+    let k = 4usize;
+    let map = lbs_geom::Rect::square(0, 0, 1024);
+    [2usize, 4, 8]
+        .into_iter()
+        .map(|shards| {
+            let id = format!("sharded_{shards}");
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in id.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let seed = derive_seed(master, h);
+            let db = Density::Uniform.generate(users, map, derive_seed(seed, 10));
+            let outcome = lbs_runtime::sharded_bulk(&db, map, k, shards)
+                .map_err(|e| format!("{id}: sharded bulk: {e}"))?;
+            let single = lbs_core::Anonymizer::build(&db, map, k)
+                .map_err(|e| format!("{id}: single-shard: {e}"))?;
+            Ok(ShardedGoldenRecord {
+                id,
+                seed,
+                users,
+                k,
+                shards_requested: shards,
+                shards_actual: outcome.plan.len(),
+                cost: outcome.cost,
+                single_cost: single.cost(),
+                merged_fingerprint: policy_fingerprint(&outcome.merged),
+                shard_fingerprints: outcome.policies.iter().map(policy_fingerprint).collect(),
+            })
+        })
+        .collect()
+}
+
+/// Regenerates `dir/sharded_*.json` (the `--bless` path). Returns the
+/// number of records written.
+///
+/// # Errors
+/// Computation or I/O failures as messages.
+pub fn bless_sharded(dir: &Path, master: u64) -> Result<usize, String> {
+    let records = compute_sharded_corpus(master)?;
+    std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    for record in &records {
+        let path = dir.join(format!("{}.json", record.id));
+        let json = serde_json::to_string_pretty(record)
+            .map_err(|e| format!("{}: serialize: {e}", record.id))?;
+        std::fs::write(&path, json + "\n")
+            .map_err(|e| format!("{}: write: {e}", path.display()))?;
+    }
+    Ok(records.len())
+}
+
+/// Recomputes the sharded corpus and diffs it against `dir/sharded_*.json`.
+/// Returns the number of records checked.
+///
+/// # Errors
+/// One message per missing/stale/divergent record, carrying its seed.
+pub fn check_sharded(dir: &Path, master: u64) -> Result<usize, Vec<String>> {
+    let records = compute_sharded_corpus(master).map_err(|e| vec![e])?;
+    let mut problems = Vec::new();
+    for fresh in &records {
+        let path = dir.join(format!("{}.json", fresh.id));
+        let stored: Option<ShardedGoldenRecord> =
+            std::fs::read_to_string(&path).ok().and_then(|raw| serde_json::from_str(&raw).ok());
+        match stored {
+            None => problems.push(format!(
+                "{}: missing or unreadable sharded golden {} — run with --bless",
+                fresh.id,
+                path.display()
+            )),
+            Some(stored) if &stored != fresh => problems.push(format!(
+                "{} (seed {}): sharded golden drift — stored cost {} fp {:#x}, \
+                 computed cost {} fp {:#x}",
+                fresh.id,
+                fresh.seed,
+                stored.cost,
+                stored.merged_fingerprint,
+                fresh.cost,
+                fresh.merged_fingerprint
+            )),
+            Some(_) => {}
+        }
+    }
+    if problems.is_empty() {
+        Ok(records.len())
+    } else {
+        Err(problems)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +329,45 @@ mod tests {
             a.iter().zip(&other).any(|(x, y)| x.fingerprint != y.fingerprint),
             "a different master seed must move at least one fingerprint"
         );
+    }
+
+    #[test]
+    fn sharded_corpus_is_deterministic_and_within_the_divergence_bound() {
+        let a = compute_sharded_corpus(DEFAULT_MASTER_SEED).unwrap();
+        let b = compute_sharded_corpus(DEFAULT_MASTER_SEED).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        for record in &a {
+            assert!(record.shards_actual >= 2, "{}: did not split", record.id);
+            assert_eq!(record.shard_fingerprints.len(), record.shards_actual, "{}", record.id);
+            assert!(
+                record.cost >= record.single_cost,
+                "{}: sharding cannot beat the optimum",
+                record.id
+            );
+            let divergence = lbs_runtime::divergence_pct(record.cost, record.single_cost);
+            assert!(
+                divergence <= 1.0,
+                "{}: divergence {divergence:.3}% breaks the paper's 1% bound",
+                record.id
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_bless_then_check_round_trips() {
+        let dir = std::env::temp_dir().join(format!("lbs-golden-sharded-{}", std::process::id()));
+        assert_eq!(bless_sharded(&dir, DEFAULT_MASTER_SEED).unwrap(), 3);
+        assert_eq!(check_sharded(&dir, DEFAULT_MASTER_SEED).unwrap(), 3);
+        let victim = dir.join("sharded_4.json");
+        let mut record: ShardedGoldenRecord =
+            serde_json::from_str(&std::fs::read_to_string(&victim).unwrap()).unwrap();
+        record.merged_fingerprint ^= 1;
+        std::fs::write(&victim, serde_json::to_string(&record).unwrap()).unwrap();
+        let problems = check_sharded(&dir, DEFAULT_MASTER_SEED).unwrap_err();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("sharded golden drift"), "{}", problems[0]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!    service runtime at every WAL crash point and prove the recovered
 //!    policy bit-identical; audit every degradation-ladder rung with
 //!    the policy-aware attacker.
+//! 5. **Sharded soak** ([`soak`]) — seeded sustained traffic through the
+//!    sharded epoch-pipelined service with mid-traffic shard crashes:
+//!    no global stall, no attacker breach, aggregate cost within the
+//!    paper's divergence bound of the single-shard optimum.
 //!
 //! The whole subsystem is driven by one master seed
 //! ([`DEFAULT_MASTER_SEED`]); every failure message carries the
@@ -31,10 +35,16 @@ pub mod golden;
 pub mod harness;
 pub mod recovery;
 pub mod scenario;
+pub mod soak;
 
-pub use golden::{bless, check, compute_corpus, policy_fingerprint, GoldenRecord};
+pub use golden::{
+    bless, bless_sharded, check, check_sharded, compute_corpus, compute_sharded_corpus,
+    policy_fingerprint, GoldenRecord, ShardedGoldenRecord,
+};
 pub use harness::{run_matrix, run_scenario, ConformanceReport, ScenarioOutcome};
 pub use recovery::{
-    audit_degradation_ladder, crash_sweep, CrashSweepConfig, CrashSweepReport, DegradationReport,
+    audit_degradation_ladder, crash_sweep, sharded_crash_sweep, CrashSweepConfig, CrashSweepReport,
+    DegradationReport, ShardedSweepConfig, ShardedSweepReport,
 };
 pub use scenario::{scenario_matrix, Algorithm, Density, Scenario, Tier, DEFAULT_MASTER_SEED};
+pub use soak::{soak, SoakConfig, SoakCrash, SoakReport};

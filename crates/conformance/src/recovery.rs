@@ -378,6 +378,345 @@ fn run_crash_point(
     }
 }
 
+/// Parameters of one sharded crash sweep.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ShardedSweepConfig {
+    /// Master seed deriving the population and every churn batch.
+    pub seed: u64,
+    /// Initial population size.
+    pub users: usize,
+    /// Anonymity level.
+    pub k: usize,
+    /// Shards requested.
+    pub shards: usize,
+    /// Churn batches pumped through the sharded reference run.
+    pub rounds: u64,
+    /// Per-shard checkpoint cadence (commits per checkpoint).
+    pub checkpoint_every: u64,
+}
+
+impl Default for ShardedSweepConfig {
+    fn default() -> Self {
+        ShardedSweepConfig {
+            seed: 0x5EED_54A2,
+            users: 96,
+            k: 4,
+            shards: 2,
+            rounds: 12,
+            checkpoint_every: 2,
+        }
+    }
+}
+
+/// What one sharded crash sweep covered and found.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardedSweepReport {
+    /// The sweep's configuration.
+    pub config: ShardedSweepConfig,
+    /// Shards the plan actually produced.
+    pub shards: usize,
+    /// Crash points recovered and compared (per shard × offset ×
+    /// variant).
+    pub points: usize,
+    /// Variant points with a torn checkpoint temp file on the crashed
+    /// shard.
+    pub torn_checkpoint_points: usize,
+    /// Variant points with the crashed shard's newest checkpoint
+    /// corrupted in place.
+    pub corrupt_checkpoint_points: usize,
+    /// Longest replay (in WAL records) any crashed shard required.
+    pub max_replay: usize,
+    /// Isolation or bit-identity violations, each naming its point.
+    pub failures: Vec<String>,
+}
+
+impl ShardedSweepReport {
+    /// Every crash point recovered bit-identically and in isolation.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl std::fmt::Display for ShardedSweepReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "sharded crash sweep: {} points across {} shards under seed {} \
+             ({} torn-checkpoint, {} corrupt-checkpoint), max replay {} records — {}",
+            self.points,
+            self.shards,
+            self.config.seed,
+            self.torn_checkpoint_points,
+            self.corrupt_checkpoint_points,
+            self.max_replay,
+            if self.is_clean() { "all isolated and bit-identical" } else { "FAILURES" },
+        )?;
+        for failure in &self.failures {
+            writeln!(f, "  FAIL {failure}")?;
+        }
+        Ok(())
+    }
+}
+
+fn copy_tree(from: &Path, to: &Path) -> Result<(), String> {
+    std::fs::create_dir_all(to).map_err(|e| format!("mkdir {}: {e}", to.display()))?;
+    let entries = std::fs::read_dir(from).map_err(|e| format!("read {}: {e}", from.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk {}: {e}", from.display()))?;
+        let src = entry.path();
+        let dst = to.join(entry.file_name());
+        let kind = entry.file_type().map_err(|e| format!("stat {}: {e}", src.display()))?;
+        if kind.is_dir() {
+            copy_tree(&src, &dst)?;
+        } else {
+            std::fs::copy(&src, &dst).map_err(|e| format!("copy {}: {e}", src.display()))?;
+        }
+    }
+    Ok(())
+}
+
+/// Runs the per-shard crash sweep under `scratch`: a sharded reference
+/// run is driven through seeded churn, then for every crash point on
+/// every shard (WAL boundary and mid-record tears, torn-temp and
+/// corrupt-newest checkpoint variants) the *whole* sharded directory is
+/// materialized with only that shard's artifacts damaged and recovered.
+/// The crashed shard must come back bit-identical to the reference at
+/// its surviving durable prefix, and — the shared-nothing isolation
+/// oracle — every *other* shard must recover bit-identical to its full,
+/// undamaged reference state.
+///
+/// # Errors
+/// A message when the reference run itself cannot be built; individual
+/// crash-point violations land in [`ShardedSweepReport::failures`].
+pub fn sharded_crash_sweep(
+    scratch: &Path,
+    cfg: &ShardedSweepConfig,
+) -> Result<ShardedSweepReport, String> {
+    use lbs_runtime::{ShardedBuilder, ShardedConfig};
+
+    let ref_dir = scratch.join("sharded-reference");
+    let _ = std::fs::remove_dir_all(&ref_dir);
+
+    let map = Rect::square(0, 0, side());
+    let db0 = seeded_db(cfg.seed, cfg.users)?;
+    let mut shard_cfg = ShardedConfig::new(cfg.k, map, cfg.shards);
+    shard_cfg.checkpoint_every = cfg.checkpoint_every;
+    let mut rt = ShardedBuilder::new(shard_cfg)
+        .clock(Arc::new(ManualClock::new()))
+        .create(&ref_dir, &db0)
+        .map_err(|e| format!("create sharded reference: {e}"))?;
+    let shards = rt.shard_count();
+
+    // per_seq[i][s] = shard i's committed policy bytes once its records
+    // 1..=s are durable and committed. Each round is pumped then drained,
+    // so every reached sequence number has a committed policy.
+    let mut per_seq: Vec<Vec<bytes::Bytes>> = Vec::with_capacity(shards);
+    for i in 0..shards {
+        let shard = rt.shard(i).ok_or_else(|| format!("shard {i} not up"))?;
+        per_seq.push(vec![encode_policy(shard.committed_policy())]);
+    }
+    let mut present: Vec<UserId> = db0.users().collect();
+    let mut next_id = cfg.users as u64;
+    for round in 0..cfg.rounds {
+        let batch = churn_batch(cfg.seed, round, &mut present, &mut next_id);
+        rt.pump(&batch).map_err(|e| format!("round {round}: pump: {e}"))?;
+        rt.drain().map_err(|e| format!("round {round}: drain: {e}"))?;
+        for (i, seqs) in per_seq.iter_mut().enumerate() {
+            let shard = rt.shard(i).ok_or_else(|| format!("round {round}: shard {i} not up"))?;
+            let seq = shard.committed_seq() as usize;
+            if seqs.len() == seq {
+                seqs.push(encode_policy(shard.committed_policy()));
+            } else if seqs.len() != seq + 1 {
+                return Err(format!(
+                    "round {round}: shard {i} jumped to seq {seq} with {} recorded",
+                    seqs.len()
+                ));
+            }
+        }
+    }
+    drop(rt);
+
+    let mut report = ShardedSweepReport {
+        config: *cfg,
+        shards,
+        points: 0,
+        torn_checkpoint_points: 0,
+        corrupt_checkpoint_points: 0,
+        max_replay: 0,
+        failures: Vec::new(),
+    };
+
+    for victim in 0..shards {
+        let victim_dir = ref_dir.join(format!("shard-{victim:03}"));
+        let wal_raw = std::fs::read(victim_dir.join(WAL_FILE))
+            .map_err(|e| format!("read shard {victim} wal: {e}"))?;
+        let (records, valid_len) = scan(&wal_raw);
+        if valid_len != wal_raw.len() as u64 {
+            return Err(format!("shard {victim} reference wal has an invalid tail"));
+        }
+        let checkpoints = list_checkpoints(&victim_dir)
+            .map_err(|e| format!("list shard {victim} checkpoints: {e}"))?;
+
+        let mut offsets: Vec<u64> = vec![0];
+        let mut start = 0u64;
+        for record in &records {
+            let span = record.end_offset - start;
+            for tear in [start + 1, start + span / 2, record.end_offset] {
+                if !offsets.contains(&tear) {
+                    offsets.push(tear);
+                }
+            }
+            start = record.end_offset;
+        }
+
+        for (index, &offset) in offsets.iter().enumerate() {
+            let mut variants = vec!["plain"];
+            if index % 3 == 1 {
+                variants.push("torn-tmp");
+            }
+            if index % 3 == 2 {
+                variants.push("corrupt-newest");
+            }
+            for variant in variants {
+                report.points += 1;
+                match run_sharded_point(
+                    scratch,
+                    &ref_dir,
+                    shard_cfg,
+                    victim,
+                    &wal_raw,
+                    &records,
+                    &checkpoints,
+                    &per_seq,
+                    offset,
+                    variant,
+                ) {
+                    Ok(replayed) => {
+                        report.max_replay = report.max_replay.max(replayed);
+                        match variant {
+                            "torn-tmp" => report.torn_checkpoint_points += 1,
+                            "corrupt-newest" => report.corrupt_checkpoint_points += 1,
+                            _ => {}
+                        }
+                    }
+                    Err(message) => report
+                        .failures
+                        .push(format!("shard {victim} offset {offset} [{variant}]: {message}")),
+                }
+            }
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    Ok(report)
+}
+
+/// Materializes one per-shard crash instant (whole sharded directory,
+/// only `victim`'s artifacts damaged), recovers it, and checks both the
+/// victim's prefix identity and every survivor's full identity.
+#[allow(clippy::too_many_arguments)]
+fn run_sharded_point(
+    scratch: &Path,
+    ref_dir: &Path,
+    shard_cfg: lbs_runtime::ShardedConfig,
+    victim: usize,
+    wal_raw: &[u8],
+    records: &[lbs_runtime::WalRecord],
+    checkpoints: &[(u64, std::path::PathBuf)],
+    per_seq: &[Vec<bytes::Bytes>],
+    offset: u64,
+    variant: &str,
+) -> Result<usize, String> {
+    let durable = records.iter().filter(|r| r.end_offset <= offset).count() as u64;
+    let dir = scratch.join(format!("sharded-crash-{victim}-{offset}-{variant}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    copy_tree(ref_dir, &dir)?;
+
+    // Damage exactly the victim's directory: WAL sliced to the crash
+    // instant, checkpoints newer than it removed, variant damage added.
+    let victim_dir = dir.join(format!("shard-{victim:03}"));
+    std::fs::write(victim_dir.join(WAL_FILE), &wal_raw[..offset as usize])
+        .map_err(|e| format!("slice victim wal: {e}"))?;
+    let mut kept: Vec<u64> = Vec::new();
+    for (seq, path) in checkpoints {
+        let name = path.file_name().ok_or("checkpoint without name")?;
+        if *seq > durable {
+            std::fs::remove_file(victim_dir.join(name))
+                .map_err(|e| format!("drop future checkpoint: {e}"))?;
+        } else {
+            kept.push(*seq);
+        }
+    }
+    kept.sort_unstable();
+    match variant {
+        "torn-tmp" => {
+            std::fs::write(
+                victim_dir.join(format!("checkpoint-{:012}.ckpt.tmp", durable + 1)),
+                [0x5A; 41],
+            )
+            .map_err(|e| format!("write torn tmp: {e}"))?;
+        }
+        "corrupt-newest" if kept.len() >= 2 => {
+            let newest = kept[kept.len() - 1];
+            let path = victim_dir.join(format!("checkpoint-{newest:012}.ckpt"));
+            let mut raw = std::fs::read(&path).map_err(|e| format!("read newest: {e}"))?;
+            let mid = raw.len() / 2;
+            raw[mid] ^= 0x10;
+            std::fs::write(&path, &raw).map_err(|e| format!("corrupt newest: {e}"))?;
+        }
+        _ => {}
+    }
+
+    let (recovered, reports) = lbs_runtime::ShardedBuilder::new(shard_cfg)
+        .clock(Arc::new(ManualClock::new()))
+        .recover(&dir)
+        .map_err(|e| format!("recover fleet: {e}"))?;
+    let mut problems = Vec::new();
+    for (shard, reference) in per_seq.iter().enumerate().take(recovered.shard_count()) {
+        let rt = recovered.shard(shard).ok_or_else(|| format!("shard {shard} not up"))?;
+        let actual = encode_policy(rt.committed_policy());
+        let expected = if shard == victim {
+            reference
+                .get(durable as usize)
+                .ok_or_else(|| format!("no reference at victim seq {durable}"))?
+        } else {
+            // Shared-nothing isolation: the survivor must land on its
+            // full reference state, byte for byte, no matter what was
+            // done to the victim.
+            reference.last().ok_or("empty survivor reference")?
+        };
+        if actual != *expected {
+            problems.push(format!(
+                "shard {shard} NOT bit-identical ({} vs {} bytes){}",
+                actual.len(),
+                expected.len(),
+                if shard == victim { "" } else { " — isolation violated" },
+            ));
+        }
+        if shard == victim {
+            // A torn migration (the victim's WAL lost a `Delete` whose
+            // paired `Insert` survived on another shard) is repaired by
+            // a reconciliation purge — one extra staged WAL record on
+            // the purged shard, which may be the victim.
+            let purged = recovered.reconciled_purges().get(shard).copied().unwrap_or(0);
+            let expected_seq = durable + u64::from(purged > 0);
+            if rt.durable_seq() != expected_seq {
+                problems.push(format!(
+                    "victim durable seq {} != {expected_seq} ({purged} purged)",
+                    rt.durable_seq()
+                ));
+            }
+        }
+    }
+    let replayed = reports.get(victim).map(|r| r.replayed).unwrap_or(0);
+    let _ = std::fs::remove_dir_all(&dir);
+    if problems.is_empty() {
+        Ok(replayed)
+    } else {
+        Err(problems.join("; "))
+    }
+}
+
 /// What the degradation-ladder audit observed.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DegradationReport {
@@ -494,6 +833,19 @@ mod tests {
         assert!(report.torn_checkpoint_points >= 5, "{report}");
         assert!(report.corrupt_checkpoint_points >= 3, "{report}");
         assert!(report.max_replay >= 1, "some crash point must exercise replay");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_sweep_keeps_survivor_shards_bit_identical() {
+        let dir = scratch("sharded");
+        let report = sharded_crash_sweep(&dir, &ShardedSweepConfig::default()).unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert!(report.shards >= 2, "plan collapsed to one shard: {report}");
+        assert!(report.points >= 40, "only {} crash points", report.points);
+        assert!(report.torn_checkpoint_points >= 4, "{report}");
+        assert!(report.corrupt_checkpoint_points >= 2, "{report}");
+        assert!(report.max_replay >= 1, "some point must exercise per-shard replay");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

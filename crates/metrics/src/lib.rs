@@ -78,11 +78,22 @@ pub enum Counter {
     WalAppends,
     /// Checkpoints written and atomically published.
     CheckpointsWritten,
+    /// Per-shard commits published by the sharded serve path.
+    ShardCommits,
+    /// Commits forced early by the admission controller (a shard's staged
+    /// backlog hit the limit before the pipeline drained it).
+    ShardForcedCommits,
+    /// Users whose movement crossed a jurisdiction boundary and was
+    /// rewritten into a delete-on-source + insert-on-target pair.
+    CrossShardMigrations,
+    /// Individual shards recovered from their own WAL + checkpoints
+    /// while the rest of the fleet kept serving.
+    ShardRecoveries,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 23] = [
         Counter::TasksInjected,
         Counter::TasksExecuted,
         Counter::TasksStolen,
@@ -102,6 +113,10 @@ impl Counter {
         Counter::RecoveryReplayMs,
         Counter::WalAppends,
         Counter::CheckpointsWritten,
+        Counter::ShardCommits,
+        Counter::ShardForcedCommits,
+        Counter::CrossShardMigrations,
+        Counter::ShardRecoveries,
     ];
 
     /// Stable snake_case name used in [`MetricsSnapshot`] keys.
@@ -126,6 +141,10 @@ impl Counter {
             Counter::RecoveryReplayMs => "recovery_replay_ms",
             Counter::WalAppends => "wal_appends",
             Counter::CheckpointsWritten => "checkpoints_written",
+            Counter::ShardCommits => "shard_commits",
+            Counter::ShardForcedCommits => "shard_forced_commits",
+            Counter::CrossShardMigrations => "cross_shard_migrations",
+            Counter::ShardRecoveries => "shard_recoveries",
         }
     }
 

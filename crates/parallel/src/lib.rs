@@ -115,8 +115,17 @@ pub fn greedy_partition(tree: &SpatialTree, servers: usize, k: usize) -> Vec<Nod
     jurisdictions
 }
 
+/// The jurisdiction rectangles, in jurisdiction order. Because each
+/// jurisdiction is a tree node and siblings partition their parent's
+/// half-open rect exactly, the returned rects tile the map: every on-map
+/// point lies in exactly one of them. The sharded service runtime keys
+/// its user→shard routing off this tiling.
+pub fn jurisdiction_rects(tree: &SpatialTree, jurisdictions: &[NodeId]) -> Vec<Rect> {
+    jurisdictions.iter().map(|&id| tree.node(id).rect).collect()
+}
+
 /// Splits `db` into per-jurisdiction sub-databases (in jurisdiction order).
-pub(crate) fn split_db(tree: &SpatialTree, jurisdictions: &[NodeId]) -> Vec<LocationDb> {
+pub fn split_db(tree: &SpatialTree, jurisdictions: &[NodeId]) -> Vec<LocationDb> {
     // lbs-lint: allow(no-unwrap-in-lib, reason = "subtree_users enumerates each stored user exactly once, so per-jurisdiction ids cannot collide")
     jurisdictions
         .iter()

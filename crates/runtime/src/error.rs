@@ -55,6 +55,21 @@ pub enum RuntimeError {
     },
     /// The user is not present in the location database.
     UnknownUser(UserId),
+    /// A sharded operation named a shard index outside the plan.
+    NoSuchShard {
+        /// The offending index.
+        shard: usize,
+        /// How many shards the plan holds.
+        shards: usize,
+    },
+    /// The target shard is crashed and not yet recovered; other shards
+    /// keep serving (shared-nothing isolation), but requests routed here
+    /// fail until [`recover_shard`](crate::ShardedRuntime::recover_shard)
+    /// completes.
+    ShardDown {
+        /// The crashed shard.
+        shard: usize,
+    },
 }
 
 impl RuntimeError {
@@ -102,6 +117,12 @@ impl std::fmt::Display for RuntimeError {
                 write!(f, "request from {user:?} shed: no degradation rung preserves anonymity")
             }
             RuntimeError::UnknownUser(user) => write!(f, "unknown user {user:?}"),
+            RuntimeError::NoSuchShard { shard, shards } => {
+                write!(f, "shard {shard} does not exist (plan has {shards})")
+            }
+            RuntimeError::ShardDown { shard } => {
+                write!(f, "shard {shard} is down; recover it before routing to it")
+            }
         }
     }
 }

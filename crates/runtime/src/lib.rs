@@ -27,7 +27,9 @@ mod checkpoint;
 mod clock;
 mod degrade;
 mod error;
+mod router;
 mod runtime;
+mod shard;
 mod wal;
 
 pub use checkpoint::{
@@ -37,9 +39,14 @@ pub use checkpoint::{
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use degrade::{ancestor_chain, degraded_policy, DegradedPolicy, Rung};
 pub use error::RuntimeError;
+pub use router::{
+    divergence_pct, merge_policies, sharded_bulk, ShardOutcome, ShardPlan, SplitBatches,
+    MANIFEST_FILE,
+};
 pub use runtime::{
     backoff_delay, RecoveryReport, RuntimeBuilder, RuntimeConfig, ServedRequest, ServiceRuntime,
 };
+pub use shard::{IngestReport, PumpReport, ShardedBuilder, ShardedConfig, ShardedRuntime};
 pub use wal::{crc32, encode_frame, scan, Wal, WalRecord, MAX_RECORD_BYTES, WAL_FILE};
 
 #[cfg(test)]

@@ -1,0 +1,126 @@
+//! Sharded-pipeline differential tests.
+//!
+//! The load-bearing identity: a "sharded" run with one shard is the
+//! single-shard path wearing a different hat, so its output must be
+//! **byte-identical** (`encode_policy` bytes, not just equal costs) to
+//! the plain path — at the pure `sharded_bulk` level and through the
+//! full `ShardedRuntime` service lifecycle. Multi-shard runs are then
+//! held to the paper's ≤1% aggregate-cost divergence bound.
+
+use lbs_conformance::{SoakConfig, SoakCrash};
+use lbs_core::Anonymizer;
+use lbs_geom::Rect;
+use lbs_model::{encode_policy, UserUpdate};
+use lbs_runtime::{
+    divergence_pct, sharded_bulk, ManualClock, RuntimeBuilder, RuntimeConfig, ShardedBuilder,
+    ShardedConfig,
+};
+use lbs_workload::{derive_seed, generate_master, random_moves, BayAreaConfig};
+use std::sync::Arc;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("lbs-sharded-diff-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn population(users: usize, seed: u64) -> (lbs_model::LocationDb, Rect) {
+    let mut cfg = BayAreaConfig::scaled_to(users);
+    cfg.seed = seed;
+    (generate_master(&cfg), cfg.map())
+}
+
+#[test]
+fn one_shard_sharded_bulk_is_byte_identical_to_the_single_shard_path() {
+    let (db, map) = population(400, 0xD1FF_0001);
+    let k = 8;
+    let outcome = sharded_bulk(&db, map, k, 1).unwrap();
+    assert_eq!(outcome.plan.len(), 1, "one shard requested, one planned");
+    let single = Anonymizer::build(&db, map, k).unwrap();
+    assert_eq!(
+        encode_policy(&outcome.merged),
+        encode_policy(single.policy()),
+        "1-shard sharded output must be byte-identical to the single-shard optimum"
+    );
+    assert_eq!(outcome.cost, single.cost());
+    assert_eq!(divergence_pct(outcome.cost, single.cost()), 0.0);
+}
+
+#[test]
+fn one_shard_runtime_lifecycle_is_byte_identical_to_the_plain_runtime() {
+    let (db, map) = population(300, 0xD1FF_0002);
+    let k = 6;
+    let seed = 0xD1FF_0003u64;
+    let dir = scratch("runtime");
+
+    // Sharded service with one shard, pumped through three churn epochs.
+    let mut cfg = ShardedConfig::new(k, map, 1);
+    cfg.checkpoint_every = 2;
+    let mut sharded = ShardedBuilder::new(cfg)
+        .clock(Arc::new(ManualClock::new()))
+        .create(&dir.join("sharded"), &db)
+        .unwrap();
+
+    // Plain service over the same population and the same batches.
+    let mut plain_cfg = RuntimeConfig::new(k, map);
+    plain_cfg.checkpoint_every = 2;
+    let mut plain = RuntimeBuilder::new(plain_cfg)
+        .clock(Arc::new(ManualClock::new()))
+        .create(&dir.join("plain"), &db)
+        .unwrap();
+
+    let mut mirror = db.clone();
+    for round in 0..3u64 {
+        let moves = random_moves(&mirror, &map, 0.1, 500.0, derive_seed(seed, round));
+        mirror.apply_moves(&moves).unwrap();
+        let batch: Vec<UserUpdate> = moves.into_iter().map(UserUpdate::Move).collect();
+        sharded.pump(&batch).unwrap();
+        plain.apply_batch(&batch).unwrap();
+        plain.commit().unwrap();
+    }
+    sharded.drain().unwrap();
+
+    assert_eq!(
+        encode_policy(&sharded.merged_policy()),
+        encode_policy(plain.committed_policy()),
+        "after identical churn, the 1-shard service must commit byte-identical policies"
+    );
+    assert_eq!(sharded.aggregate_cost(), plain.committed_policy().cost_exact().unwrap());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn multi_shard_runs_stay_within_the_paper_divergence_bound() {
+    let (db, map) = population(600, 0xD1FF_0004);
+    let k = 4;
+    let single = Anonymizer::build(&db, map, k).unwrap();
+    for shards in [2usize, 4] {
+        let outcome = sharded_bulk(&db, map, k, shards).unwrap();
+        assert!(outcome.plan.len() >= 2, "{shards} requested, plan collapsed");
+        let divergence = divergence_pct(outcome.cost, single.cost());
+        assert!(
+            (0.0..=1.0).contains(&divergence),
+            "{shards} shards: divergence {divergence:.3}% outside [0, 1]%"
+        );
+    }
+}
+
+#[test]
+fn soak_smoke_report_is_reproducible_end_to_end() {
+    // The soak harness is its own oracle stack; here we pin the
+    // cross-run determinism contract at the integration level: two soaks
+    // from the same config — including a mid-traffic crash — agree on
+    // every counter and on the final policy fingerprint.
+    let mut cfg = SoakConfig::smoke();
+    cfg.users = 400;
+    cfg.epochs = 8;
+    cfg.queries_per_epoch = 24;
+    cfg.crashes = vec![SoakCrash { epoch: 3, shard: 1, down_for: 2 }];
+    let a = lbs_conformance::soak(&scratch("soak-a"), &cfg).unwrap();
+    let b = lbs_conformance::soak(&scratch("soak-b"), &cfg).unwrap();
+    assert!(a.is_clean(), "soak failures: {:?}", a.failures);
+    assert_eq!(a.fingerprint, b.fingerprint, "same seed must reproduce the same soak");
+    assert_eq!(a.served_during_crash, b.served_during_crash);
+    assert_eq!(a.breaches, 0);
+}
