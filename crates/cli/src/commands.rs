@@ -345,7 +345,8 @@ fn lint(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     if args.parse_or("list", false)? {
         writeln!(out, "registered lints ({}):", lbs_lint::LINTS.len())?;
         for l in lbs_lint::LINTS {
-            writeln!(out, "  {:5} {:34} {}", l.severity.name(), l.name, l.summary)?;
+            let tag = if l.deep { " (deep)" } else { "" };
+            writeln!(out, "  {:5} {:34} {}{tag}", l.severity.name(), l.name, l.summary)?;
         }
         return Ok(());
     }
@@ -353,7 +354,19 @@ fn lint(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         Some(r) => std::path::PathBuf::from(r),
         None => find_workspace_root()?,
     };
-    let report = lbs_lint::lint_workspace(&root).map_err(|e| CliError::Lint(e.to_string()))?;
+    // `--deep true` enables the interprocedural passes (all of them, or
+    // the subset named in `--passes a,b`); `--passes` implies `--deep`.
+    let passes_arg = args.optional("passes");
+    let deep = args.parse_or("deep", false)? || passes_arg.is_some();
+    let report = if deep {
+        let passes = match passes_arg {
+            Some(list) => lbs_lint::PassSet::parse(list).map_err(CliError::Lint)?,
+            None => lbs_lint::PassSet::all(),
+        };
+        lbs_lint::lint_workspace_deep(&root, &passes).map_err(|e| CliError::Lint(e.to_string()))?
+    } else {
+        lbs_lint::lint_workspace(&root).map_err(|e| CliError::Lint(e.to_string()))?
+    };
     match args.optional("format").unwrap_or("human") {
         "json" => writeln!(out, "{}", report.to_json().map_err(CliError::Lint)?)?,
         "human" => write!(out, "{}", report.render_human())?,
@@ -646,6 +659,7 @@ fn serve_sharded(
                 Err(other) => return Err(other.into()),
             }
         }
+        // lbs-lint: allow(location-taint, reason = "batch size and shard counters only; the counters taint through field projection from the pump result but no coordinate is printed")
         writeln!(
             out,
             "round {round}: pumped {} updates ({} staged, {} committed shards), epoch {}",

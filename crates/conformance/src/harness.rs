@@ -432,6 +432,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioOutcome, String> {
                     );
                     policy
                         .anonymize(&db, &sr, RequestId(i as u64))
+                        // lbs-lint: allow(location-taint, reason = "user id only; the id taints through the (user, location) tuple binder but no coordinate is in the message")
                         .ok_or_else(|| format!("{user} not cloaked"))
                 })
                 .collect::<Result<_, _>>()?;

@@ -113,6 +113,7 @@ pub fn bulk_dp_fast_rowwise(
 /// branch evaluation order, and tie-breaks are exactly those of
 /// [`compute_row_with`], so the produced matrix is bit-identical to the
 /// row-wise reference — `tests/differential.rs` pins this.
+// lbs-lint: allow-item(panic-reachability, reason = "off/len/cost are filled in the same reverse sweep that reads them: children precede their parent, so off[c]+len[c] is already written and in bounds when the parent's ChildPair slices are taken; bounds checks here would defeat the arena layout's purpose")
 fn bulk_dp_fast_arena(
     tree: &SpatialTree,
     k: usize,
@@ -216,6 +217,7 @@ enum Win {
 /// strict-`<` / `<=` asymmetries — with the convolution running
 /// cost-only over contiguous slices and each cell's split resolved once
 /// from the winning branch.
+// lbs-lint: allow-item(panic-reachability, reason = "every scratch vector is resized to conv_len+1 (or the row cap) at the top of the stage that indexes it, and j = l1+l2 < a1+a2-1 = conv_len by the loop bounds; this is the DP inner loop, where a stray bounds check is measurable")
 fn combine_children(
     pair: ChildPair<'_>,
     d: usize,
@@ -478,6 +480,7 @@ impl Default for Scratch {
 /// # Errors
 /// [`CoreError::StaleMatrix`] when a child row is missing (postorder
 /// discipline violated — a caller bug surfaced as a value, not a panic).
+// lbs-lint: allow-item(panic-reachability, reason = "scratch suffix arrays are resized to conv_len+1 in this function before the sweeps that index them, and convolution indices stay below conv_len by the loop bounds — the same lockstep invariant the arena sweep relies on")
 pub(crate) fn compute_row_with(
     tree: &SpatialTree,
     matrix: &DpMatrix,

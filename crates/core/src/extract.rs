@@ -18,6 +18,7 @@ impl DpMatrix {
     /// # Errors
     /// Propagates infeasibility ([`CoreError::InsufficientPopulation`]) and
     /// stale-matrix conditions.
+    // lbs-lint: allow-item(panic-reachability, reason = "targets is sized to tree.arena_len() above and every NodeId's index() is an arena slot handed out by the tree's own allocator, so the slot indexing cannot go out of bounds")
     pub fn extract_configuration(&self, tree: &SpatialTree) -> Result<Configuration, CoreError> {
         self.optimal_cost(tree)?; // validates feasibility and freshness
         let mut config = Configuration::new();
@@ -54,6 +55,7 @@ impl DpMatrix {
     /// structure and leaf membership, independent of the order in which
     /// users were inserted or moved (crash recovery relies on this to
     /// reproduce policies bit-identically from a rebuilt tree).
+    // lbs-lint: allow-item(panic-reachability, reason = "passed is sized to tree.arena_len(), NodeId indices are arena slots from the tree's allocator, and cut <= pool.len() because u <= pool.len() holds for every feasible configuration (debug-asserted)")
     pub fn extract_policy(&self, tree: &SpatialTree) -> Result<BulkPolicy, CoreError> {
         let config = self.extract_configuration(tree)?;
         // Cloaks are batched and handed to `BulkPolicy::from_assignments`

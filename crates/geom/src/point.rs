@@ -51,6 +51,7 @@ impl From<(i64, i64)> for Point {
 
 impl std::fmt::Display for Point {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // lbs-lint: allow(location-taint, reason = "Display is the coordinate wire format for dataset files and golden corpora; every service-side egress of a Point is vetted separately by this lint at the call site")
         write!(f, "({}, {})", self.x, self.y)
     }
 }

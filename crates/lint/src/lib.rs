@@ -11,23 +11,33 @@
 //! diagnostics ([`report`]).
 //!
 //! Entry points: [`lint_workspace`] (used by `lbs lint`, CI, and
-//! `tests/lint_clean.rs`) and [`lint_source`] (single in-memory file;
-//! used by the rule-fixture tests).
+//! `tests/lint_clean.rs`), [`lint_source`] (single in-memory file; used
+//! by the rule-fixture tests), and the interprocedural drivers
+//! [`lint_workspace_deep`] / [`lint_sources_deep`] behind `lbs lint
+//! --deep`, which add a call graph ([`callgraph`]) over parsed items
+//! ([`parser`]) and run the panic-reachability and taint passes
+//! ([`deep`], [`taint`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
+pub mod deep;
 pub mod lexer;
+pub mod parser;
 pub mod pragma;
 pub mod registry;
 pub mod report;
 pub mod rules;
+pub mod taint;
 
+pub use deep::PassSet;
 pub use registry::{LintDef, Severity, LINTS};
 pub use report::{LintReport, Violation};
 pub use rules::FileRole;
 
 use rules::FileInfo;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// Failures of the lint *driver* (I/O and traversal) — distinct from
@@ -38,6 +48,8 @@ pub enum LintError {
     Io(String),
     /// `root` does not look like the workspace root.
     NotAWorkspace(PathBuf),
+    /// `lint-taint.toml` is missing or malformed (deep runs only).
+    Config(String),
 }
 
 impl std::fmt::Display for LintError {
@@ -47,6 +59,7 @@ impl std::fmt::Display for LintError {
             LintError::NotAWorkspace(p) => {
                 write!(f, "{} is not the workspace root (no Cargo.toml + crates/)", p.display())
             }
+            LintError::Config(msg) => write!(f, "lint config error: {msg}"),
         }
     }
 }
@@ -84,20 +97,44 @@ pub fn lint_workspace(root: &Path) -> Result<LintReport, LintError> {
 }
 
 /// Lints a single file given its workspace-relative path (which decides
-/// the crate and role) and source text.
+/// the crate and role) and source text. Shallow rules only: pragmas
+/// naming deep lints are exempt from the unused-suppression check here
+/// (those lints cannot fire without `--deep`), but their names must
+/// still be known to the registry or the pragma is malformed.
 pub fn lint_source(rel_path: &str, src: &str) -> LintReport {
-    let (crate_name, role) = classify(rel_path);
     let tokens = lexer::tokenize(src);
+    let raw = shallow_raw(rel_path, &tokens);
+    // Without --deep, every deep lint is inactive.
+    let (violations, suppressed) = apply_pragmas(rel_path, &tokens, raw, &registry::is_deep);
+    let mut report = LintReport { files_scanned: 1, violations, suppressed };
+    report.sort();
+    report
+}
+
+/// Runs the shallow (file-local) rules and returns raw violations.
+fn shallow_raw(rel_path: &str, tokens: &[lexer::Token<'_>]) -> Vec<Violation> {
+    let (crate_name, role) = classify(rel_path);
     let code: Vec<lexer::Token<'_>> = tokens.iter().filter(|t| !t.is_comment()).copied().collect();
     let test_regions = rules::test_regions(&code);
     let info = FileInfo { path: rel_path, crate_name: &crate_name, role, code, test_regions };
-
     let mut raw = Vec::new();
     rules::run_all(&info, &mut raw);
+    raw
+}
 
-    let (suppressions, issues) = pragma::collect(&tokens);
+/// Applies suppression pragmas to raw violations and appends the two
+/// meta-lints. `inactive(lint)` marks lints that *could not have fired*
+/// in this run (e.g. deep lints in a shallow run, or toggled-off deep
+/// passes): a pragma naming one is exempt from unused-suppression, but
+/// unknown names still fail as malformed in every mode.
+fn apply_pragmas(
+    rel_path: &str,
+    tokens: &[lexer::Token<'_>],
+    raw: Vec<Violation>,
+    inactive: &dyn Fn(&str) -> bool,
+) -> (Vec<Violation>, usize) {
+    let (suppressions, issues) = pragma::collect(tokens);
 
-    // Apply suppressions.
     let mut used = vec![false; suppressions.len()];
     let mut violations = Vec::new();
     let mut suppressed = 0usize;
@@ -123,10 +160,11 @@ pub fn lint_source(rel_path: &str, src: &str) -> LintReport {
             line: issue.line,
             col: issue.col,
             message: issue.message,
+            trace: Vec::new(),
         });
     }
     for (s, was_used) in suppressions.iter().zip(&used) {
-        if !was_used {
+        if !was_used && !s.lints.iter().any(|l| inactive(l)) {
             violations.push(Violation {
                 lint: registry::UNUSED_SUPPRESSION.to_string(),
                 severity: Severity::Warn.name().to_string(),
@@ -139,13 +177,82 @@ pub fn lint_source(rel_path: &str, src: &str) -> LintReport {
                     s.start_line,
                     s.end_line
                 ),
+                trace: Vec::new(),
             });
         }
     }
+    (violations, suppressed)
+}
 
-    let mut report = LintReport { files_scanned: 1, violations, suppressed };
+/// Deep (interprocedural) lint over the workspace at `root`: shallow
+/// rules plus the call-graph passes enabled in `passes`, configured by
+/// `lint-taint.toml` at the workspace root.
+///
+/// # Errors
+/// [`LintError::NotAWorkspace`], [`LintError::Io`], or
+/// [`LintError::Config`] when `lint-taint.toml` is missing/invalid.
+pub fn lint_workspace_deep(root: &Path, passes: &PassSet) -> Result<LintReport, LintError> {
+    if !root.join("Cargo.toml").is_file() || !root.join("crates").is_dir() {
+        return Err(LintError::NotAWorkspace(root.to_path_buf()));
+    }
+    let config = std::fs::read_to_string(root.join("lint-taint.toml"))
+        .map_err(|e| LintError::Config(format!("lint-taint.toml: {e}")))?;
+    let mut rels = Vec::new();
+    collect_rust_files(root, root, &mut rels)?;
+    rels.sort();
+    let mut files = Vec::new();
+    for rel in rels {
+        let src = std::fs::read_to_string(root.join(&rel))
+            .map_err(|e| LintError::Io(format!("{rel}: {e}")))?;
+        files.push((rel, src));
+    }
+    lint_sources_deep(&files, &config, passes)
+}
+
+/// Deep lint over in-memory sources (fixture tests use this): shallow
+/// rules plus the enabled deep passes, with deep-aware suppression.
+///
+/// # Errors
+/// [`LintError::Config`] when the config text is invalid.
+pub fn lint_sources_deep(
+    files: &[(String, String)],
+    config: &str,
+    passes: &PassSet,
+) -> Result<LintReport, LintError> {
+    let cfg = deep::DeepConfig::parse(config).map_err(LintError::Config)?;
+    let deep_files: Vec<deep::DeepFile> = files
+        .iter()
+        .map(|(rel, src)| {
+            let (crate_name, role) = classify(rel);
+            deep::DeepFile { rel: rel.clone(), src: src.clone(), crate_name, role }
+        })
+        .collect();
+    let mut by_file: BTreeMap<String, Vec<Violation>> = BTreeMap::new();
+    for v in deep::run(&deep_files, &cfg, passes) {
+        by_file.entry(v.path.clone()).or_default().push(v);
+    }
+
+    // A deep lint whose pass is toggled off cannot fire: exempt its
+    // pragmas from unused-suppression, like deep lints in shallow mode.
+    let inactive = |lint: &str| match lint {
+        "panic-reachability" => !passes.panic,
+        "location-taint" => !passes.location,
+        "determinism-taint" => !passes.determinism,
+        _ => false,
+    };
+
+    let mut report = LintReport::default();
+    for (rel, src) in files {
+        let tokens = lexer::tokenize(src);
+        let mut raw = shallow_raw(rel, &tokens);
+        raw.extend(by_file.remove(rel.as_str()).unwrap_or_default());
+        let (violations, suppressed) = apply_pragmas(rel, &tokens, raw, &inactive);
+        report.files_scanned += 1;
+        report.suppressed += suppressed;
+        report.violations.extend(violations);
+    }
     report.sort();
-    report
+    Ok(report)
 }
 
 /// Derives (crate, role) from a workspace-relative path.

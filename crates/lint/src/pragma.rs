@@ -3,18 +3,27 @@
 //! Grammar (inside a plain `//` line comment — doc comments are ignored):
 //!
 //! ```text
-//! pragma  := "lbs-lint:" "allow" "(" lints "," "reason" "=" string ")"
+//! pragma  := "lbs-lint:" form "(" lints "," "reason" "=" string ")"
+//! form    := "allow" | "allow-item"
 //! lints   := lint-name ("," lint-name)*
 //! ```
 //!
 //! The `reason` is mandatory and must be non-empty: every suppression in
 //! the tree documents *why* the invariant provably holds at that site.
 //!
-//! **Scope.** A pragma trailing code on the same line suppresses that
-//! line only. A pragma alone on its line suppresses the *next statement*:
-//! all lines from the following code token through the token that ends it
-//! (a `;`, `,`, `{` or `}` at bracket depth zero), so multi-line calls
-//! and builder chains are covered without counting lines by hand.
+//! **Scope.** An `allow` pragma trailing code on the same line
+//! suppresses that line only. An `allow` alone on its line suppresses
+//! the *next statement*: all lines from the following code token through
+//! the token that ends it (a `;`, `,`, `{` or `}` at bracket depth
+//! zero), so multi-line calls and builder chains are covered without
+//! counting lines by hand.
+//!
+//! **`allow-item`** must stand alone on its line and suppresses the next
+//! *item or block*: from the following code token through the brace that
+//! closes the first `{` opened at depth zero (a whole `fn`, `impl`, or
+//! loop body). It exists for interprocedural (`--deep`) findings such as
+//! arena-indexing in the DP hot path, where one invariant justifies a
+//! function's worth of sites; prefer plain `allow` everywhere else.
 
 use crate::lexer::{Token, TokenKind};
 use crate::registry;
@@ -65,7 +74,7 @@ pub fn collect(tokens: &[Token<'_>]) -> (Vec<Suppression>, Vec<PragmaIssue>) {
         };
         match parse_allow(rest) {
             Err(msg) => issues.push(PragmaIssue { line: t.line, col: t.col, message: msg }),
-            Ok((lints, reason)) => {
+            Ok((item_scope, lints, reason)) => {
                 let mut bad = false;
                 for name in &lints {
                     if registry::find(name).is_none() {
@@ -82,7 +91,20 @@ pub fn collect(tokens: &[Token<'_>]) -> (Vec<Suppression>, Vec<PragmaIssue>) {
                 if bad {
                     continue;
                 }
-                let (start_line, end_line) = span_for(t, &code);
+                let (start_line, end_line) = if item_scope {
+                    if code.iter().any(|c| c.line == t.line) {
+                        issues.push(PragmaIssue {
+                            line: t.line,
+                            col: t.col,
+                            message: "allow-item pragmas must stand alone on their line"
+                                .to_string(),
+                        });
+                        continue;
+                    }
+                    span_for_item(t, &code)
+                } else {
+                    span_for(t, &code)
+                };
                 suppressions.push(Suppression {
                     lints,
                     reason,
@@ -96,11 +118,18 @@ pub fn collect(tokens: &[Token<'_>]) -> (Vec<Suppression>, Vec<PragmaIssue>) {
     (suppressions, issues)
 }
 
-/// Parses `allow(<lints>, reason = "…")` after the `lbs-lint:` marker.
-fn parse_allow(rest: &str) -> Result<(Vec<String>, String), String> {
+/// Parses `allow(<lints>, reason = "…")` or `allow-item(…)` after the
+/// `lbs-lint:` marker; the boolean is true for the item-scoped form.
+fn parse_allow(rest: &str) -> Result<(bool, Vec<String>, String), String> {
     let rest = rest.trim();
-    let Some(inner) = rest.strip_prefix("allow").map(str::trim_start) else {
-        return Err(format!("expected `allow(...)` after `lbs-lint:`, found {rest:?}"));
+    let (item_scope, inner) = if let Some(inner) = rest.strip_prefix("allow-item") {
+        (true, inner.trim_start())
+    } else if let Some(inner) = rest.strip_prefix("allow") {
+        (false, inner.trim_start())
+    } else {
+        return Err(format!(
+            "expected `allow(...)` or `allow-item(...)` after `lbs-lint:`, found {rest:?}"
+        ));
     };
     let Some(inner) = inner.strip_prefix('(') else {
         return Err("expected `(` after `allow`".to_string());
@@ -130,7 +159,40 @@ fn parse_allow(rest: &str) -> Result<(Vec<String>, String), String> {
     if lints.is_empty() {
         return Err("pragma must name at least one lint before the reason".to_string());
     }
-    Ok((lints, reason.trim().to_string()))
+    Ok((item_scope, lints, reason.trim().to_string()))
+}
+
+/// Computes the suppressed line range for an `allow-item` pragma: the
+/// next item/block through the `}` matching the first `{` opened at
+/// depth zero. Falls back to the statement rule when a `;` ends the
+/// construct first (`struct X;`, `use …;`).
+fn span_for_item(pragma: &Token<'_>, code: &[&Token<'_>]) -> (u32, u32) {
+    let Some(first) = code.iter().position(|t| t.line > pragma.line) else {
+        return (pragma.line, pragma.line);
+    };
+    let mut brace_depth: i64 = 0;
+    let mut entered = false;
+    let mut last_line = code[first].line;
+    for t in &code[first..] {
+        last_line = t.line;
+        if t.kind == TokenKind::Punct {
+            match t.text {
+                "{" => {
+                    brace_depth += 1;
+                    entered = true;
+                }
+                "}" => {
+                    brace_depth -= 1;
+                    if entered && brace_depth <= 0 {
+                        return (pragma.line, t.line);
+                    }
+                }
+                ";" if !entered => return (pragma.line, t.line),
+                _ => {}
+            }
+        }
+    }
+    (pragma.line, last_line)
 }
 
 /// Computes the suppressed line range for a pragma comment token.

@@ -35,6 +35,10 @@ pub struct LintDef {
     pub summary: &'static str,
     /// Which invariant the lint protects and how to fix a finding.
     pub doc: &'static str,
+    /// Whether this lint only fires under `lbs lint --deep` (the
+    /// interprocedural passes). Pragmas naming deep lints are exempt from
+    /// `unused-suppression` in shallow runs, where the lint cannot fire.
+    pub deep: bool,
 }
 
 /// Name of the meta-lint for malformed / unknown suppression pragmas.
@@ -53,6 +57,7 @@ pub const LINTS: &[LintDef] = &[
               work-stealing engine must contain. Tests, bins, benches and examples \
               are exempt. Convert to `?`/`ok_or` or, when the call is provably \
               infallible, suppress with a pragma explaining why.",
+        deep: false,
     },
     LintDef {
         name: "no-panic-in-lib",
@@ -60,6 +65,7 @@ pub const LINTS: &[LintDef] = &[
         summary: "library code must not invoke panic!/unreachable!/todo!/unimplemented!",
         doc: "Same contract as no-unwrap-in-lib: library failure modes are values, \
               not panics. `debug_assert!` stays allowed (compiled out in release).",
+        deep: false,
     },
     LintDef {
         name: "no-unseeded-rng",
@@ -68,6 +74,7 @@ pub const LINTS: &[LintDef] = &[
         doc: "Every run of the system replays from one master seed \
               (`lbs_workload::derive_seed`); ambient entropy anywhere — including \
               tests — breaks conformance replay and golden blessing.",
+        deep: false,
     },
     LintDef {
         name: "no-raw-thread-spawn",
@@ -77,6 +84,7 @@ pub const LINTS: &[LintDef] = &[
               all live in the work-stealing engine; `std::thread::spawn` elsewhere \
               bypasses all three. Use the engine, or scoped helpers inside \
               lbs-parallel.",
+        deep: false,
     },
     LintDef {
         name: "no-wall-clock-in-dp",
@@ -86,6 +94,7 @@ pub const LINTS: &[LintDef] = &[
               wall-clock reads in algorithm crates invite time-dependent behavior. \
               Timing belongs in lbs-metrics stage timers. Pure observability reads \
               that cannot influence outputs may be suppressed with a reason.",
+        deep: false,
     },
     LintDef {
         name: "no-float-eq",
@@ -94,6 +103,7 @@ pub const LINTS: &[LintDef] = &[
         doc: "Exact cost arithmetic is integral (`u128` areas); float comparisons \
               with == are a portability hazard. Compare with an epsilon or use the \
               integral cost path.",
+        deep: false,
     },
     LintDef {
         name: "no-hashmap-in-serialized-output",
@@ -103,6 +113,7 @@ pub const LINTS: &[LintDef] = &[
               HashMap field produces byte-different output across runs — exactly \
               the nondeterminism golden corpora exist to catch. Use BTreeMap / \
               BTreeSet, or mark the field `#[serde(skip)]`.",
+        deep: false,
     },
     LintDef {
         name: "forbid-unsafe-header",
@@ -110,6 +121,7 @@ pub const LINTS: &[LintDef] = &[
         summary: "every crate root must carry #![forbid(unsafe_code)]",
         doc: "The workspace is 100% safe Rust; the forbid header makes that a \
               compile-time guarantee per crate rather than a convention.",
+        deep: false,
     },
     LintDef {
         name: "no-println-in-lib",
@@ -118,6 +130,7 @@ pub const LINTS: &[LintDef] = &[
         doc: "Library output goes through returned values, `std::io::Write` sinks \
               (the CLI pattern), or lbs-metrics. println!/dbg! in a library is \
               untestable and pollutes machine-readable CLI output.",
+        deep: false,
     },
     LintDef {
         name: "no-unchecked-io-in-runtime",
@@ -130,6 +143,7 @@ pub const LINTS: &[LintDef] = &[
               panics mid-write and can leave a half-written frame behind with \
               no typed record of the failure. Propagate with `?` (via the \
               `From<io::Error>` impl) instead.",
+        deep: false,
     },
     LintDef {
         name: "no-wall-clock-in-bench-cases",
@@ -142,6 +156,51 @@ pub const LINTS: &[LintDef] = &[
               numbers silently skip calibration and the median/p95 aggregation. \
               Wrap the region in `sampler.sample(..)` instead; the timer itself \
               lives in the suite/harness modules, which are exempt.",
+        deep: false,
+    },
+    LintDef {
+        name: "panic-reachability",
+        severity: Severity::Error,
+        summary: "no panicking construct is reachable from a service entry point (--deep)",
+        doc: "Interprocedural: starting from the service entry points declared in \
+              lint-taint.toml ([panic-reachability] entry-points), every function \
+              transitively reachable over the workspace call graph must be free of \
+              `unwrap`/`expect`, panic-family macros, and unguarded indexing. A \
+              finding is anchored at the panicking construct and carries the \
+              call-graph trace from the nearest entry point. Guarded indexing \
+              (loop-bound index, literal index, `.len()`-checked receiver) is \
+              exempt; anything else needs a typed-error rewrite or a reasoned \
+              pragma at the site.",
+        deep: true,
+    },
+    LintDef {
+        name: "location-taint",
+        severity: Severity::Error,
+        summary: "raw coordinates must not flow into formatting/error/WAL/serde sinks (--deep)",
+        doc: "Interprocedural taint: values of the source types in lint-taint.toml \
+              ([location-taint] sources: `Point`, `UserUpdate`, …) must not reach \
+              Debug/Display formatting, error strings, or WAL/serde sinks — in \
+              this function or any callee — except through the sanctioned \
+              cloak/policy sanitizers. The paper's Definition-6 guarantee is void \
+              if a precise coordinate leaks through a log line or a serialized \
+              side channel, no matter what the cloaking DP computed. Route the \
+              value through a sanitizer (`BulkPolicy`, `CloakingPolicy`, an \
+              anonymize entry point) or suppress at the sink with a reason \
+              explaining why the flow stays inside the trust boundary.",
+        deep: true,
+    },
+    LintDef {
+        name: "determinism-taint",
+        severity: Severity::Error,
+        summary: "nondeterministic sources must not reach serialized/fingerprinted output (--deep)",
+        doc: "Interprocedural generalization of no-hashmap-in-serialized-output: \
+              HashMap/HashSet iteration order, wall-clock reads, and thread ids \
+              (the [determinism-taint] sources in lint-taint.toml) must not flow \
+              — directly or through calls — into serialized snapshots, golden \
+              fingerprints, or WAL bytes. Sort first (`sort*`, BTreeMap/BTreeSet \
+              collection are sanitizers) or suppress with a reason proving the \
+              order cannot reach the bytes.",
+        deep: true,
     },
     LintDef {
         name: MALFORMED_PRAGMA,
@@ -150,6 +209,7 @@ pub const LINTS: &[LintDef] = &[
         doc: "The pragma grammar is `// lbs-lint: allow(<lint>[, <lint>…], \
               reason = \"…\")`. A pragma without a non-empty reason, or naming an \
               unregistered lint, is itself an error — suppressions are audited.",
+        deep: false,
     },
     LintDef {
         name: UNUSED_SUPPRESSION,
@@ -157,10 +217,21 @@ pub const LINTS: &[LintDef] = &[
         summary: "pragma suppresses nothing (stale after a fix?)",
         doc: "The annotated code no longer triggers the named lint; delete the \
               pragma so the suppression inventory stays honest.",
+        deep: false,
     },
 ];
 
 /// Looks up a lint by name.
 pub fn find(name: &str) -> Option<&'static LintDef> {
     LINTS.iter().find(|l| l.name == name)
+}
+
+/// Whether `name` is a deep-only lint (fires only under `--deep`).
+pub fn is_deep(name: &str) -> bool {
+    find(name).is_some_and(|l| l.deep)
+}
+
+/// The names of every deep (interprocedural) pass, in registry order.
+pub fn deep_lint_names() -> Vec<&'static str> {
+    LINTS.iter().filter(|l| l.deep).map(|l| l.name).collect()
 }

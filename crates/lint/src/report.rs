@@ -18,6 +18,12 @@ pub struct Violation {
     pub col: u32,
     /// What was found and how to fix it.
     pub message: String,
+    /// Call-graph trace for interprocedural (`--deep`) findings: one
+    /// `fn-name (path:line)` entry per hop from the entry point / taint
+    /// source down to the finding site. Empty for file-local findings.
+    /// (Serialized unconditionally: the vendored serde derive supports
+    /// only `skip`/`default` attributes, not `skip_serializing_if`.)
+    pub trace: Vec<String>,
 }
 
 /// Aggregate outcome of a lint run.
@@ -57,6 +63,9 @@ impl LintReport {
                 "{}:{}:{}: {}[{}]: {}\n",
                 v.path, v.line, v.col, v.severity, v.lint, v.message
             ));
+            for hop in &v.trace {
+                out.push_str(&format!("    via {hop}\n"));
+            }
         }
         out.push_str(&format!(
             "lbs-lint: {} files scanned, {} errors, {} warnings, {} suppressed\n",

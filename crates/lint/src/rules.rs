@@ -56,6 +56,7 @@ impl FileInfo<'_> {
             line: at.line,
             col: at.col,
             message,
+            trace: Vec::new(),
         });
     }
 }

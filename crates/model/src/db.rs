@@ -146,7 +146,7 @@ impl LocationDb {
     /// Location of `user`, if present.
     #[inline]
     pub fn location(&self, user: UserId) -> Option<Point> {
-        self.index.get(&user).map(|&i| self.rows[i].1)
+        self.index.get(&user).and_then(|&i| self.rows.get(i)).map(|row| row.1)
     }
 
     /// Whether the snapshot contains `user`.

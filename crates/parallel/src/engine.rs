@@ -485,6 +485,7 @@ where
                             if let Some(m) = metrics {
                                 m.incr(Counter::FaultsInjected);
                             }
+                            // lbs-lint: allow(location-taint, reason = "task index and attempt counter only; the task struct taints through field projection but no coordinate is in the message")
                             Err(Box::new(format!(
                                 "fault-injected panic: task={} attempt={}",
                                 task.index, task.attempt

@@ -64,6 +64,7 @@ impl PoiStore {
         };
         for poi in pois {
             if !map.contains(&poi.location) {
+                // lbs-lint: allow(location-taint, reason = "POIs are public landmarks from the dataset, not sender locations; echoing the offending coordinate leaks nothing about any user")
                 return Err(format!("{} at {} is off the map", poi.id, poi.location));
             }
             let cell = store.cell_of(&poi.location);

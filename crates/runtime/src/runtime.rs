@@ -306,14 +306,17 @@ impl ServiceRuntime {
             };
             if let Some(p) = target {
                 if !self.cfg.map.contains(&p) {
+                    // The message deliberately omits the point: raw sender
+                    // coordinates must not reach error strings.
                     return Err(RuntimeError::Core(CoreError::Tree(format!(
-                        "user {} target {p:?} is off the map",
+                        "user {} target is off the map",
                         up.user().0
                     ))));
                 }
             }
         }
         let span = self.metrics.as_deref().map(|m| m.start(Stage::WalAppend));
+        // lbs-lint: allow(location-taint, reason = "the WAL is the crash-recovery log on local disk, inside the anonymizer's trust boundary; frames never leave the host")
         let seq = self.wal.append(updates)?;
         drop(span);
         self.incr(Counter::WalAppends);

@@ -55,25 +55,34 @@ impl SpatialTree {
             let present =
                 overlay.get(&user).copied().unwrap_or_else(|| self.user_leaf.contains_key(&user));
             match *up {
+                // Validation messages name the user id only — raw target
+                // coordinates must not reach error strings. The ids stay
+                // tainted through the (flow-insensitive) update binders,
+                // hence the pragmas.
                 UserUpdate::Move(m) => {
                     if !present {
+                        // lbs-lint: allow(location-taint, reason = "user id only; ids taint through the update binder, the coordinate is not in the message")
                         return Err(format!("unknown user {}", m.user));
                     }
                     if !self.config.map.contains(&m.to) {
-                        return Err(format!("user {} target {} is off the map", m.user, m.to));
+                        // lbs-lint: allow(location-taint, reason = "user id only; ids taint through the update binder, the coordinate was removed")
+                        return Err(format!("user {} target is off the map", m.user));
                     }
                 }
                 UserUpdate::Insert { at, .. } => {
                     if present {
+                        // lbs-lint: allow(location-taint, reason = "user id only; ids taint through the update binder, the coordinate is not in the message")
                         return Err(format!("duplicate user {user}"));
                     }
                     if !self.config.map.contains(&at) {
-                        return Err(format!("user {user} target {at} is off the map"));
+                        // lbs-lint: allow(location-taint, reason = "user id only; ids taint through the update binder, the coordinate was removed")
+                        return Err(format!("user {user} target is off the map"));
                     }
                     overlay.insert(user, true);
                 }
                 UserUpdate::Delete { .. } => {
                     if !present {
+                        // lbs-lint: allow(location-taint, reason = "user id only; ids taint through the update binder, the coordinate is not in the message")
                         return Err(format!("unknown user {user}"));
                     }
                     overlay.insert(user, false);

@@ -25,6 +25,18 @@ echo "== lbs lint (workspace invariants, budget: 30 s) =="
 cargo build --release -q -p lbs-cli
 timeout 30 target/release/lbs lint --format json
 
+echo "== lbs lint --deep (interprocedural passes, budget: 60 s) =="
+# Call-graph passes (crates/lint, DESIGN.md §12): panic-reachability from
+# the service entry points in lint-taint.toml, location-taint (raw sender
+# coordinates must not reach Debug/Display/error-string/WAL sinks except
+# through the sanctioned cloaking path), and determinism-taint (HashMap
+# iteration order, wall clocks, and thread ids must not reach
+# fingerprinted or serialized outputs). The scan itself is < 1 s for
+# ~120 files; the budget leaves room for a cold file cache. Findings
+# carry call-chain traces; human-readable rerun:
+#   target/release/lbs lint --deep true
+timeout 60 target/release/lbs lint --deep true --format json
+
 echo "== cargo build --release =="
 cargo build --release --workspace
 

@@ -1,0 +1,30 @@
+//! Self-check: the workspace must lint clean under the interprocedural
+//! passes too. This is the in-process twin of the `lbs lint --deep` CI
+//! stage — it keeps `cargo test` sufficient to catch a reintroduced
+//! panic path or taint leak even when the CLI stage is skipped.
+
+use lbs_lint::{lint_workspace_deep, PassSet};
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_under_deep_passes() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = lint_workspace_deep(root, &PassSet::all()).expect("deep lint runs");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}); did the walker break?",
+        report.files_scanned
+    );
+    assert_eq!(
+        report.errors(),
+        0,
+        "unsuppressed deep lint errors — fix them or add a reasoned pragma:\n{}",
+        report.render_human()
+    );
+    assert_eq!(
+        report.warnings(),
+        0,
+        "deep lint warnings (stale pragmas?):\n{}",
+        report.render_human()
+    );
+}
