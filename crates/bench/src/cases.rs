@@ -107,6 +107,37 @@ fn incremental_commit(n: usize) -> CaseDef {
     }
 }
 
+/// Per-commit cost of the batched incremental path at batch size `m`:
+/// each repeat stages exactly `m` moves (distinct users, ≤ 200 m) and
+/// times one `apply_moves` commit — dirty-path coalescing and the
+/// subtree cost-vector cache included. Dividing the median by `m` gives
+/// the per-move cost; the batching win is `m1`'s median versus
+/// `m{64,4096}`'s median over `m` (see EXPERIMENTS.md §incremental).
+fn incremental_batch(n: usize, m: usize) -> CaseDef {
+    let k = 10;
+    CaseDef {
+        name: format!("incremental_batch/m{m}"),
+        run: Box::new(move |wb, sampler| {
+            wb.ensure(n);
+            let seed = wb.seed;
+            let w = &wb.workloads[&n];
+            let (db, map) = (w.master(), w.config().map());
+            let mut inc =
+                IncrementalAnonymizer::new(db, TreeConfig::lazy(TreeKind::Binary, map, k), k)
+                    .expect("bench workload anonymizes");
+            let fraction = m as f64 / n as f64;
+            let batches: Vec<Vec<Move>> = (0..u64::from(sampler.repeats()))
+                .map(|i| random_moves(db, &map, fraction, 200.0, derive_seed(seed, 0xba7c + i)))
+                .collect();
+            for batch in &batches {
+                assert_eq!(batch.len(), m, "workload generates exactly m movers");
+                let report = sampler.sample(|| inc.apply_moves(batch));
+                assert!(report.is_ok(), "churn batch stays on-map");
+            }
+        }),
+    }
+}
+
 /// Work-stealing engine throughput at a fixed jurisdiction count and
 /// varying worker count — the scaling curve CI watches for scheduler
 /// regressions.
@@ -214,6 +245,9 @@ pub fn cases(tier: Tier) -> Vec<CaseDef> {
             bulk_dp(10_000, 10),
             bulk_dp(10_000, 50),
             incremental_commit(10_000),
+            incremental_batch(10_000, 1),
+            incremental_batch(10_000, 64),
+            incremental_batch(10_000, 4096),
             engine_scaling(10_000, 2, 16),
             query_cache_hit(10_000, 512),
             shard_scaling(10_000, 2),

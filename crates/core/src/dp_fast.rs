@@ -480,7 +480,6 @@ impl Default for Scratch {
 /// # Errors
 /// [`CoreError::StaleMatrix`] when a child row is missing (postorder
 /// discipline violated — a caller bug surfaced as a value, not a panic).
-// lbs-lint: allow-item(panic-reachability, reason = "scratch suffix arrays are resized to conv_len+1 in this function before the sweeps that index them, and convolution indices stay below conv_len by the loop bounds — the same lockstep invariant the arena sweep relies on")
 pub(crate) fn compute_row_with(
     tree: &SpatialTree,
     matrix: &DpMatrix,
@@ -631,6 +630,49 @@ pub(crate) fn compute_row_with(
 
     let special = Entry::zero([d1 as u32, d2 as u32, 0, 0]);
     Ok(Row { d, dense, special })
+}
+
+/// Builds one internal binary [`Row`] from its children's **dense cost
+/// slices** via [`combine_children`] — the incremental maintainer's row
+/// engine. Because [`combine_children`] is the arena sweep's parent-row
+/// body, and that sweep is pinned bit-identical to [`compute_row_with`]
+/// by `tests/differential.rs`, a row produced here from the same child
+/// costs is bit-identical to the row-wise reference.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn combine_children_row(
+    dense1: &[u128],
+    dense2: &[u128],
+    d1: usize,
+    d2: usize,
+    d: usize,
+    area: u128,
+    depth: u16,
+    k: usize,
+    scratch: &mut DpScratch,
+) -> Row {
+    let cap = dense_cap_with(d, depth, k, scratch.inner.use_lemma5);
+    let pair = ChildPair { dense1, dense2, d1, d2 };
+    combine_children(pair, d, area, cap, k, &mut scratch.inner, &mut scratch.out);
+    let dense: Vec<Entry> = scratch
+        .out
+        .cost
+        .iter()
+        .zip(&scratch.out.split)
+        .map(|(&cost, &split)| Entry { cost, split })
+        .collect();
+    Row { d, dense, special: Entry::zero([d1 as u32, d2 as u32, 0, 0]) }
+}
+
+/// The row of a leaf with population `d` — identical to
+/// [`compute_row_with`]'s leaf branch.
+pub(crate) fn leaf_row(d: usize, area: u128, depth: u16, k: usize, use_lemma5: bool) -> Row {
+    let dense = match dense_cap_with(d, depth, k, use_lemma5) {
+        None => Vec::new(),
+        Some(cap) => {
+            (0..=cap).map(|u| Entry { cost: area * (d - u) as u128, split: [0; 4] }).collect()
+        }
+    };
+    Row { d, dense, special: Entry::zero([0; 4]) }
 }
 
 /// Typed replacement for the old "children computed first" panic.

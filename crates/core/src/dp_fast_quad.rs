@@ -104,6 +104,7 @@ pub fn bulk_dp_fast_quad_rowwise(tree: &SpatialTree, k: usize) -> Result<DpMatri
 /// enumeration order, same `sort_unstable`/`dedup` on the same input
 /// sequence, same suffix sweep and cursor walk — so the produced matrix
 /// is bit-identical to the row-wise reference.
+// lbs-lint: allow-item(panic-reachability, reason = "off/len/cost are filled in the same reverse sweep that reads them: children precede their parent in the breadth-first snapshot, so a.off[ci]+a.len[ci] is already written and in bounds when the parent's candidate slices are taken, and q.suffix is resized to total.len()+1 before the sweeps that index it")
 fn bulk_dp_fast_quad_arena(
     tree: &SpatialTree,
     k: usize,
@@ -281,6 +282,23 @@ fn convolve(a: &[(usize, u128)], b: &[(usize, u128)]) -> Vec<SumEntry> {
     out
 }
 
+/// Rows computed earlier in the same refresh task, overlaid on the
+/// matrix during child lookups. The parallel incremental refresh computes
+/// a dirty subtree's rows into a side buffer (the matrix is shared
+/// read-only across tasks); within a task, a dirty child's fresh row
+/// lives here rather than in the matrix.
+pub(crate) struct LocalRows<'a> {
+    pub index: &'a std::collections::HashMap<NodeId, usize>,
+    pub rows: &'a [(NodeId, Row)],
+}
+
+impl LocalRows<'_> {
+    // lbs-lint: allow-item(panic-reachability, reason = "index maps node ids to positions in rows and the two are built in lockstep by the task loop, so every stored position is below rows.len()")
+    fn get(&self, id: NodeId) -> Option<&Row> {
+        self.index.get(&id).map(|&i| &self.rows[i].1)
+    }
+}
+
 /// Computes one quad-node row via associated convolution.
 ///
 /// # Errors
@@ -288,6 +306,21 @@ fn convolve(a: &[(usize, u128)], b: &[(usize, u128)]) -> Vec<SumEntry> {
 /// sum cannot be resolved back to its pair tables (postorder discipline
 /// violated or the matrix was mutated mid-sweep).
 fn quad_row(tree: &SpatialTree, matrix: &DpMatrix, id: NodeId, k: usize) -> Result<Row, CoreError> {
+    quad_row_overlay(tree, matrix, None, id, k)
+}
+
+/// [`quad_row`] with an optional local-row overlay consulted before the
+/// matrix — the incremental refresh's quad row engine. With `local =
+/// None` this *is* `quad_row`, so overlay rows equal to the matrix rows
+/// they shadow keep the output bit-identical.
+// lbs-lint: allow-item(panic-reachability, reason = "suffix is resized to total.len()+1 before the sweeps that index it, cands always holds 4 child lists for a quad node, and lookup indexes with a position returned by binary_search — the same lockstep invariants the arena sweep relies on")
+pub(crate) fn quad_row_overlay(
+    tree: &SpatialTree,
+    matrix: &DpMatrix,
+    local: Option<&LocalRows<'_>>,
+    id: NodeId,
+    k: usize,
+) -> Result<Row, CoreError> {
     let node = tree.node(id);
     let d = node.count;
     let area = node.rect.area();
@@ -306,7 +339,12 @@ fn quad_row(tree: &SpatialTree, matrix: &DpMatrix, id: NodeId, k: usize) -> Resu
     debug_assert_eq!(children.len(), 4, "quad tree");
     let rows: Vec<&Row> = children
         .iter()
-        .map(|&c| matrix.row(c).ok_or_else(|| crate::dp_fast::missing_child_row(id, c)))
+        .map(|&c| {
+            local
+                .and_then(|l| l.get(c))
+                .or_else(|| matrix.row(c))
+                .ok_or_else(|| crate::dp_fast::missing_child_row(id, c))
+        })
         .collect::<Result<_, _>>()?;
     let cands: Vec<Vec<(usize, u128)>> = rows.iter().map(|r| candidates(r)).collect();
 

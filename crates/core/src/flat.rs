@@ -109,6 +109,22 @@ pub struct ConvKernel {
 }
 
 impl ConvKernel {
+    /// Widen-copies `src` into `dst` while checking the narrow-lane limit
+    /// in the same pass. Returns `false` on the first violating cost;
+    /// `dst` is then partially filled and the caller must take the wide
+    /// lane (which reads only the original `u128` inputs).
+    fn load_narrow(dst: &mut Vec<u64>, src: &[u128]) -> bool {
+        dst.clear();
+        dst.reserve(src.len());
+        for &c in src {
+            if c > NARROW_LIMIT {
+                return false;
+            }
+            dst.push(c as u64);
+        }
+        true
+    }
+
     /// Convolves `c1 ⊗ c2` into `out` (reusing the kernel's u64 lanes).
     pub fn convolve_into(&mut self, c1: &[u128], c2: &[u128], out: &mut Vec<u128>) {
         let (a1, a2) = (c1.len(), c2.len());
@@ -117,12 +133,12 @@ impl ConvKernel {
         if conv_len == 0 {
             return;
         }
-        let narrow = c1.iter().all(|&c| c <= NARROW_LIMIT) && c2.iter().all(|&c| c <= NARROW_LIMIT);
+        // One fused pass per input: the limit check and the widen-copy
+        // share the same scan (the second operand is not even touched when
+        // the first already forced the wide lane).
+        let narrow =
+            Self::load_narrow(&mut self.c1_64, c1) && Self::load_narrow(&mut self.c2_64, c2);
         if narrow {
-            self.c1_64.clear();
-            self.c1_64.extend(c1.iter().map(|&c| c as u64));
-            self.c2_64.clear();
-            self.c2_64.extend(c2.iter().map(|&c| c as u64));
             self.conv_64.clear();
             self.conv_64.resize(conv_len, u64::MAX);
             for (l1, &base) in self.c1_64.iter().enumerate() {

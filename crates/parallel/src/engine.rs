@@ -304,14 +304,15 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Pops the next task: own deque first (hot, LIFO), then a batch from the
 /// injector, then a steal sweep over the sibling deques. `None` once every
 /// queue is observed empty — tasks never spawn subtasks, so empty
-/// everywhere means the pool is done.
-fn find_task(
+/// everywhere means the pool is done. Generic over the task payload so the
+/// same stealing discipline serves jurisdiction runs and refresh plans.
+fn find_task<T>(
     me: usize,
-    local: &Worker<JurisdictionTask>,
-    injector: &Injector<JurisdictionTask>,
-    stealers: &[Stealer<JurisdictionTask>],
+    local: &Worker<T>,
+    injector: &Injector<T>,
+    stealers: &[Stealer<T>],
     metrics: Option<&Metrics>,
-) -> Option<JurisdictionTask> {
+) -> Option<T> {
     if let Some(task) = local.pop() {
         return Some(task);
     }
@@ -554,6 +555,108 @@ where
     let mut gathered = results.into_inner();
     gathered.sort_by_key(|(index, _)| *index);
     Ok(gathered.into_iter().map(|(_, result)| result).collect())
+}
+
+/// One indexed payload queued on the generic pool run.
+struct Payload<T> {
+    index: usize,
+    injected_at: Instant,
+    body: T,
+}
+
+/// What a [`run_payloads`] run produced: every completed `(index, result)`
+/// pair sorted by index, plus the first error observed — partial progress
+/// survives an error.
+pub(crate) type PartialResults<R> = (Vec<(usize, R)>, Option<CoreError>);
+
+/// Runs arbitrary indexed payloads on the same work-stealing discipline as
+/// [`run_tasks`] — LIFO deques, injector batches, steal sweep with backoff,
+/// one reusable [`DpScratch`] arena per worker — without the
+/// jurisdiction-task extras (LPT ordering, fault plans, retries).
+///
+/// Unlike [`run_tasks`], an error does not discard sibling results: the
+/// return value is every completed `(index, result)` pair **sorted by
+/// index** plus the first error observed (by completion order). A
+/// cancelled run therefore keeps its partial progress, which
+/// deadline-bounded callers apply before resuming. [`CoreError::Cancelled`]
+/// is routine (a deadline firing) and is not counted under
+/// [`Counter::ServerErrors`].
+///
+/// # Errors
+/// Only a worker panic aborts the run.
+pub(crate) fn run_payloads<T, R, F>(
+    payloads: Vec<T>,
+    config: &EngineConfig,
+    pool: Option<&ScratchPool>,
+    metrics: Option<&Metrics>,
+    server: F,
+) -> Result<PartialResults<R>, CoreError>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut DpScratch, usize, &T) -> Result<R, CoreError> + Sync,
+{
+    let task_count = payloads.len();
+    let workers = config.effective_workers(task_count);
+    let injector = Injector::new();
+    for (index, body) in payloads.into_iter().enumerate() {
+        // lbs-lint: allow(no-wall-clock-in-dp, reason = "injection timestamp feeds queue-wait metrics only; never read by the DP")
+        injector.push(Payload { index, injected_at: Instant::now(), body });
+    }
+    if let Some(m) = metrics {
+        m.add(Counter::TasksInjected, task_count as u64);
+    }
+
+    let locals: Vec<Worker<Payload<T>>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<Payload<T>>> = locals.iter().map(Worker::stealer).collect();
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(task_count));
+    let first_error: Mutex<Option<CoreError>> = Mutex::new(None);
+
+    crossbeam::scope(|scope| {
+        for (me, local) in locals.iter().enumerate() {
+            let injector = &injector;
+            let stealers = &stealers[..];
+            let results = &results;
+            let first_error = &first_error;
+            let server = &server;
+            scope.spawn(move |_| {
+                let mut scratch = match pool {
+                    Some(p) => p.checkout(config.use_lemma5, metrics),
+                    None => DpScratch::with_lemma5(config.use_lemma5),
+                };
+                let mut executed_here = 0usize;
+                while let Some(task) = find_task(me, local, injector, stealers, metrics) {
+                    if let Some(m) = metrics {
+                        m.record(Stage::QueueWait, task.injected_at.elapsed());
+                        m.incr(Counter::TasksExecuted);
+                        if executed_here > 0 {
+                            m.incr(Counter::ScratchReuses);
+                        }
+                    }
+                    match server(&mut scratch, task.index, &task.body) {
+                        Ok(result) => results.lock().push((task.index, result)),
+                        Err(e) => {
+                            if let Some(m) = metrics {
+                                if !matches!(e, CoreError::Cancelled) {
+                                    m.incr(Counter::ServerErrors);
+                                }
+                            }
+                            first_error.lock().get_or_insert(e);
+                        }
+                    }
+                    executed_here += 1;
+                }
+                if let Some(p) = pool {
+                    p.checkin(scratch);
+                }
+            });
+        }
+    })
+    .map_err(|payload| CoreError::WorkerPanic(panic_message(payload)))?;
+
+    let mut gathered = results.into_inner();
+    gathered.sort_by_key(|(index, _)| *index);
+    Ok((gathered, first_error.into_inner()))
 }
 
 /// Partitioned bulk anonymization on the work-stealing pool: the

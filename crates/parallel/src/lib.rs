@@ -27,6 +27,9 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod refresh;
+
+pub use refresh::refresh_parallel;
 
 pub use engine::{
     anonymize_work_stealing, anonymize_work_stealing_faulted, anonymize_work_stealing_pooled,

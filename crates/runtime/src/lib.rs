@@ -143,6 +143,42 @@ mod tests {
     }
 
     #[test]
+    fn parallel_refresh_commits_bit_identically_to_sequential() {
+        let db0 = seed_db(23, 60);
+        let k = 4;
+        let rounds = 6;
+        let seq_dir = tmp_dir("par-seq");
+        let mut seq_rt = manual_builder(k).create(&seq_dir, &db0).unwrap();
+
+        let par_dir = tmp_dir("par-par");
+        let mut cfg = RuntimeConfig::new(k, Rect::square(0, 0, SIDE));
+        cfg.refresh_workers = 4;
+        let metrics = Arc::new(Metrics::new());
+        let mut par_rt = RuntimeBuilder::new(cfg)
+            .clock(Arc::new(ManualClock::new()))
+            .metrics(Arc::clone(&metrics))
+            .create(&par_dir, &db0)
+            .unwrap();
+
+        let mut updates_total = 0u64;
+        for batch in batches(23, &db0, rounds) {
+            seq_rt.apply_batch(&batch).unwrap();
+            seq_rt.commit().unwrap();
+            par_rt.apply_batch(&batch).unwrap();
+            par_rt.commit().unwrap();
+            updates_total += batch.len() as u64;
+            assert_eq!(
+                encode_policy(par_rt.committed_policy()),
+                encode_policy(seq_rt.committed_policy()),
+                "parallel refresh must commit the same bytes"
+            );
+        }
+        assert_eq!(metrics.get(Counter::BatchedMoves), updates_total);
+        std::fs::remove_dir_all(&seq_dir).unwrap();
+        std::fs::remove_dir_all(&par_dir).unwrap();
+    }
+
+    #[test]
     fn invalid_batches_touch_nothing_durable() {
         let dir = tmp_dir("invalid");
         let db0 = seed_db(5, 40);

@@ -13,7 +13,7 @@ use lbs_metrics::{Counter, Metrics, Stage};
 use lbs_model::{
     AnonymizedRequest, BulkPolicy, LocationDb, RequestId, RequestParams, UserId, UserUpdate,
 };
-use lbs_parallel::FaultPlan;
+use lbs_parallel::{refresh_parallel, EngineConfig, FaultPlan, ScratchPool};
 use lbs_query::{ClientAnswer, CloakedLbs};
 use lbs_tree::{TreeConfig, TreeKind};
 use std::path::{Path, PathBuf};
@@ -36,10 +36,17 @@ pub struct RuntimeConfig {
     pub backoff_base: Duration,
     /// Seed of the deterministic backoff jitter.
     pub retry_seed: u64,
+    /// Worker threads for the commit-time DP refresh. `1` (the default)
+    /// runs the sequential sweep; more workers split the dirty set into
+    /// disjoint subtrees on the work-stealing pool
+    /// ([`lbs_parallel::refresh_parallel`]) with a bit-identical result,
+    /// so the knob is pure latency tuning.
+    pub refresh_workers: usize,
 }
 
 impl RuntimeConfig {
-    /// Defaults: checkpoint every 4 commits, 3 retries, 5ms backoff base.
+    /// Defaults: checkpoint every 4 commits, 3 retries, 5ms backoff base,
+    /// sequential refresh.
     pub fn new(k: usize, map: Rect) -> Self {
         RuntimeConfig {
             k,
@@ -48,6 +55,7 @@ impl RuntimeConfig {
             max_retries: 3,
             backoff_base: Duration::from_millis(5),
             retry_seed: 0xC10C_4A11,
+            refresh_workers: 1,
         }
     }
 }
@@ -91,6 +99,33 @@ pub fn backoff_delay(base: Duration, seed: u64, attempt: u32) -> Duration {
     let span = u64::try_from(exp.as_nanos()).unwrap_or(u64::MAX).max(1);
     let jitter = splitmix(&mut state) % span;
     exp + Duration::from_nanos(jitter / 2)
+}
+
+/// Runs a commit's DP refresh: sequential for `refresh_workers` ≤ 1,
+/// otherwise the dirty set is split into disjoint subtrees on the
+/// work-stealing pool. Both paths poll the deadline before every row and
+/// produce bit-identical matrices, so the knob never affects committed
+/// policies — only commit latency.
+fn refresh_for_commit(
+    inc: &mut IncrementalAnonymizer,
+    pool: &ScratchPool,
+    metrics: Option<&Metrics>,
+    clock: &Arc<dyn Clock>,
+    refresh_workers: usize,
+    deadline: Option<Duration>,
+) -> Result<(), CoreError> {
+    let clock = Arc::clone(clock);
+    let cancel = move || deadline.is_some_and(|d| clock.now() >= d);
+    if refresh_workers > 1 {
+        let config = EngineConfig { workers: refresh_workers, ..EngineConfig::default() };
+        refresh_parallel(inc, &config, Some(pool), metrics, &cancel)?;
+    } else {
+        let report = inc.refresh_cancellable(&cancel)?;
+        if let Some(m) = metrics {
+            m.add(Counter::SubtreeCacheHits, report.cache_hits as u64);
+        }
+    }
+    Ok(())
 }
 
 /// Builder for [`ServiceRuntime`]: clock, fault plan, metrics sink, and
@@ -174,6 +209,7 @@ impl RuntimeBuilder {
             durable_seq: 0,
             committed_seq: 0,
             commits_since_checkpoint: 0,
+            scratch_pool: ScratchPool::new(),
             lbs: self.lbs,
             degraded: None,
             next_request: 0,
@@ -218,6 +254,7 @@ impl RuntimeBuilder {
             durable_seq: wal_seq,
             committed_seq: wal_seq,
             commits_since_checkpoint: 0,
+            scratch_pool: ScratchPool::new(),
             lbs: self.lbs,
             degraded: None,
             next_request: 0,
@@ -276,6 +313,8 @@ pub struct ServiceRuntime {
     /// WAL sequence the committed policy reflects.
     committed_seq: u64,
     commits_since_checkpoint: u64,
+    /// Worker DP arenas reused across parallel refreshes (commit epochs).
+    scratch_pool: ScratchPool,
     lbs: Option<CloakedLbs>,
     /// Memoized degraded policy for (durable_seq, epoch).
     degraded: Option<(u64, u64, DegradedPolicy)>,
@@ -322,6 +361,9 @@ impl ServiceRuntime {
         self.incr(Counter::WalAppends);
         self.db.apply_updates(updates)?;
         self.inc.stage_updates(updates)?;
+        if let Some(m) = self.metrics.as_deref() {
+            m.add(Counter::BatchedMoves, updates.len() as u64);
+        }
         self.durable_seq = seq;
         self.degraded = None;
         Ok(seq)
@@ -363,10 +405,15 @@ impl ServiceRuntime {
                     "injected commit panic at epoch {target_epoch} attempt {attempt}"
                 )))
             } else {
-                let clock = Arc::clone(&self.clock);
-                let cancel = move || deadline.is_some_and(|d| clock.now() >= d);
-                match self.inc.refresh_cancellable(&cancel) {
-                    Ok(_) => break,
+                match refresh_for_commit(
+                    &mut self.inc,
+                    &self.scratch_pool,
+                    self.metrics.as_deref(),
+                    &self.clock,
+                    self.cfg.refresh_workers,
+                    deadline,
+                ) {
+                    Ok(()) => break,
                     Err(CoreError::Cancelled) => {
                         drop(span);
                         return Err(RuntimeError::DeadlineExceeded);

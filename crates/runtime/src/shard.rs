@@ -54,18 +54,34 @@ pub struct ShardedConfig {
     pub admission_limit: usize,
     /// Per-shard checkpoint cadence (commits per checkpoint).
     pub checkpoint_every: u64,
+    /// Worker threads for each shard's commit-time refresh (see
+    /// [`RuntimeConfig::refresh_workers`]); bit-identical at any value.
+    pub refresh_workers: usize,
 }
 
 impl ShardedConfig {
-    /// Defaults: 4096-update admission window, checkpoint every 4
-    /// commits.
+    /// Defaults: 8192-update admission window, checkpoint every 4
+    /// commits, sequential per-shard refresh.
+    ///
+    /// The admission window doubled (4096 → 8192) when commits went
+    /// batched: the coalesced refresh amortizes a large staged backlog
+    /// across shared ancestors, so a bigger window buys pipeline slack
+    /// without the old risk of an O(live-tree) drain commit.
     pub fn new(k: usize, map: Rect, shards: usize) -> Self {
-        ShardedConfig { k, map, shards, admission_limit: 4096, checkpoint_every: 4 }
+        ShardedConfig {
+            k,
+            map,
+            shards,
+            admission_limit: 8192,
+            checkpoint_every: 4,
+            refresh_workers: 1,
+        }
     }
 
     fn runtime_config(&self, region: Rect) -> RuntimeConfig {
         let mut rc = RuntimeConfig::new(self.k, region);
         rc.checkpoint_every = self.checkpoint_every;
+        rc.refresh_workers = self.refresh_workers;
         rc
     }
 }

@@ -20,6 +20,14 @@ pub struct SpatialTree {
     pub(crate) root: NodeId,
     /// Which leaf currently stores each user.
     pub(crate) user_leaf: HashMap<UserId, NodeId>,
+    /// Per-node modification counters, bumped whenever a node lands in an
+    /// update's dirty set. Subtree caches (the incremental DP's cost-vector
+    /// memo) key their entries on these, so a stale entry can never be
+    /// mistaken for a current one.
+    pub(crate) versions: Vec<u64>,
+    /// Live (attached) node count, maintained by alloc/collapse so
+    /// [`SpatialTree::live_len`] is O(1).
+    pub(crate) live: usize,
 }
 
 impl SpatialTree {
@@ -43,6 +51,8 @@ impl SpatialTree {
             users: Vec::new(),
             root: NodeId(0),
             user_leaf: HashMap::with_capacity(items.len()),
+            versions: Vec::new(),
+            live: 0,
         };
         let root = tree.build_rec(config.map, 0, items, None);
         tree.root = root;
@@ -62,6 +72,8 @@ impl SpatialTree {
             detached: false,
         });
         self.users.push(Vec::new());
+        self.versions.push(0);
+        self.live += 1;
         id
     }
 
@@ -189,8 +201,20 @@ impl SpatialTree {
     }
 
     /// Number of live (attached) nodes — the paper's `|T|` / `|B|`.
+    /// O(1): maintained by the allocator and the collapse pass.
+    #[inline]
     pub fn live_len(&self) -> usize {
-        self.nodes.iter().filter(|n| !n.detached).count()
+        self.live
+    }
+
+    /// The modification counter of node `id`: bumped every time `id`
+    /// appears in an [`crate::UpdateReport::dirty`] set. Cache entries
+    /// derived from `id`'s DP row are valid exactly while the version they
+    /// were recorded under still matches.
+    #[inline]
+    // lbs-lint: allow-item(panic-reachability, reason = "versions is grown in lockstep with nodes by alloc, so any NodeId this tree minted indexes in bounds")
+    pub fn version(&self, id: NodeId) -> u64 {
+        self.versions[id.index()]
     }
 
     /// All live node ids, children before parents — the bottom-up order
@@ -324,6 +348,13 @@ impl SpatialTree {
         }
         if self.user_leaf.len() != self.count(self.root) {
             return Err("user index size != root count".into());
+        }
+        let attached = self.nodes.iter().filter(|n| !n.detached).count();
+        if attached != self.live {
+            return Err(format!("live count {} != attached nodes {attached}", self.live));
+        }
+        if self.versions.len() != self.nodes.len() {
+            return Err("versions not in lockstep with arena".into());
         }
         Ok(())
     }

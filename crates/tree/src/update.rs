@@ -115,6 +115,13 @@ impl SpatialTree {
 
         self.collapse_pass(&mut report);
         self.split_pass(&mut report);
+        // Every dirtied node advances its version, invalidating any cached
+        // derivation (DP cost vectors) of its pre-update row. Tombstoned
+        // ids that linger in the dirty set advance too — harmless, they are
+        // never read again.
+        for &id in &report.dirty {
+            self.versions[id.index()] += 1;
+        }
         Ok(report)
     }
 
@@ -177,8 +184,10 @@ impl SpatialTree {
             })
             .collect();
         // Shallowest first, so a collapsed ancestor disposes of its
-        // descendants before they are considered.
-        candidates.sort_by_key(|&id| self.nodes[id.index()].depth);
+        // descendants before they are considered; arena index breaks
+        // depth ties so the pass order never inherits hash order from
+        // the dirty set.
+        candidates.sort_unstable_by_key(|&id| (self.nodes[id.index()].depth, id.index()));
         for id in candidates {
             let n = &self.nodes[id.index()];
             if n.detached || n.is_leaf() {
@@ -199,6 +208,7 @@ impl SpatialTree {
             stack.extend_from_slice(self.nodes[cur.index()].children.as_slice());
             self.nodes[cur.index()].detached = true;
             self.nodes[cur.index()].children = Children::None;
+            self.live -= 1;
             gathered.append(&mut self.users[cur.index()]);
         }
         for &(u, _) in &gathered {
@@ -213,7 +223,7 @@ impl SpatialTree {
     /// recursively (a split child may itself qualify; `build_rec` handles
     /// that).
     fn split_pass(&mut self, report: &mut UpdateReport) {
-        let candidates: Vec<NodeId> = report
+        let mut candidates: Vec<NodeId> = report
             .dirty
             .iter()
             .copied()
@@ -222,6 +232,12 @@ impl SpatialTree {
                 !n.detached && n.is_leaf() && self.config.may_split(&n.rect, n.depth, n.count)
             })
             .collect();
+        // Arena order, not hash order: each split allocates fresh arena
+        // slots, so a deterministic candidate order keeps the
+        // materialized layout a pure function of (pre-state, batch) —
+        // the byte-identity contract of the batched refresh depends on
+        // it (tests/incremental_batch.rs).
+        candidates.sort_unstable_by_key(|id| id.index());
         for id in candidates {
             let items = std::mem::take(&mut self.users[id.index()]);
             let children = self.split_node(id, items);

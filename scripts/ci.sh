@@ -78,19 +78,20 @@ echo "== soak-smoke (budget: 90 s) =="
 timeout 90 target/release/lbs soak
 
 echo "== bench-smoke (budget: 120 s) =="
-# Perf-regression gate against the committed snapshot BENCH_7.json: runs
+# Perf-regression gate against the committed snapshot BENCH_9.json: runs
 # the seeded smoke tier (10k-user cases: bulk DP at k=10/50, incremental
-# commit, engine scaling, query cache hit path, 2-way shard scaling),
-# writes the fresh snapshot to target/, and compares normalized medians
-# (median_ns divided by the host-calibration spin loop) against the
-# baseline. The generous 75% threshold is deliberate: after calibration
-# the shared CI VM still shows up to ~2x cross-run noise on sub-100ms
-# cases, and this stage exists to catch order-of-magnitude algorithmic
-# regressions, not 10% drift. The full-tier trajectory (100k–1.75M) is
-# tracked by re-running
-#   target/release/lbs bench --suite all --json BENCH_7.json
+# commit, batched incremental commits at m ∈ {1, 64, 4096}, engine
+# scaling, query cache hit path, 2-way shard scaling), writes the fresh
+# snapshot to target/, and compares normalized medians (median_ns
+# divided by the host-calibration spin loop) against the baseline. The
+# generous 75% threshold is deliberate: after calibration the shared CI
+# VM still shows up to ~2x cross-run noise on sub-100ms cases, and this
+# stage exists to catch order-of-magnitude algorithmic regressions, not
+# 10% drift. The full-tier trajectory (100k–1.75M) is tracked by
+# re-running
+#   target/release/lbs bench --suite all --json BENCH_9.json
 # on perf-relevant changes and committing the diff for review.
 timeout 120 target/release/lbs bench --suite smoke --repeats 3 \
-  --json target/bench_smoke.json --compare BENCH_7.json --threshold 75
+  --json target/bench_smoke.json --compare BENCH_9.json --threshold 75
 
 echo "CI OK"
