@@ -23,6 +23,12 @@
 //!    sharded epoch-pipelined service with mid-traffic shard crashes:
 //!    no global stall, no attacker breach, aggregate cost within the
 //!    paper's divergence bound of the single-shard optimum.
+//! 6. **Storage-fault sweep** ([`storage_fault`]) — deterministic disk
+//!    faults (short writes, fsync failures, ENOSPC, bit-rot, rename
+//!    failures, crash points) driven through the runtime's storage
+//!    backend, with crash-restart lives, scrub/GC self-healing, and
+//!    per-shard victims: every point recovers bit-identically or fails
+//!    loudly with a typed error naming the corrupt artifact.
 //!
 //! The whole subsystem is driven by one master seed
 //! ([`DEFAULT_MASTER_SEED`]); every failure message carries the
@@ -36,6 +42,7 @@ pub mod harness;
 pub mod recovery;
 pub mod scenario;
 pub mod soak;
+pub mod storage_fault;
 
 pub use golden::{
     bless, bless_sharded, check, check_sharded, compute_corpus, compute_sharded_corpus,
@@ -48,3 +55,4 @@ pub use recovery::{
 };
 pub use scenario::{scenario_matrix, Algorithm, Density, Scenario, Tier, DEFAULT_MASTER_SEED};
 pub use soak::{soak, SoakConfig, SoakCrash, SoakReport};
+pub use storage_fault::{storage_fault_sweep, StorageFaultConfig, StorageFaultReport};

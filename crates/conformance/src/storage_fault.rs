@@ -1,0 +1,1041 @@
+//! Seeded storage-fault sweep: deterministic disk faults, crash-restart
+//! loops, scrub/GC self-healing, and sharded victims.
+//!
+//! Three phases, all driven from one master seed:
+//!
+//! 1. **Fault-plan lives** — a single-runtime reference run fixes the
+//!    exact committed policy bytes at every sequence number
+//!    (`per_seq`). Each sweep point then replays the same churn through
+//!    a [`FaultFs`](lbs_runtime::FaultFs) whose
+//!    [`DiskFaultPlan`](lbs_runtime::DiskFaultPlan) is derived from the
+//!    point index: short writes, fsync failures, ENOSPC budgets,
+//!    checkpoint bit-rot, rename failures, and crash points. Every
+//!    storage failure kills the process model: the runtime is dropped
+//!    and recovered (under the *next* life's fault plan), and the
+//!    recovered committed policy must be **bit-identical** to the
+//!    reference at the recovered durable sequence. ENOSPC runs the
+//!    emergency-GC ladder and, when the disk really is full, must
+//!    surface as a typed [`RuntimeError::StorageExhausted`] — never a
+//!    panic, never a silent drop. Even points run bounded retention
+//!    (`retain_checkpoints = 2`) so the GC and WAL pruning are
+//!    exercised *in-sweep* and proven to never prune a suffix a later
+//!    recovery needs.
+//! 2. **Rot and self-healing** — on-disk corruption of real artifacts:
+//!    a rotten newest generation must fall back (and scrub must
+//!    quarantine it), rotting *every* generation must fail loudly with
+//!    a typed error (and scrub must name every victim), a rotten WAL
+//!    region must recover exactly the readable prefix, and a
+//!    post-[`gc`](lbs_runtime::ServiceRuntime::gc) directory must still
+//!    hold the full replay suffix for its oldest retained generation.
+//! 3. **Sharded victims** — per-shard storage overrides
+//!    ([`ShardedBuilder::shard_storage`](lbs_runtime::ShardedBuilder))
+//!    and on-disk damage confined to one victim shard: survivors must
+//!    recover bit-identical to their full reference state no matter
+//!    what happened to the victim (shared-nothing isolation), and the
+//!    victim must either recover its durable prefix bit-identically or
+//!    fail loudly with a typed error naming its artifacts.
+//!
+//! Recovered states are additionally audited with the full oracle
+//! stack (`verify_policy_aware` plus the PRE-enumerating attacker) on a
+//! sampled schedule: self-healing must never trade durability back for
+//! an anonymity breach.
+
+use lbs_attack::audit_policy;
+use lbs_core::verify_policy_aware;
+use lbs_geom::{Point, Rect};
+use lbs_metrics::{Counter, Metrics};
+use lbs_model::{encode_policy, LocationDb, Move, UserId, UserUpdate};
+use lbs_runtime::{
+    list_checkpoints, real_fs, scan, DiskFaultPlan, FaultFs, ManualClock, RuntimeBuilder,
+    RuntimeConfig, RuntimeError, ServiceRuntime, StorageBackend, WalRecord, WAL_FILE,
+};
+use lbs_workload::derive_seed;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Parameters of one storage-fault sweep.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StorageFaultConfig {
+    /// Master seed deriving the population, churn, and every fault plan.
+    pub seed: u64,
+    /// Population of the single-runtime reference run.
+    pub users: usize,
+    /// Anonymity level.
+    pub k: usize,
+    /// Churn batches (one commit each) in the reference runs.
+    pub rounds: u64,
+    /// Phase-1 points: seeded fault plans with crash-restart lives.
+    pub fault_points: usize,
+    /// Phase-2 points: on-disk rot, scrub, and GC-retention scenarios.
+    pub rot_points: usize,
+    /// Phase-3 points: sharded victims (per-shard faults and damage).
+    pub shard_points: usize,
+    /// Shards requested for phase 3.
+    pub shards: usize,
+}
+
+impl Default for StorageFaultConfig {
+    fn default() -> Self {
+        StorageFaultConfig {
+            seed: 0x5EED_D15C,
+            users: 32,
+            k: 3,
+            rounds: 6,
+            fault_points: 140,
+            rot_points: 30,
+            shard_points: 30,
+            shards: 2,
+        }
+    }
+}
+
+/// What one storage-fault sweep covered and found.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StorageFaultReport {
+    /// The sweep's configuration (replay with `lbs storage-fault-smoke`).
+    pub config: StorageFaultConfig,
+    /// Total sweep points.
+    pub points: usize,
+    /// Phase-1 fault-plan points completed.
+    pub fault_points: usize,
+    /// Phase-2 rot/self-healing points completed.
+    pub rot_points: usize,
+    /// Phase-3 sharded-victim points completed.
+    pub shard_points: usize,
+    /// Crash-restart recoveries performed (each checked bit-identical).
+    pub restarts: usize,
+    /// Injected failures that surfaced as loud typed errors.
+    pub loud_failures: usize,
+    /// ENOSPC ladder sheds observed (typed `StorageExhausted`).
+    pub sheds: usize,
+    /// Recovered states audited with the PRE-enumerating attacker.
+    pub attacker_audits: usize,
+    /// Final [`Counter::ScrubsRun`] across the sweep.
+    pub scrubs_run: u64,
+    /// Final [`Counter::CorruptFilesQuarantined`] across the sweep.
+    pub corrupt_files_quarantined: u64,
+    /// Final [`Counter::WalSegmentsPruned`] across the sweep.
+    pub wal_segments_pruned: u64,
+    /// Final [`Counter::EnospcSheds`] across the sweep.
+    pub enospc_sheds: u64,
+    /// Final [`Counter::GenerationFallbacks`] across the sweep.
+    pub generation_fallbacks: u64,
+    /// Divergence or oracle violations, each naming its point.
+    pub failures: Vec<String>,
+}
+
+impl StorageFaultReport {
+    /// Every point recovered bit-identically or failed loudly and typed.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl std::fmt::Display for StorageFaultReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "storage-fault sweep: {} points under seed {} ({} fault-plan, {} rot, \
+             {} sharded), {} restarts, {} loud failures, {} sheds, {} attacker audits — {}",
+            self.points,
+            self.config.seed,
+            self.fault_points,
+            self.rot_points,
+            self.shard_points,
+            self.restarts,
+            self.loud_failures,
+            self.sheds,
+            self.attacker_audits,
+            if self.is_clean() { "no silent divergence" } else { "FAILURES" },
+        )?;
+        writeln!(
+            f,
+            "  counters: scrubs {} quarantined {} wal-pruned {} enospc-sheds {} \
+             generation-fallbacks {}",
+            self.scrubs_run,
+            self.corrupt_files_quarantined,
+            self.wal_segments_pruned,
+            self.enospc_sheds,
+            self.generation_fallbacks,
+        )?;
+        for failure in &self.failures {
+            writeln!(f, "  FAIL {failure}")?;
+        }
+        Ok(())
+    }
+}
+
+fn side() -> i64 {
+    64
+}
+
+fn seeded_db(seed: u64, users: usize) -> Result<LocationDb, String> {
+    LocationDb::from_rows((0..users).map(|i| {
+        let i = i as u64;
+        (
+            UserId(i),
+            Point::new(
+                (derive_seed(seed, 2 * i) % side() as u64) as i64,
+                (derive_seed(seed, 2 * i + 1) % side() as u64) as i64,
+            ),
+        )
+    }))
+    .map_err(|e| format!("seeded db: {e:?}"))
+}
+
+fn churn_batch(
+    seed: u64,
+    round: u64,
+    present: &mut Vec<UserId>,
+    next_id: &mut u64,
+) -> Vec<UserUpdate> {
+    let mut batch: Vec<UserUpdate> = Vec::new();
+    for j in 0..4u64 {
+        let pick = derive_seed(seed, round * 131 + j) as usize % present.len();
+        let user = present[pick];
+        if batch.iter().any(|u| u.user() == user) {
+            continue;
+        }
+        batch.push(UserUpdate::Move(Move {
+            user,
+            to: Point::new(
+                (derive_seed(seed, round * 131 + 10 + j) % side() as u64) as i64,
+                (derive_seed(seed, round * 131 + 20 + j) % side() as u64) as i64,
+            ),
+        }));
+    }
+    if round.is_multiple_of(2) {
+        let at = Point::new(
+            (derive_seed(seed, round * 131 + 30) % side() as u64) as i64,
+            (derive_seed(seed, round * 131 + 31) % side() as u64) as i64,
+        );
+        batch.push(UserUpdate::Insert { user: UserId(*next_id), at });
+        present.push(UserId(*next_id));
+        *next_id += 1;
+    }
+    batch
+}
+
+fn copy_tree(from: &Path, to: &Path) -> Result<(), String> {
+    std::fs::create_dir_all(to).map_err(|e| format!("mkdir {}: {e}", to.display()))?;
+    let entries = std::fs::read_dir(from).map_err(|e| format!("read {}: {e}", from.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk {}: {e}", from.display()))?;
+        let src = entry.path();
+        let dst = to.join(entry.file_name());
+        let kind = entry.file_type().map_err(|e| format!("stat {}: {e}", src.display()))?;
+        if kind.is_dir() {
+            copy_tree(&src, &dst)?;
+        } else {
+            std::fs::copy(&src, &dst).map_err(|e| format!("copy {}: {e}", src.display()))?;
+        }
+    }
+    Ok(())
+}
+
+/// Flips one seed-derived bit of `path` in place (media rot).
+fn rot_file(path: &Path, seed: u64) -> Result<(), String> {
+    let mut raw = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    if raw.is_empty() {
+        return Err(format!("{} is empty, nothing to rot", path.display()));
+    }
+    let at = (seed as usize) % raw.len();
+    raw[at] ^= 1 << ((seed >> 17) % 8);
+    std::fs::write(path, &raw).map_err(|e| format!("rot {}: {e}", path.display()))
+}
+
+fn builder(
+    cfg: &StorageFaultConfig,
+    metrics: &Arc<Metrics>,
+    storage: Arc<dyn StorageBackend>,
+    retain: Option<usize>,
+) -> RuntimeBuilder {
+    let mut rc = RuntimeConfig::new(cfg.k, Rect::square(0, 0, side()));
+    rc.checkpoint_every = 2;
+    rc.retain_checkpoints = retain;
+    RuntimeBuilder::new(rc)
+        .clock(Arc::new(ManualClock::new()))
+        .metrics(Arc::clone(metrics))
+        .storage(storage)
+}
+
+/// Audits a recovered state with the full oracle stack: structural
+/// verification plus the PRE-enumerating attacker over the committed
+/// population. Self-healing must never buy durability back at the cost
+/// of an anonymity breach.
+fn attacker_audit(rt: &ServiceRuntime, k: usize) -> Result<(), String> {
+    verify_policy_aware(rt.committed_policy(), rt.db(), k)
+        .map_err(|v| format!("recovered policy: {} verify violations", v.len()))?;
+    let breaches = audit_policy(rt.committed_policy(), rt.db(), k);
+    if !breaches.is_empty() {
+        return Err(format!("attacker breached {} cloaks on the recovered policy", breaches.len()));
+    }
+    Ok(())
+}
+
+/// Per-phase tallies folded into the final report.
+#[derive(Debug, Default)]
+struct Tally {
+    restarts: usize,
+    loud: usize,
+    sheds: usize,
+    audits: usize,
+}
+
+/// A life is abandoned for a cleaner storage after this many failures,
+/// and the whole point fails loudly after `MAX_LIVES`.
+const CLEAN_AFTER: usize = 3;
+const MAX_LIVES: usize = 12;
+
+/// The storage a given life of a fault point runs under. Life 0 carries
+/// the point's own plan (every seventh point forces a tight ENOSPC
+/// budget so the shed rung is guaranteed coverage); later lives draw
+/// fresh seeded plans; from [`CLEAN_AFTER`] on, the disk is repaired.
+fn life_storage(point: usize, point_seed: u64, life: usize) -> Arc<dyn StorageBackend> {
+    if life >= CLEAN_AFTER {
+        real_fs()
+    } else if life == 0 && point % 7 == 3 {
+        Arc::new(FaultFs::new(DiskFaultPlan::new().capacity_bytes(2_048 + point_seed % 4_096)))
+    } else {
+        Arc::new(FaultFs::new(DiskFaultPlan::seeded(derive_seed(point_seed, life as u64))))
+    }
+}
+
+/// One phase-1 point: replay the reference churn under a seeded fault
+/// plan, crash-restart-continue on every storage failure, and prove
+/// every recovery (and the final state) bit-identical to the reference.
+#[allow(clippy::too_many_arguments)]
+fn run_fault_point(
+    scratch: &Path,
+    cfg: &StorageFaultConfig,
+    metrics: &Arc<Metrics>,
+    db0: &LocationDb,
+    batches: &[Vec<UserUpdate>],
+    per_seq: &[bytes::Bytes],
+    point: usize,
+    tally: &mut Tally,
+) -> Result<(), String> {
+    let point_seed = derive_seed(cfg.seed, 0xA000 + point as u64);
+    let dir = scratch.join(format!("fault-{point:03}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Even points run bounded retention so GC and WAL pruning happen
+    // mid-sweep; odd points keep every generation.
+    let retain = if point.is_multiple_of(2) { Some(2) } else { None };
+
+    let mut created = false;
+    let mut next_round = 0usize;
+    let mut lives = 0usize;
+    let result = 'point: loop {
+        if lives > MAX_LIVES {
+            break Err(format!(
+                "no progress after {lives} lives (stuck at round {next_round}/{})",
+                batches.len()
+            ));
+        }
+        let storage = life_storage(point, point_seed, lives);
+        let mut rt = if !created {
+            match builder(cfg, metrics, Arc::clone(&storage), retain).create(&dir, db0) {
+                Ok(rt) => {
+                    created = true;
+                    rt
+                }
+                // A prior life crashed after durable state landed; the
+                // next iteration recovers instead of re-creating.
+                Err(RuntimeError::AlreadyInitialized(_)) => {
+                    created = true;
+                    lives += 1;
+                    continue 'point;
+                }
+                Err(RuntimeError::StorageExhausted { .. }) => {
+                    tally.sheds += 1;
+                    lives += 1;
+                    continue 'point;
+                }
+                Err(_) => {
+                    tally.loud += 1;
+                    lives += 1;
+                    continue 'point;
+                }
+            }
+        } else {
+            tally.restarts += 1;
+            match builder(cfg, metrics, Arc::clone(&storage), retain).recover(&dir) {
+                Ok((rt, _report)) => {
+                    let durable = rt.durable_seq() as usize;
+                    let Some(expected) = per_seq.get(durable) else {
+                        break Err(format!(
+                            "life {lives}: recovered durable seq {durable} past the reference"
+                        ));
+                    };
+                    if encode_policy(rt.committed_policy()) != *expected {
+                        break Err(format!(
+                            "life {lives}: policy NOT bit-identical at durable seq {durable}"
+                        ));
+                    }
+                    if rt.epoch() != durable as u64 + 1 {
+                        break Err(format!(
+                            "life {lives}: epoch {} != {} at durable seq {durable}",
+                            rt.epoch(),
+                            durable as u64 + 1
+                        ));
+                    }
+                    next_round = durable;
+                    rt
+                }
+                // Recovery through a still-faulty disk may itself fail —
+                // loudly and typed — and the next life tries again.
+                Err(e) => {
+                    if lives >= CLEAN_AFTER {
+                        break Err(format!("life {lives}: clean recovery failed: {e}"));
+                    }
+                    tally.loud += 1;
+                    lives += 1;
+                    continue 'point;
+                }
+            }
+        };
+
+        while next_round < batches.len() {
+            match rt.apply_batch(&batches[next_round]) {
+                Ok(_) => {}
+                Err(RuntimeError::StorageExhausted { op, path }) => {
+                    // The ENOSPC rung: typed, loud, names the artifact;
+                    // the failed append rolled back, so a restart
+                    // resumes from the unchanged durable prefix.
+                    if path.as_os_str().is_empty() {
+                        // lbs-lint: allow(location-taint, reason = "op is a storage operation name from the typed error; no coordinate is in the message")
+                        break 'point Err(format!("shed on {op} without naming a path"));
+                    }
+                    tally.sheds += 1;
+                    lives += 1;
+                    continue 'point;
+                }
+                Err(_) => {
+                    tally.loud += 1;
+                    lives += 1;
+                    continue 'point;
+                }
+            }
+            match rt.commit() {
+                Ok(_) => next_round += 1,
+                Err(RuntimeError::StorageExhausted { .. }) => {
+                    // The commit itself landed in memory; only the
+                    // checkpoint was shed. The service keeps serving.
+                    tally.sheds += 1;
+                    next_round += 1;
+                }
+                Err(_) => {
+                    tally.loud += 1;
+                    lives += 1;
+                    continue 'point;
+                }
+            }
+        }
+
+        let expected = &per_seq[batches.len()];
+        if encode_policy(rt.committed_policy()) != *expected {
+            break Err(format!("final policy NOT bit-identical after {lives} lives"));
+        }
+        if point.is_multiple_of(10) {
+            if let Err(e) = attacker_audit(&rt, cfg.k) {
+                break Err(e);
+            }
+            tally.audits += 1;
+        }
+        break Ok(());
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// One phase-2 point: on-disk rot of real artifacts, exercising
+/// generation fallback, scrub quarantine, loud total-loss failure, WAL
+/// prefix recovery, and GC-retention suffix safety.
+#[allow(clippy::too_many_arguments)]
+fn run_rot_point(
+    scratch: &Path,
+    cfg: &StorageFaultConfig,
+    metrics: &Arc<Metrics>,
+    ref_dir: &Path,
+    gens: &[(u64, PathBuf)],
+    records: &[WalRecord],
+    per_seq: &[bytes::Bytes],
+    point: usize,
+    tally: &mut Tally,
+) -> Result<(), String> {
+    let rot_seed = derive_seed(cfg.seed, 0xB000 + point as u64);
+    let dir = scratch.join(format!("rot-{point:03}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    copy_tree(ref_dir, &dir)?;
+    let full = per_seq.len() - 1;
+    let gen_path = |seq: u64| dir.join(format!("checkpoint-{seq:012}.ckpt"));
+    let newest = gens.last().map(|(s, _)| *s).ok_or("reference has no checkpoints")?;
+    let second = gens
+        .iter()
+        .rev()
+        .nth(1)
+        .map(|(s, _)| *s)
+        .ok_or("reference has fewer than two generations")?;
+
+    let result = (|| -> Result<(), String> {
+        match point % 5 {
+            // A rotten newest generation: recovery falls back to the
+            // next older one and replays the WAL suffix bit-identically.
+            0 => {
+                rot_file(&gen_path(newest), rot_seed)?;
+                let (rt, report) = builder(cfg, metrics, real_fs(), None)
+                    .recover(&dir)
+                    .map_err(|e| format!("fallback recovery failed: {e}"))?;
+                if report.checkpoint_seq != second {
+                    return Err(format!(
+                        "recovered from generation {} instead of falling back to {second}",
+                        report.checkpoint_seq
+                    ));
+                }
+                if encode_policy(rt.committed_policy()) != per_seq[full] {
+                    return Err("fallback recovery NOT bit-identical".into());
+                }
+                if point.is_multiple_of(3) {
+                    attacker_audit(&rt, cfg.k)?;
+                    tally.audits += 1;
+                }
+            }
+            // Scrub quarantines the rotten generation by name; the next
+            // recovery is clean and bit-identical.
+            1 => {
+                rot_file(&gen_path(newest), rot_seed)?;
+                let (mut rt, _) = builder(cfg, metrics, real_fs(), None)
+                    .recover(&dir)
+                    .map_err(|e| format!("pre-scrub recovery failed: {e}"))?;
+                let report = rt.scrub().map_err(|e| format!("scrub failed: {e}"))?;
+                if report.quarantined.len() != 1 {
+                    return Err(format!(
+                        "scrub quarantined {} files, expected exactly the rotten newest",
+                        report.quarantined.len()
+                    ));
+                }
+                let named = report.quarantined[0].to_string_lossy().into_owned();
+                if !named.contains(&format!("{newest:012}")) || !named.ends_with("quarantined") {
+                    return Err(format!("quarantine path {named} does not name the victim"));
+                }
+                if !report.quarantined[0].exists() {
+                    return Err(format!("{named} vanished — forensic bytes must be kept"));
+                }
+                if report.newest_verified_seq != Some(second) {
+                    return Err(format!(
+                        "newest verified generation {:?}, expected {second}",
+                        report.newest_verified_seq
+                    ));
+                }
+                drop(rt);
+                let (rt, report) = builder(cfg, metrics, real_fs(), None)
+                    .recover(&dir)
+                    .map_err(|e| format!("post-scrub recovery failed: {e}"))?;
+                if report.checkpoint_seq != second {
+                    return Err("post-scrub recovery ignored the quarantine".into());
+                }
+                if encode_policy(rt.committed_policy()) != per_seq[full] {
+                    return Err("post-scrub recovery NOT bit-identical".into());
+                }
+                tally.audits += 1;
+                attacker_audit(&rt, cfg.k)?;
+            }
+            // Every generation rotten: recovery must fail loudly and
+            // typed, and scrub must name every victim.
+            2 => {
+                for (seq, _) in gens {
+                    rot_file(&gen_path(*seq), derive_seed(rot_seed, *seq))?;
+                }
+                match builder(cfg, metrics, real_fs(), None).recover(&dir) {
+                    Ok(_) => {
+                        return Err("recovered silently from total checkpoint loss".into());
+                    }
+                    Err(RuntimeError::NoState(path)) => {
+                        tally.loud += 1;
+                        if path != dir {
+                            return Err(format!(
+                                "NoState names {} instead of the damaged directory",
+                                path.display()
+                            ));
+                        }
+                    }
+                    Err(e) => return Err(format!("expected NoState, got: {e}")),
+                }
+                let report = lbs_runtime::scrub_dir(real_fs().as_ref(), &dir)
+                    .map_err(|e| format!("scrub failed: {e}"))?;
+                if report.quarantined.len() != gens.len() {
+                    return Err(format!(
+                        "scrub quarantined {} of {} rotten generations",
+                        report.quarantined.len(),
+                        gens.len()
+                    ));
+                }
+                if report.newest_verified_seq.is_some() {
+                    return Err("scrub verified a generation that was rotten".into());
+                }
+            }
+            // Rot inside a WAL frame (newer checkpoints removed): the
+            // readable prefix recovers bit-identically, nothing more.
+            3 => {
+                let target = 2 + rot_seed % (records.len() as u64 - 2);
+                let start = records[target as usize - 2].end_offset;
+                let end = records[target as usize - 1].end_offset;
+                let at = start + (rot_seed >> 8) % (end - start);
+                let wal_path = dir.join(WAL_FILE);
+                let mut raw =
+                    std::fs::read(&wal_path).map_err(|e| format!("read sliced wal: {e}"))?;
+                raw[at as usize] ^= 0x20;
+                std::fs::write(&wal_path, &raw).map_err(|e| format!("write rotten wal: {e}"))?;
+                for (seq, _) in gens {
+                    if *seq >= target {
+                        std::fs::remove_file(gen_path(*seq))
+                            .map_err(|e| format!("drop future generation: {e}"))?;
+                    }
+                }
+                let scrubbed = lbs_runtime::scrub_dir(real_fs().as_ref(), &dir)
+                    .map_err(|e| format!("scrub failed: {e}"))?;
+                if !scrubbed.wal_tail_torn {
+                    return Err("scrub missed the torn WAL tail".into());
+                }
+                let (rt, _) = builder(cfg, metrics, real_fs(), None)
+                    .recover(&dir)
+                    .map_err(|e| format!("prefix recovery failed: {e}"))?;
+                let durable = rt.durable_seq();
+                if durable != target - 1 {
+                    return Err(format!(
+                        "recovered durable seq {durable}, expected the readable prefix {}",
+                        target - 1
+                    ));
+                }
+                if encode_policy(rt.committed_policy()) != per_seq[durable as usize] {
+                    return Err("prefix recovery NOT bit-identical".into());
+                }
+            }
+            // GC under bounded retention, then rot the newest retained
+            // generation: the WAL suffix for the older retained one must
+            // still be there (GC never prunes a needed segment).
+            _ => {
+                let (mut rt, _) = builder(cfg, metrics, real_fs(), Some(2))
+                    .recover(&dir)
+                    .map_err(|e| format!("pre-GC recovery failed: {e}"))?;
+                let report = rt.gc().map_err(|e| format!("gc failed: {e}"))?;
+                if report.retained != 2 || report.checkpoints_removed.len() != gens.len() - 2 {
+                    return Err(format!(
+                        "gc retained {} and removed {} of {} generations",
+                        report.retained,
+                        report.checkpoints_removed.len(),
+                        gens.len()
+                    ));
+                }
+                if report.wal_records_pruned == 0 {
+                    return Err("gc pruned no WAL records on a multi-generation lineage".into());
+                }
+                drop(rt);
+                rot_file(&gen_path(newest), rot_seed)?;
+                let (rt, report) = builder(cfg, metrics, real_fs(), None)
+                    .recover(&dir)
+                    .map_err(|e| format!("post-GC fallback recovery failed: {e}"))?;
+                if report.checkpoint_seq != second {
+                    return Err(format!(
+                        "post-GC fallback landed on generation {}, expected {second}",
+                        report.checkpoint_seq
+                    ));
+                }
+                if report.replayed == 0 {
+                    return Err("post-GC fallback replayed nothing — suffix was pruned?".into());
+                }
+                if encode_policy(rt.committed_policy()) != per_seq[full] {
+                    return Err("post-GC fallback NOT bit-identical — GC pruned a needed \
+                                segment"
+                        .into());
+                }
+            }
+        }
+        Ok(())
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// Per-shard reference artifacts for phase 3.
+struct ShardRef {
+    wal_raw: Vec<u8>,
+    records: Vec<WalRecord>,
+    gens: Vec<(u64, PathBuf)>,
+    per_seq: Vec<bytes::Bytes>,
+}
+
+/// One phase-3 point: damage confined to one victim shard; survivors
+/// must recover bit-identical to their full reference state.
+#[allow(clippy::too_many_arguments)]
+fn run_shard_point(
+    scratch: &Path,
+    cfg: &StorageFaultConfig,
+    metrics: &Arc<Metrics>,
+    ref_dir: &Path,
+    shard_cfg: lbs_runtime::ShardedConfig,
+    refs: &[ShardRef],
+    point: usize,
+    tally: &mut Tally,
+) -> Result<(), String> {
+    use lbs_runtime::ShardedBuilder;
+
+    let shards = refs.len();
+    let victim = point % shards;
+    let flavor = (point / shards) % 3;
+    let rot_seed = derive_seed(cfg.seed, 0xC000 + point as u64);
+    let dir = scratch.join(format!("shard-fault-{point:03}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    copy_tree(ref_dir, &dir)?;
+    let vdir = dir.join(format!("shard-{victim:03}"));
+    let vref = &refs[victim];
+    let gen_path = |seq: u64| vdir.join(format!("checkpoint-{seq:012}.ckpt"));
+    let newest = vref.gens.last().map(|(s, _)| *s).ok_or("victim has no checkpoints")?;
+
+    // Expected durable prefix of the victim after this point's damage.
+    let mut victim_durable = vref.per_seq.len() as u64 - 1;
+    match flavor {
+        // On-disk rot of the victim's newest generation: fleet recovery
+        // falls back on that shard only and replays to full state.
+        0 => {
+            rot_file(&gen_path(newest), rot_seed)?;
+        }
+        // The victim's storage backend rots every checkpoint read: the
+        // fleet recovery must fail loudly and typed, naming the victim.
+        1 => {
+            let rotten: Arc<dyn StorageBackend> =
+                Arc::new(FaultFs::new(DiskFaultPlan::new().bit_rot("checkpoint-", rot_seed)));
+            match ShardedBuilder::new(shard_cfg)
+                .clock(Arc::new(ManualClock::new()))
+                .metrics(Arc::clone(metrics))
+                .shard_storage(victim, rotten)
+                .recover(&dir)
+            {
+                Ok(_) => {
+                    let _ = std::fs::remove_dir_all(&dir);
+                    return Err("fleet recovered silently through a rotten backend".into());
+                }
+                Err(RuntimeError::NoState(path)) => {
+                    tally.loud += 1;
+                    if !path.to_string_lossy().contains(&format!("shard-{victim:03}")) {
+                        let _ = std::fs::remove_dir_all(&dir);
+                        return Err(format!(
+                            "NoState names {} instead of the victim shard",
+                            path.display()
+                        ));
+                    }
+                }
+                Err(RuntimeError::CorruptCheckpoint { .. }) => tally.loud += 1,
+                Err(e) => {
+                    let _ = std::fs::remove_dir_all(&dir);
+                    return Err(format!("expected a typed corruption error, got: {e}"));
+                }
+            }
+            // The disk itself is clean — a repaired backend recovers.
+        }
+        // Crash-slice the victim's WAL at a record boundary and rot the
+        // newest surviving generation: prefix fallback on the victim,
+        // full isolation on the survivors. A victim whose reference WAL
+        // is too short to slice degrades to the rot-newest scenario.
+        _ if vref.records.len() < 4 => {
+            rot_file(&gen_path(newest), rot_seed)?;
+        }
+        _ => {
+            let target = 2 + rot_seed % (vref.records.len() as u64 - 2);
+            let offset = vref.records[target as usize - 1].end_offset;
+            std::fs::write(vdir.join(WAL_FILE), &vref.wal_raw[..offset as usize])
+                .map_err(|e| format!("slice victim wal: {e}"))?;
+            let mut kept: Vec<u64> = Vec::new();
+            for (seq, _) in &vref.gens {
+                if *seq > target {
+                    std::fs::remove_file(gen_path(*seq))
+                        .map_err(|e| format!("drop future generation: {e}"))?;
+                } else {
+                    kept.push(*seq);
+                }
+            }
+            kept.sort_unstable();
+            if kept.len() >= 2 {
+                rot_file(&gen_path(kept[kept.len() - 1]), rot_seed)?;
+            }
+            victim_durable = target;
+        }
+    }
+
+    let result = (|| -> Result<(), String> {
+        let (recovered, reports) = ShardedBuilder::new(shard_cfg)
+            .clock(Arc::new(ManualClock::new()))
+            .metrics(Arc::clone(metrics))
+            .recover(&dir)
+            .map_err(|e| format!("fleet recovery failed: {e}"))?;
+        tally.restarts += 1;
+        for (shard, sref) in refs.iter().enumerate().take(recovered.shard_count()) {
+            let rt = recovered.shard(shard).ok_or_else(|| format!("shard {shard} not up"))?;
+            let expected_seq =
+                if shard == victim { victim_durable } else { sref.per_seq.len() as u64 - 1 };
+            let expected = sref
+                .per_seq
+                .get(expected_seq as usize)
+                .ok_or_else(|| format!("no reference at shard {shard} seq {expected_seq}"))?;
+            if encode_policy(rt.committed_policy()) != *expected {
+                return Err(format!(
+                    "shard {shard} NOT bit-identical at seq {expected_seq}{}",
+                    if shard == victim { "" } else { " — isolation violated" },
+                ));
+            }
+            if shard == victim {
+                // A torn migration is repaired by a reconciliation
+                // purge: one extra staged record on the purged shard.
+                let purged = recovered.reconciled_purges().get(shard).copied().unwrap_or(0);
+                let allowed = expected_seq + u64::from(purged > 0);
+                if rt.durable_seq() != expected_seq && rt.durable_seq() != allowed {
+                    return Err(format!(
+                        "victim durable seq {} != {expected_seq} ({purged} purged)",
+                        rt.durable_seq()
+                    ));
+                }
+            }
+        }
+        if flavor == 0 {
+            let report = reports.get(victim).ok_or("no victim recovery report")?;
+            if report.checkpoint_seq >= newest {
+                return Err(format!(
+                    "victim recovered from generation {} instead of falling back",
+                    report.checkpoint_seq
+                ));
+            }
+        }
+        if point.is_multiple_of(5) {
+            let rt = recovered.shard(victim).ok_or("victim not up")?;
+            attacker_audit(rt, cfg.k)?;
+            tally.audits += 1;
+        }
+        Ok(())
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// Runs the full storage-fault sweep under `scratch` (a disposable
+/// directory; everything it creates is removed before returning).
+///
+/// # Errors
+/// A message when a *reference* run cannot be built — individual sweep
+/// point violations land in [`StorageFaultReport::failures`] instead.
+pub fn storage_fault_sweep(
+    scratch: &Path,
+    cfg: &StorageFaultConfig,
+) -> Result<StorageFaultReport, String> {
+    use lbs_runtime::{ShardedBuilder, ShardedConfig};
+
+    let metrics = Arc::new(Metrics::new());
+    let mut report = StorageFaultReport {
+        config: *cfg,
+        points: 0,
+        fault_points: 0,
+        rot_points: 0,
+        shard_points: 0,
+        restarts: 0,
+        loud_failures: 0,
+        sheds: 0,
+        attacker_audits: 0,
+        scrubs_run: 0,
+        corrupt_files_quarantined: 0,
+        wal_segments_pruned: 0,
+        enospc_sheds: 0,
+        generation_fallbacks: 0,
+        failures: Vec::new(),
+    };
+    let mut tally = Tally::default();
+
+    // Single-runtime reference: fixes per_seq (committed policy bytes at
+    // every sequence number) and the exact churn batches every phase-1
+    // point replays.
+    let ref_dir = scratch.join("reference");
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let db0 = seeded_db(cfg.seed, cfg.users)?;
+    let mut runtime = builder(cfg, &metrics, real_fs(), None)
+        .create(&ref_dir, &db0)
+        .map_err(|e| format!("create reference: {e}"))?;
+    let mut per_seq = vec![encode_policy(runtime.committed_policy())];
+    let mut batches: Vec<Vec<UserUpdate>> = Vec::new();
+    let mut present: Vec<UserId> = db0.users().collect();
+    let mut next_id = cfg.users as u64;
+    for round in 0..cfg.rounds {
+        let batch = churn_batch(cfg.seed, round, &mut present, &mut next_id);
+        runtime.apply_batch(&batch).map_err(|e| format!("reference apply: {e}"))?;
+        runtime.commit().map_err(|e| format!("reference commit: {e}"))?;
+        per_seq.push(encode_policy(runtime.committed_policy()));
+        batches.push(batch);
+    }
+    drop(runtime);
+    let wal_raw =
+        std::fs::read(ref_dir.join(WAL_FILE)).map_err(|e| format!("read reference wal: {e}"))?;
+    let (records, valid_len) = scan(&wal_raw);
+    if valid_len != wal_raw.len() as u64 || records.len() != cfg.rounds as usize {
+        return Err("reference wal inconsistent".into());
+    }
+    let mut gens =
+        list_checkpoints(&ref_dir).map_err(|e| format!("list reference checkpoints: {e}"))?;
+    gens.sort_by_key(|(seq, _)| *seq);
+    if gens.len() < 3 {
+        return Err(format!("reference produced only {} generations", gens.len()));
+    }
+
+    // Phase 1: seeded fault plans with crash-restart-continue lives.
+    for point in 0..cfg.fault_points {
+        report.points += 1;
+        report.fault_points += 1;
+        if let Err(message) =
+            run_fault_point(scratch, cfg, &metrics, &db0, &batches, &per_seq, point, &mut tally)
+        {
+            let seed = derive_seed(cfg.seed, 0xA000 + point as u64);
+            // lbs-lint: allow(location-taint, reason = "failure messages carry seeds, sequence numbers, and artifact paths — never raw coordinates")
+            report.failures.push(format!("fault point {point} [seed {seed:#x}]: {message}"));
+        }
+    }
+
+    // Phase 2: on-disk rot, scrub quarantine, GC-retention safety.
+    for point in 0..cfg.rot_points {
+        report.points += 1;
+        report.rot_points += 1;
+        if let Err(message) = run_rot_point(
+            scratch, cfg, &metrics, &ref_dir, &gens, &records, &per_seq, point, &mut tally,
+        ) {
+            // lbs-lint: allow(location-taint, reason = "failure messages carry seeds, sequence numbers, and artifact paths — never raw coordinates")
+            report.failures.push(format!("rot point {point}: {message}"));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&ref_dir);
+
+    // Sharded reference for phase 3.
+    let sref_dir = scratch.join("sharded-reference");
+    let _ = std::fs::remove_dir_all(&sref_dir);
+    let sdb0 = seeded_db(derive_seed(cfg.seed, 0xC0DE), cfg.users * 2)?;
+    let mut shard_cfg = ShardedConfig::new(cfg.k, Rect::square(0, 0, side()), cfg.shards);
+    shard_cfg.checkpoint_every = 2;
+    let mut fleet = ShardedBuilder::new(shard_cfg)
+        .clock(Arc::new(ManualClock::new()))
+        .metrics(Arc::clone(&metrics))
+        .create(&sref_dir, &sdb0)
+        .map_err(|e| format!("create sharded reference: {e}"))?;
+    let shards = fleet.shard_count();
+    let mut shard_seqs: Vec<Vec<bytes::Bytes>> = Vec::with_capacity(shards);
+    for i in 0..shards {
+        let shard = fleet.shard(i).ok_or_else(|| format!("shard {i} not up"))?;
+        shard_seqs.push(vec![encode_policy(shard.committed_policy())]);
+    }
+    let mut present: Vec<UserId> = sdb0.users().collect();
+    let mut next_id = cfg.users as u64 * 2;
+    for round in 0..cfg.rounds {
+        let batch = churn_batch(derive_seed(cfg.seed, 0xC0DE), round, &mut present, &mut next_id);
+        fleet.pump(&batch).map_err(|e| format!("sharded round {round}: pump: {e}"))?;
+        fleet.drain().map_err(|e| format!("sharded round {round}: drain: {e}"))?;
+        for (i, seqs) in shard_seqs.iter_mut().enumerate() {
+            let shard = fleet.shard(i).ok_or_else(|| format!("shard {i} not up"))?;
+            let seq = shard.committed_seq() as usize;
+            if seqs.len() == seq {
+                seqs.push(encode_policy(shard.committed_policy()));
+            } else if seqs.len() != seq + 1 {
+                return Err(format!("shard {i} jumped to seq {seq} with {} recorded", seqs.len()));
+            }
+        }
+    }
+    drop(fleet);
+    let mut refs: Vec<ShardRef> = Vec::with_capacity(shards);
+    for (i, per_seq) in shard_seqs.into_iter().enumerate() {
+        let sdir = sref_dir.join(format!("shard-{i:03}"));
+        let wal_raw =
+            std::fs::read(sdir.join(WAL_FILE)).map_err(|e| format!("read shard {i} wal: {e}"))?;
+        let (records, valid_len) = scan(&wal_raw);
+        if valid_len != wal_raw.len() as u64 {
+            return Err(format!("shard {i} reference wal has an invalid tail"));
+        }
+        let mut gens =
+            list_checkpoints(&sdir).map_err(|e| format!("list shard {i} checkpoints: {e}"))?;
+        gens.sort_by_key(|(seq, _)| *seq);
+        refs.push(ShardRef { wal_raw, records, gens, per_seq });
+    }
+
+    // Phase 3: per-shard victims under fleet recovery.
+    for point in 0..cfg.shard_points {
+        report.points += 1;
+        report.shard_points += 1;
+        if let Err(message) =
+            run_shard_point(scratch, cfg, &metrics, &sref_dir, shard_cfg, &refs, point, &mut tally)
+        {
+            // lbs-lint: allow(location-taint, reason = "failure messages carry seeds, sequence numbers, and artifact paths — never raw coordinates")
+            report.failures.push(format!("shard point {point}: {message}"));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&sref_dir);
+
+    report.restarts = tally.restarts;
+    report.loud_failures = tally.loud;
+    report.sheds = tally.sheds;
+    report.attacker_audits = tally.audits;
+    let snapshot = metrics.snapshot();
+    report.scrubs_run = snapshot.counter(Counter::ScrubsRun);
+    report.corrupt_files_quarantined = snapshot.counter(Counter::CorruptFilesQuarantined);
+    report.wal_segments_pruned = snapshot.counter(Counter::WalSegmentsPruned);
+    report.enospc_sheds = snapshot.counter(Counter::EnospcSheds);
+    report.generation_fallbacks = snapshot.counter(Counter::GenerationFallbacks);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lbs-storage-fault-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn default_sweep_covers_two_hundred_points_without_silent_divergence() {
+        let dir = scratch("default");
+        let report = storage_fault_sweep(&dir, &StorageFaultConfig::default()).unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert!(report.points >= 200, "only {} sweep points", report.points);
+        assert!(report.fault_points >= 140, "{report}");
+        assert!(report.rot_points >= 30, "{report}");
+        assert!(report.shard_points >= 30, "{report}");
+        assert!(report.restarts >= 25, "crash-restart loops under-exercised: {report}");
+        assert!(report.loud_failures >= 10, "typed loud failures under-exercised: {report}");
+        assert!(report.sheds >= 3, "ENOSPC shed rung under-exercised: {report}");
+        assert!(report.attacker_audits >= 10, "{report}");
+        // Every self-healing counter must fire somewhere in the sweep.
+        assert!(report.scrubs_run > 0, "{report}");
+        assert!(report.corrupt_files_quarantined > 0, "{report}");
+        assert!(report.wal_segments_pruned > 0, "{report}");
+        assert!(report.enospc_sheds > 0, "{report}");
+        assert!(report.generation_fallbacks > 0, "{report}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tiny_sweep_is_deterministic_across_runs() {
+        let cfg = StorageFaultConfig {
+            fault_points: 6,
+            rot_points: 5,
+            shard_points: 4,
+            ..StorageFaultConfig::default()
+        };
+        let dir_a = scratch("det-a");
+        let dir_b = scratch("det-b");
+        let a = storage_fault_sweep(&dir_a, &cfg).unwrap();
+        let b = storage_fault_sweep(&dir_b, &cfg).unwrap();
+        assert!(a.is_clean(), "{a}");
+        assert_eq!(a.restarts, b.restarts, "restart schedule must be a pure function of seed");
+        assert_eq!(a.loud_failures, b.loud_failures);
+        assert_eq!(a.sheds, b.sheds);
+        assert_eq!(a.generation_fallbacks, b.generation_fallbacks);
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+}

@@ -146,6 +146,22 @@ pub const LINTS: &[LintDef] = &[
         deep: false,
     },
     LintDef {
+        name: "no-raw-fs-in-runtime",
+        severity: Severity::Error,
+        summary: "runtime durability code must go through the StorageBackend seam",
+        doc: "Every byte lbs-runtime persists flows through the `StorageBackend` \
+              trait (`crates/runtime/src/storage.rs`), so the deterministic \
+              fault layer (`FaultFs`) sees every write, fsync, rename, and \
+              read the production path performs. A direct `std::fs`/`File::`/\
+              `OpenOptions` call bypasses the seam: it works in production and \
+              silently escapes every storage-fault sweep, leaving that io \
+              unexercised by crash-restart testing. Route the operation \
+              through the backend handle (`storage.create/read/rename/…`); \
+              storage.rs itself (the seam's one real-fs implementation) and \
+              test code are exempt.",
+        deep: false,
+    },
+    LintDef {
         name: "no-wall-clock-in-bench-cases",
         severity: Severity::Error,
         summary: "bench case bodies read time only through the harness Sampler",

@@ -75,6 +75,9 @@ pub fn applies(lint: &str, crate_name: &str, role: FileRole) -> bool {
         "no-unseeded-rng" => true,
         "no-raw-thread-spawn" => matches!(role, Lib | Bin | Example) && crate_name != "parallel",
         "no-unchecked-io-in-runtime" => role == Lib && crate_name == "runtime",
+        // Path-scoped further by the matcher: storage.rs (the seam's real
+        // filesystem implementation) is exempt.
+        "no-raw-fs-in-runtime" => role == Lib && crate_name == "runtime",
         "no-wall-clock-in-dp" => role == Lib && !matches!(crate_name, "metrics" | "bench"),
         // Path-scoped to the cases module by the matcher itself.
         "no-wall-clock-in-bench-cases" => crate_name == "bench",
@@ -246,6 +249,32 @@ pub fn run_all(info: &FileInfo<'_>, out: &mut Vec<Violation>) {
                     ),
                 );
             }
+        }
+
+        // no-raw-fs-in-runtime: durability code must reach the disk only
+        // through the StorageBackend seam so the deterministic fault
+        // layer sees every io. Fires on `fs::…` paths (covering
+        // `std::fs::…`), `File::…`, and `OpenOptions` — everywhere in
+        // lbs-runtime library code except storage.rs, the seam's one
+        // sanctioned real-filesystem implementation.
+        if t.kind == TokenKind::Ident
+            && !info.path.ends_with("/storage.rs")
+            && (((t.text == "fs" || t.text == "File")
+                && code.get(i + 1).is_some_and(|n| n.is_punct("::")))
+                || t.text == "OpenOptions")
+            && on("no-raw-fs-in-runtime", t.line)
+        {
+            info.push(
+                out,
+                "no-raw-fs-in-runtime",
+                t,
+                format!(
+                    "raw `{}` io in runtime durability code bypasses the StorageBackend \
+                     seam (and every storage-fault sweep with it); route the operation \
+                     through the backend handle instead",
+                    t.text
+                ),
+            );
         }
 
         // no-panic-in-lib: panic-family macros.

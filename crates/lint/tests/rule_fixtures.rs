@@ -148,6 +148,40 @@ fn unchecked_io_in_runtime_fires_on_io_results_in_the_runtime_crate_only() {
 }
 
 #[test]
+fn raw_fs_in_runtime_fires_outside_the_storage_seam_only() {
+    let src = "fn f(p: &std::path::Path) -> std::io::Result<()> {\n    let raw = std::fs::read(p)?;\n    let file = File::create(p)?;\n    let opts = OpenOptions::new();\n    Ok(())\n}\n";
+    let report = lint_source("crates/runtime/src/wal.rs", src);
+    let raw: Vec<u32> = report
+        .violations
+        .iter()
+        .filter(|v| v.lint == "no-raw-fs-in-runtime")
+        .map(|v| v.line)
+        .collect();
+    assert_eq!(raw, [2, 3, 4], "{report:?}");
+    // storage.rs is the seam's sanctioned real-fs implementation.
+    let seam = lint_source("crates/runtime/src/storage.rs", src);
+    assert!(seam.violations.iter().all(|v| v.lint != "no-raw-fs-in-runtime"), "{seam:?}");
+    // Other crates may touch the filesystem directly (the CLI, tests).
+    let other = lint_source("crates/cli/src/commands.rs", src);
+    assert!(other.violations.iter().all(|v| v.lint != "no-raw-fs-in-runtime"), "{other:?}");
+    // Runtime test code tears real files on purpose.
+    let tests = lint_source("crates/runtime/tests/fixture.rs", src);
+    assert!(tests.violations.iter().all(|v| v.lint != "no-raw-fs-in-runtime"), "{tests:?}");
+    // Inline #[cfg(test)] modules inside runtime lib files are exempt too.
+    let inline = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
+    let inline_report = lint_source("crates/runtime/src/wal.rs", &inline);
+    assert!(
+        inline_report.violations.iter().all(|v| v.lint != "no-raw-fs-in-runtime"),
+        "{inline_report:?}"
+    );
+    // An identifier merely *containing* File (the seam's own StorageFile)
+    // never fires.
+    let seam_use = "fn g(s: &dyn StorageBackend) { let h: Box<dyn StorageFile> = s.create(std::path::Path::new(\"x\")).unwrap(); }\n";
+    let report = lint_source("crates/runtime/src/checkpoint.rs", seam_use);
+    assert!(report.violations.iter().all(|v| v.lint != "no-raw-fs-in-runtime"), "{report:?}");
+}
+
+#[test]
 fn float_eq_fires_on_either_side_and_on_negated_literals() {
     let src = "fn f(x: f64) -> bool { x == 1.0 }\nfn g(x: f64) -> bool { 2.5 != x }\nfn h(x: f64) -> bool { x == -0.5 }\nfn i(x: u32) -> bool { x == 1 }\n";
     let report = lint_lib(src);

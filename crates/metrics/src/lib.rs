@@ -98,11 +98,26 @@ pub enum Counter {
     /// User updates (moves/inserts/deletes) applied through batched
     /// commits — the numerator of per-move commit cost.
     BatchedMoves,
+    /// Scrub passes completed (CRC re-verification of every checkpoint
+    /// generation plus the WAL prefix).
+    ScrubsRun,
+    /// Corrupt checkpoint files the scrub pass renamed out of the
+    /// recovery namespace (`*.quarantined`).
+    CorruptFilesQuarantined,
+    /// WAL records pruned by retention GC — always strictly older than
+    /// the newest verified checkpoint.
+    WalSegmentsPruned,
+    /// Writes shed with a typed `StorageExhausted` after ENOSPC survived
+    /// the emergency-GC rung of the degradation ladder.
+    EnospcSheds,
+    /// Recoveries (or loads) that skipped a corrupt newer checkpoint
+    /// generation and fell back to an older clean one.
+    GenerationFallbacks,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 26] = [
+    pub const ALL: [Counter; 31] = [
         Counter::TasksInjected,
         Counter::TasksExecuted,
         Counter::TasksStolen,
@@ -129,6 +144,11 @@ impl Counter {
         Counter::DirtySubtrees,
         Counter::SubtreeCacheHits,
         Counter::BatchedMoves,
+        Counter::ScrubsRun,
+        Counter::CorruptFilesQuarantined,
+        Counter::WalSegmentsPruned,
+        Counter::EnospcSheds,
+        Counter::GenerationFallbacks,
     ];
 
     /// Stable snake_case name used in [`MetricsSnapshot`] keys.
@@ -160,6 +180,11 @@ impl Counter {
             Counter::DirtySubtrees => "dirty_subtrees",
             Counter::SubtreeCacheHits => "subtree_cache_hits",
             Counter::BatchedMoves => "batched_moves",
+            Counter::ScrubsRun => "scrubs_run",
+            Counter::CorruptFilesQuarantined => "corrupt_files_quarantined",
+            Counter::WalSegmentsPruned => "wal_segments_pruned",
+            Counter::EnospcSheds => "enospc_sheds",
+            Counter::GenerationFallbacks => "generation_fallbacks",
         }
     }
 

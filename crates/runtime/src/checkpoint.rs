@@ -10,22 +10,31 @@
 //! its own database.
 //!
 //! Files are written atomically (temp file + fsync + rename) and never
-//! modified afterwards; old checkpoints are kept, so a corrupt latest
-//! checkpoint degrades recovery to an older one plus a longer WAL replay,
-//! never to data loss (the WAL is never pruned).
+//! modified afterwards. A corrupt generation degrades recovery to an
+//! older one plus a longer WAL replay; the scrub pass quarantines files
+//! that fail their CRC (renamed to `*.quarantined`, invisible to
+//! listing), and retention GC prunes generations strictly older than the
+//! newest *verified* checkpoint plus the WAL records it no longer needs
+//! (DESIGN.md §14). All I/O flows through a [`StorageBackend`] so the
+//! disk-fault sweeps can exercise every failure mode deterministically.
 
 use crate::error::{io_err, RuntimeError};
+use crate::storage::{real_fs, StorageBackend};
 use crate::wal::crc32;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use lbs_geom::Rect;
 use lbs_model::{
     decode_policy, decode_snapshot, encode_policy, encode_snapshot, BulkPolicy, LocationDb,
 };
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 const MAGIC: u32 = 0x4C42_5343; // "LBSC"
 const VERSION: u32 = 1;
+
+/// Extension appended to files the scrub pass quarantines; quarantined
+/// files no longer match the checkpoint name shape, so every listing and
+/// recovery path ignores them while the bytes stay on disk for forensics.
+pub const QUARANTINE_SUFFIX: &str = "quarantined";
 
 /// Committed runtime state as of one WAL sequence number.
 #[derive(Debug, Clone)]
@@ -126,10 +135,23 @@ pub fn decode_checkpoint(raw: &[u8], path: &Path) -> Result<Checkpoint, RuntimeE
     Ok(Checkpoint { epoch, wal_seq, k, map, db, policy })
 }
 
-/// Writes a checkpoint atomically: temp file, fsync, rename. When `torn`
-/// is set (fault injection), only a prefix of the bytes is written and
-/// the temp file is left behind *without* renaming — exactly the on-disk
-/// state of a crash mid-checkpoint.
+/// Cheap structural verification: minimum length, trailing CRC over the
+/// body, magic, and version — everything scrub and GC need to classify a
+/// generation as clean without paying for a full snapshot decode.
+pub fn verify_checkpoint_bytes(raw: &[u8]) -> bool {
+    if raw.len() < 64 + 4 {
+        return false;
+    }
+    let (body, tail) = raw.split_at(raw.len() - 4);
+    if crc32(body) != u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]) {
+        return false;
+    }
+    u32::from_le_bytes([body[0], body[1], body[2], body[3]]) == MAGIC
+        && u32::from_le_bytes([body[4], body[5], body[6], body[7]]) == VERSION
+}
+
+/// Writes a checkpoint atomically on the real filesystem. See
+/// [`write_checkpoint_via`].
 ///
 /// # Errors
 /// [`RuntimeError::Io`] on filesystem failure;
@@ -139,37 +161,65 @@ pub fn write_checkpoint(
     ckpt: &Checkpoint,
     torn: bool,
 ) -> Result<PathBuf, RuntimeError> {
+    write_checkpoint_via(real_fs().as_ref(), dir, ckpt, torn)
+}
+
+/// Writes a checkpoint atomically through `storage`: temp file, fsync,
+/// rename. When `torn` is set (fault injection), only a prefix of the
+/// bytes is written and the temp file is left behind *without* renaming —
+/// exactly the on-disk state of a crash mid-checkpoint.
+///
+/// # Errors
+/// [`RuntimeError::Io`] on storage failure (injected disk faults
+/// included); [`RuntimeError::FaultInjected`] when `torn` fired.
+pub fn write_checkpoint_via(
+    storage: &dyn StorageBackend,
+    dir: &Path,
+    ckpt: &Checkpoint,
+    torn: bool,
+) -> Result<PathBuf, RuntimeError> {
     let bytes = encode_checkpoint(ckpt);
     let final_path = checkpoint_path(dir, ckpt.wal_seq);
     let tmp_path = final_path.with_extension("ckpt.tmp");
-    let mut file = std::fs::File::create(&tmp_path).map_err(|e| io_err("create", &tmp_path, e))?;
+    let mut file = storage.create(&tmp_path).map_err(|e| io_err("create", &tmp_path, e))?;
     if torn {
         let cut = bytes.len() / 2;
         file.write_all(&bytes[..cut]).map_err(|e| io_err("write", &tmp_path, e))?;
-        let _ = file.sync_data();
+        let _ = file.sync();
         return Err(RuntimeError::FaultInjected(format!(
             "crash mid-checkpoint at seq {}",
             ckpt.wal_seq
         )));
     }
     file.write_all(&bytes).map_err(|e| io_err("write", &tmp_path, e))?;
-    file.sync_data().map_err(|e| io_err("sync", &tmp_path, e))?;
+    file.sync().map_err(|e| io_err("sync", &tmp_path, e))?;
     drop(file);
-    std::fs::rename(&tmp_path, &final_path).map_err(|e| io_err("rename", &tmp_path, e))?;
+    storage.rename(&tmp_path, &final_path).map_err(|e| io_err("rename", &tmp_path, e))?;
     Ok(final_path)
 }
 
-/// Lists checkpoint files in `dir`, newest (highest seq) first. Temp
-/// files from torn writes are ignored.
+/// Lists checkpoint files in `dir` on the real filesystem, newest
+/// (highest seq) first. See [`list_checkpoints_via`].
 ///
 /// # Errors
 /// [`RuntimeError::Io`] when the directory cannot be read.
 pub fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>, RuntimeError> {
-    let entries = std::fs::read_dir(dir).map_err(|e| io_err("read_dir", dir, e))?;
+    list_checkpoints_via(real_fs().as_ref(), dir)
+}
+
+/// Lists checkpoint files in `dir` through `storage`, newest (highest
+/// seq) first. Temp files from torn writes and quarantined files are
+/// ignored — neither matches the `checkpoint-<seq>.ckpt` shape.
+///
+/// # Errors
+/// [`RuntimeError::Io`] when the directory cannot be read.
+pub fn list_checkpoints_via(
+    storage: &dyn StorageBackend,
+    dir: &Path,
+) -> Result<Vec<(u64, PathBuf)>, RuntimeError> {
+    let entries = storage.list(dir).map_err(|e| io_err("read_dir", dir, e))?;
     let mut found = Vec::new();
-    for entry in entries {
-        let entry = entry.map_err(|e| io_err("read_dir", dir, e))?;
-        let path = entry.path();
+    for path in entries {
         if let Some(seq) = seq_of(&path) {
             found.push((seq, path));
         }
@@ -178,22 +228,64 @@ pub fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>, RuntimeError>
     Ok(found)
 }
 
-/// Loads the newest structurally valid checkpoint, skipping corrupt ones
-/// (a skipped checkpoint only means a longer WAL replay — the log is
-/// never pruned). Returns `None` when no valid checkpoint exists.
+/// Renames `path` out of the checkpoint namespace (appending
+/// `.quarantined`) so recovery and GC never consider it again, while the
+/// corrupt bytes stay on disk for forensics. Returns the new path.
+///
+/// # Errors
+/// [`RuntimeError::Io`] when the rename fails.
+pub fn quarantine(storage: &dyn StorageBackend, path: &Path) -> Result<PathBuf, RuntimeError> {
+    let mut name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    name.push('.');
+    name.push_str(QUARANTINE_SUFFIX);
+    let target = path.with_file_name(name);
+    storage.rename(path, &target).map_err(|e| io_err("quarantine", path, e))?;
+    Ok(target)
+}
+
+/// What [`load_latest_via`] found: the newest structurally valid
+/// checkpoint (if any) and the newer generations it had to skip because
+/// they failed validation — each skip is a generation fallback the
+/// caller should surface in metrics.
+#[derive(Debug)]
+pub struct LoadOutcome {
+    /// The newest checkpoint that decoded cleanly.
+    pub checkpoint: Option<Checkpoint>,
+    /// Corrupt (unreadable or CRC-failing) checkpoint files skipped on
+    /// the way down, newest first.
+    pub skipped: Vec<PathBuf>,
+}
+
+/// Loads the newest structurally valid checkpoint on the real
+/// filesystem. See [`load_latest_via`].
 ///
 /// # Errors
 /// [`RuntimeError::Io`] on directory or file read failure.
 pub fn load_latest(dir: &Path) -> Result<Option<Checkpoint>, RuntimeError> {
-    for (_, path) in list_checkpoints(dir)? {
-        let raw = std::fs::read(&path).map_err(|e| io_err("read", &path, e))?;
+    Ok(load_latest_via(real_fs().as_ref(), dir)?.checkpoint)
+}
+
+/// Loads the newest structurally valid checkpoint through `storage`,
+/// skipping corrupt ones (a skipped generation only means a longer WAL
+/// replay — retention GC never prunes records a retained generation
+/// still needs). Returns the checkpoint plus the skipped corrupt paths.
+///
+/// # Errors
+/// [`RuntimeError::Io`] on directory or file read failure.
+pub fn load_latest_via(
+    storage: &dyn StorageBackend,
+    dir: &Path,
+) -> Result<LoadOutcome, RuntimeError> {
+    let mut skipped = Vec::new();
+    for (_, path) in list_checkpoints_via(storage, dir)? {
+        let raw = storage.read(&path).map_err(|e| io_err("read", &path, e))?;
         match decode_checkpoint(&raw, &path) {
-            Ok(ckpt) => return Ok(Some(ckpt)),
-            Err(RuntimeError::CorruptCheckpoint { .. }) => continue,
+            Ok(ckpt) => return Ok(LoadOutcome { checkpoint: Some(ckpt), skipped }),
+            Err(RuntimeError::CorruptCheckpoint { .. }) => skipped.push(path),
             Err(other) => return Err(other),
         }
     }
-    Ok(None)
+    Ok(LoadOutcome { checkpoint: None, skipped })
 }
 
 #[cfg(test)]
@@ -270,6 +362,10 @@ mod tests {
 
         let loaded = load_latest(&dir).unwrap().unwrap();
         assert_eq!(loaded.wal_seq, 3, "fell back past the corrupt newest checkpoint");
+        // The via-variant names the generation it skipped.
+        let outcome = load_latest_via(real_fs().as_ref(), &dir).unwrap();
+        assert_eq!(outcome.checkpoint.as_ref().unwrap().wal_seq, 3);
+        assert_eq!(outcome.skipped, vec![newest]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -277,6 +373,21 @@ mod tests {
     fn empty_dir_has_no_state() {
         let dir = tmp_dir("empty");
         assert!(load_latest(&dir).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantined_files_vanish_from_listing_and_recovery() {
+        let dir = tmp_dir("quarantine");
+        write_checkpoint(&dir, &sample(2), false).unwrap();
+        write_checkpoint(&dir, &sample(5), false).unwrap();
+        let fs = real_fs();
+        let target = quarantine(fs.as_ref(), &checkpoint_path(&dir, 5)).unwrap();
+        assert!(target.to_string_lossy().ends_with(".ckpt.quarantined"));
+        assert!(target.exists(), "quarantine keeps the bytes for forensics");
+        let listed = list_checkpoints(&dir).unwrap();
+        assert_eq!(listed.iter().map(|&(s, _)| s).collect::<Vec<_>>(), [2]);
+        assert_eq!(load_latest(&dir).unwrap().unwrap().wal_seq, 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -70,6 +70,16 @@ pub enum RuntimeError {
         /// The crashed shard.
         shard: usize,
     },
+    /// Bottom rung of the ENOSPC ladder: the disk ran out of space, an
+    /// emergency retention GC could not free enough, and the write was
+    /// shed. Durable state is unchanged (the partial frame was rolled
+    /// back) — never a panic, never a silent drop.
+    StorageExhausted {
+        /// What was being attempted (`"append"`, `"checkpoint"`, …).
+        op: &'static str,
+        /// The file that could not be written.
+        path: PathBuf,
+    },
 }
 
 impl RuntimeError {
@@ -82,6 +92,17 @@ impl RuntimeError {
             RuntimeError::FaultInjected(_)
                 | RuntimeError::Core(CoreError::WorkerPanic(_))
                 | RuntimeError::Core(CoreError::StaleMatrix(_))
+        )
+    }
+
+    /// Whether this is an out-of-space I/O failure — the trigger for the
+    /// ENOSPC ladder (emergency GC, then shed as
+    /// [`StorageExhausted`](RuntimeError::StorageExhausted)).
+    pub fn is_storage_full(&self) -> bool {
+        matches!(
+            self,
+            RuntimeError::Io { message, .. }
+                if message.contains("ENOSPC") || message.contains("No space left")
         )
     }
 }
@@ -122,6 +143,13 @@ impl std::fmt::Display for RuntimeError {
             }
             RuntimeError::ShardDown { shard } => {
                 write!(f, "shard {shard} is down; recover it before routing to it")
+            }
+            RuntimeError::StorageExhausted { op, path } => {
+                write!(
+                    f,
+                    "storage exhausted: {op} on {} shed after emergency GC freed too little",
+                    path.display()
+                )
             }
         }
     }

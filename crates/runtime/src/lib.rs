@@ -29,12 +29,15 @@ mod degrade;
 mod error;
 mod router;
 mod runtime;
+mod scrub;
 mod shard;
+mod storage;
 mod wal;
 
 pub use checkpoint::{
-    checkpoint_path, decode_checkpoint, encode_checkpoint, list_checkpoints, load_latest,
-    write_checkpoint, Checkpoint,
+    checkpoint_path, decode_checkpoint, encode_checkpoint, list_checkpoints, list_checkpoints_via,
+    load_latest, load_latest_via, quarantine, verify_checkpoint_bytes, write_checkpoint,
+    write_checkpoint_via, Checkpoint, LoadOutcome, QUARANTINE_SUFFIX,
 };
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use degrade::{ancestor_chain, degraded_policy, DegradedPolicy, Rung};
@@ -46,8 +49,15 @@ pub use router::{
 pub use runtime::{
     backoff_delay, RecoveryReport, RuntimeBuilder, RuntimeConfig, ServedRequest, ServiceRuntime,
 };
+pub use scrub::{scrub_dir, GcReport, ScrubReport};
 pub use shard::{IngestReport, PumpReport, ShardedBuilder, ShardedConfig, ShardedRuntime};
-pub use wal::{crc32, encode_frame, scan, Wal, WalRecord, MAX_RECORD_BYTES, WAL_FILE};
+pub use storage::{
+    is_crash_point, is_storage_full, real_fs, DiskFaultPlan, FaultFs, RealFs, StorageBackend,
+    StorageFile, CRASH_POINT_MARKER,
+};
+pub use wal::{
+    crc32, encode_frame, scan, Wal, WalRecord, MAX_RECORD_BYTES, WAL_FILE, WAL_HEADER_LEN,
+};
 
 #[cfg(test)]
 mod tests {
@@ -448,6 +458,180 @@ mod tests {
         rt.commit().unwrap();
         let after = rt.serve(UserId(0), params, None).unwrap();
         assert!(!after.answer.unwrap().cache_hit, "stale cross-epoch answer served");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bounded_retention_keeps_the_lineage_flat_and_recovery_identical() {
+        let dir = tmp_dir("retention");
+        let db0 = seed_db(61, 48);
+        let k = 3;
+        let mut cfg = RuntimeConfig::new(k, Rect::square(0, 0, SIDE));
+        cfg.checkpoint_every = 1;
+        cfg.retain_checkpoints = Some(2);
+        let metrics = Arc::new(Metrics::new());
+        let mut rt = RuntimeBuilder::new(cfg)
+            .clock(Arc::new(ManualClock::new()))
+            .metrics(Arc::clone(&metrics))
+            .create(&dir, &db0)
+            .unwrap();
+        for batch in batches(61, &db0, 6) {
+            rt.apply_batch(&batch).unwrap();
+            rt.commit().unwrap();
+        }
+        // GC after every checkpoint keeps at most 2 generations on disk
+        // and prunes WAL records no retained generation needs.
+        let listed = list_checkpoints(&dir).unwrap();
+        assert!(listed.len() <= 2, "retention must bound the lineage, found {}", listed.len());
+        assert!(metrics.get(Counter::WalSegmentsPruned) > 0, "WAL must have been pruned");
+        let expected = encode_policy(rt.committed_policy());
+        let expected_epoch = rt.epoch();
+        drop(rt);
+        let (recovered, _) =
+            RuntimeBuilder::new(cfg).clock(Arc::new(ManualClock::new())).recover(&dir).unwrap();
+        assert_eq!(encode_policy(recovered.committed_policy()), expected);
+        assert_eq!(recovered.epoch(), expected_epoch);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_falls_back_over_a_rotten_newest_generation() {
+        let dir = tmp_dir("fallback");
+        let db0 = seed_db(67, 45);
+        let k = 3;
+        let mut cfg = RuntimeConfig::new(k, Rect::square(0, 0, SIDE));
+        cfg.checkpoint_every = 1;
+        let expected = {
+            let mut rt = RuntimeBuilder::new(cfg)
+                .clock(Arc::new(ManualClock::new()))
+                .create(&dir, &db0)
+                .unwrap();
+            for batch in batches(67, &db0, 3) {
+                rt.apply_batch(&batch).unwrap();
+                rt.commit().unwrap();
+            }
+            encode_policy(rt.committed_policy())
+        };
+        // Rot the newest generation on disk; its replay suffix is still in
+        // the WAL, so falling back to the previous generation must land on
+        // byte-identical state.
+        let newest = checkpoint_path(&dir, 3);
+        let mut raw = std::fs::read(&newest).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x10;
+        std::fs::write(&newest, raw).unwrap();
+        let metrics = Arc::new(Metrics::new());
+        let (recovered, report) = RuntimeBuilder::new(cfg)
+            .clock(Arc::new(ManualClock::new()))
+            .metrics(Arc::clone(&metrics))
+            .recover(&dir)
+            .unwrap();
+        assert_eq!(report.checkpoint_seq, 2, "fell back one generation");
+        assert_eq!(report.replayed, 1, "the skipped generation's suffix replays from the WAL");
+        assert_eq!(metrics.get(Counter::GenerationFallbacks), 1);
+        assert_eq!(encode_policy(recovered.committed_policy()), expected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scrub_quarantines_and_counts_through_the_runtime() {
+        let dir = tmp_dir("scrub-rt");
+        let db0 = seed_db(71, 40);
+        let mut cfg = RuntimeConfig::new(3, Rect::square(0, 0, SIDE));
+        cfg.checkpoint_every = 1;
+        let metrics = Arc::new(Metrics::new());
+        let mut rt = RuntimeBuilder::new(cfg)
+            .clock(Arc::new(ManualClock::new()))
+            .metrics(Arc::clone(&metrics))
+            .create(&dir, &db0)
+            .unwrap();
+        for batch in batches(71, &db0, 2) {
+            rt.apply_batch(&batch).unwrap();
+            rt.commit().unwrap();
+        }
+        // Rot generation 1 (not the newest), then scrub in-process.
+        let victim = checkpoint_path(&dir, 1);
+        let mut raw = std::fs::read(&victim).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x04;
+        std::fs::write(&victim, raw).unwrap();
+        let report = rt.scrub().unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.newest_verified_seq, Some(2));
+        assert_eq!(metrics.get(Counter::ScrubsRun), 1);
+        assert_eq!(metrics.get(Counter::CorruptFilesQuarantined), 1);
+        assert!(!victim.exists());
+        assert!(victim.with_extension("ckpt.quarantined").exists(), "bytes kept for forensics");
+        // The runtime keeps serving and the healed lineage recovers clean.
+        let expected = encode_policy(rt.committed_policy());
+        drop(rt);
+        let (recovered, _) =
+            RuntimeBuilder::new(cfg).clock(Arc::new(ManualClock::new())).recover(&dir).unwrap();
+        assert_eq!(encode_policy(recovered.committed_policy()), expected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enospc_ladder_frees_space_via_gc_then_sheds_typed() {
+        let dir = tmp_dir("enospc-ladder");
+        let db0 = seed_db(73, 40);
+        let k = 3;
+        // Phase 1: unbounded retention builds up a prunable lineage.
+        let mut cfg = RuntimeConfig::new(k, Rect::square(0, 0, SIDE));
+        cfg.checkpoint_every = 1;
+        let all = batches(73, &db0, 40);
+        let mut rt = RuntimeBuilder::new(cfg)
+            .clock(Arc::new(ManualClock::new()))
+            .create(&dir, &db0)
+            .unwrap();
+        for batch in &all[..4] {
+            rt.apply_batch(batch).unwrap();
+            rt.commit().unwrap();
+        }
+        drop(rt);
+        assert!(list_checkpoints(&dir).unwrap().len() >= 4, "phase 1 left a deep lineage");
+
+        // Phase 2: reopen with bounded retention on a disk with a small
+        // write budget. The first ENOSPC triggers the emergency GC, which
+        // removes the old generations and prunes the WAL — the retry then
+        // lands. Once nothing is left to free, the ladder sheds with a
+        // typed error instead of panicking or silently dropping.
+        let mut cfg2 = cfg;
+        cfg2.checkpoint_every = 0;
+        cfg2.retain_checkpoints = Some(1);
+        let metrics = Arc::new(Metrics::new());
+        let fault_fs = FaultFs::new(DiskFaultPlan::new().capacity_bytes(2_048));
+        let (mut rt, _) = RuntimeBuilder::new(cfg2)
+            .clock(Arc::new(ManualClock::new()))
+            .metrics(Arc::clone(&metrics))
+            .storage(Arc::new(fault_fs))
+            .recover(&dir)
+            .unwrap();
+        let mut last_ok = 4u64;
+        let mut shed = false;
+        for batch in &all[4..] {
+            match rt.apply_batch(batch) {
+                Ok(seq) => last_ok = seq,
+                Err(RuntimeError::StorageExhausted { op, .. }) => {
+                    assert_eq!(op, "append");
+                    shed = true;
+                    break;
+                }
+                Err(other) => panic!("only a typed shed may surface: {other}"),
+            }
+        }
+        assert!(shed, "the budget must eventually exhaust");
+        assert!(last_ok > 4, "appends landed after the emergency GC freed space");
+        assert!(metrics.get(Counter::WalSegmentsPruned) > 0, "emergency GC pruned the WAL");
+        assert_eq!(metrics.get(Counter::EnospcSheds), 1);
+        assert!(list_checkpoints(&dir).unwrap().len() <= 1, "old generations were removed");
+
+        // Durable state survived every rung: a clean-disk recovery replays
+        // to exactly the last acknowledged sequence.
+        drop(rt);
+        let (recovered, _) =
+            RuntimeBuilder::new(cfg2).clock(Arc::new(ManualClock::new())).recover(&dir).unwrap();
+        assert_eq!(recovered.durable_seq(), last_ok, "acknowledged batches survived");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -218,23 +218,62 @@ impl ShardPlan {
         Ok(ShardPlan { k, map, regions })
     }
 
-    /// Writes the manifest into `dir` as [`MANIFEST_FILE`].
+    /// Writes the manifest into `dir` as [`MANIFEST_FILE`] on the real
+    /// filesystem. See [`ShardPlan::store_via`].
     ///
     /// # Errors
     /// Filesystem failures.
     pub fn store(&self, dir: &Path) -> Result<(), RuntimeError> {
-        let path = dir.join(MANIFEST_FILE);
-        std::fs::write(&path, self.encode()).map_err(|e| io_err("write", &path, e))
+        self.store_via(crate::storage::real_fs().as_ref(), dir)
     }
 
-    /// Reads the manifest back from `dir`.
+    /// Writes the manifest into `dir` atomically through `storage`: temp
+    /// file + fsync + rename, the same publish protocol as checkpoints. A
+    /// crash mid-write leaves either the old manifest or the new one —
+    /// never a torn `shards.plan` that strands the whole fleet.
+    ///
+    /// # Errors
+    /// Storage failures (injected disk faults included).
+    pub fn store_via(
+        &self,
+        storage: &dyn crate::storage::StorageBackend,
+        dir: &Path,
+    ) -> Result<(), RuntimeError> {
+        let path = dir.join(MANIFEST_FILE);
+        let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+        let mut file = storage.create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+        file.write_all(self.encode().as_bytes()).map_err(|e| io_err("write", &tmp, e))?;
+        file.sync().map_err(|e| io_err("sync", &tmp, e))?;
+        drop(file);
+        storage.rename(&tmp, &path).map_err(|e| io_err("rename", &tmp, e))
+    }
+
+    /// Reads the manifest back from `dir` on the real filesystem. See
+    /// [`ShardPlan::load_via`].
     ///
     /// # Errors
     /// A missing directory, unreadable file, or malformed manifest.
     pub fn load(dir: &Path) -> Result<ShardPlan, RuntimeError> {
+        Self::load_via(crate::storage::real_fs().as_ref(), dir)
+    }
+
+    /// Reads the manifest back from `dir` through `storage`.
+    ///
+    /// # Errors
+    /// A missing directory, unreadable file, or malformed manifest — the
+    /// latter as a typed [`RuntimeError::CorruptCheckpoint`] naming the
+    /// manifest, never a partial plan.
+    pub fn load_via(
+        storage: &dyn crate::storage::StorageBackend,
+        dir: &Path,
+    ) -> Result<ShardPlan, RuntimeError> {
         let path = dir.join(MANIFEST_FILE);
-        let raw = std::fs::read_to_string(&path).map_err(|e| io_err("read", &path, e))?;
-        ShardPlan::decode(&raw).map_err(|e| RuntimeError::CorruptCheckpoint {
+        let raw = storage.read(&path).map_err(|e| io_err("read", &path, e))?;
+        let text = String::from_utf8(raw).map_err(|_| RuntimeError::CorruptCheckpoint {
+            path: path.clone(),
+            message: "shard manifest: not valid UTF-8".into(),
+        })?;
+        ShardPlan::decode(&text).map_err(|e| RuntimeError::CorruptCheckpoint {
             path,
             message: format!("shard manifest: {e}"),
         })

@@ -6,6 +6,8 @@ use crate::checkpoint::{self, Checkpoint};
 use crate::clock::{Clock, SystemClock};
 use crate::degrade::{degraded_policy, DegradedPolicy, Rung};
 use crate::error::RuntimeError;
+use crate::scrub::{scrub_dir, GcReport, ScrubReport};
+use crate::storage::{real_fs, StorageBackend};
 use crate::wal::Wal;
 use lbs_core::{CoreError, IncrementalAnonymizer};
 use lbs_geom::{Rect, Region};
@@ -42,6 +44,12 @@ pub struct RuntimeConfig {
     /// ([`lbs_parallel::refresh_parallel`]) with a bit-identical result,
     /// so the knob is pure latency tuning.
     pub refresh_workers: usize,
+    /// Bounded retention: `Some(n)` keeps the newest `n` *verified*
+    /// checkpoint generations, removes older ones, and prunes WAL
+    /// records no retained generation needs
+    /// ([`ServiceRuntime::gc`] runs after every successful checkpoint).
+    /// `None` (the default) never prunes — the legacy unbounded layout.
+    pub retain_checkpoints: Option<usize>,
 }
 
 impl RuntimeConfig {
@@ -56,6 +64,7 @@ impl RuntimeConfig {
             backoff_base: Duration::from_millis(5),
             retry_seed: 0xC10C_4A11,
             refresh_workers: 1,
+            retain_checkpoints: None,
         }
     }
 }
@@ -128,6 +137,48 @@ fn refresh_for_commit(
     Ok(())
 }
 
+/// The body of [`ServiceRuntime::gc`], borrowing fields disjointly so
+/// callers holding a metrics stage span can still run the ENOSPC
+/// ladder's emergency pass.
+fn run_gc(
+    storage: &dyn StorageBackend,
+    dir: &Path,
+    wal: &mut Wal,
+    retain_checkpoints: Option<usize>,
+    metrics: Option<&Metrics>,
+) -> Result<GcReport, RuntimeError> {
+    let Some(retain) = retain_checkpoints else {
+        return Ok(GcReport::default());
+    };
+    let retain = retain.max(1);
+    let mut report = GcReport::default();
+    let mut oldest_retained_seq = None;
+    for (seq, path) in checkpoint::list_checkpoints_via(storage, dir)? {
+        if report.retained < retain {
+            let raw = storage.read(&path).map_err(|e| crate::error::io_err("gc-read", &path, e))?;
+            if checkpoint::verify_checkpoint_bytes(&raw) {
+                report.retained += 1;
+                oldest_retained_seq = Some(seq);
+            }
+            // Corrupt generations inside the window are skipped — never
+            // retained, left for scrub to quarantine.
+        } else {
+            storage.remove(&path).map_err(|e| crate::error::io_err("gc-remove", &path, e))?;
+            report.checkpoints_removed.push(path);
+        }
+    }
+    if let Some(anchor) = oldest_retained_seq {
+        let pruned = wal.prune_to(anchor)?;
+        report.wal_records_pruned = pruned;
+        if pruned > 0 {
+            if let Some(m) = metrics {
+                m.add(Counter::WalSegmentsPruned, pruned);
+            }
+        }
+    }
+    Ok(report)
+}
+
 /// Builder for [`ServiceRuntime`]: clock, fault plan, metrics sink, and
 /// LBS attachment are all optional.
 #[derive(Debug)]
@@ -137,10 +188,12 @@ pub struct RuntimeBuilder {
     faults: FaultPlan,
     metrics: Option<Arc<Metrics>>,
     lbs: Option<CloakedLbs>,
+    storage: Arc<dyn StorageBackend>,
 }
 
 impl RuntimeBuilder {
-    /// A builder with a [`SystemClock`] and no faults/metrics/LBS.
+    /// A builder with a [`SystemClock`], the real filesystem, and no
+    /// faults/metrics/LBS.
     pub fn new(cfg: RuntimeConfig) -> Self {
         RuntimeBuilder {
             cfg,
@@ -148,12 +201,21 @@ impl RuntimeBuilder {
             faults: FaultPlan::new(),
             metrics: None,
             lbs: None,
+            storage: real_fs(),
         }
     }
 
     /// Injects a time source (tests use a `ManualClock`).
     pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
         self.clock = clock;
+        self
+    }
+
+    /// Injects a storage backend. Every durable byte — WAL frames,
+    /// checkpoints, scrub/GC maintenance — flows through it; sweeps pass
+    /// a [`crate::FaultFs`] to inject deterministic disk faults.
+    pub fn storage(mut self, storage: Arc<dyn StorageBackend>) -> Self {
+        self.storage = storage;
         self
     }
 
@@ -184,11 +246,11 @@ impl RuntimeBuilder {
     /// [`RuntimeError::AlreadyInitialized`] when `dir` holds state;
     /// DP/tree/IO errors otherwise.
     pub fn create(self, dir: &Path, db: &LocationDb) -> Result<ServiceRuntime, RuntimeError> {
-        std::fs::create_dir_all(dir).map_err(|e| crate::error::io_err("create_dir", dir, e))?;
-        if checkpoint::load_latest(dir)?.is_some() {
+        self.storage.create_dir_all(dir).map_err(|e| crate::error::io_err("create_dir", dir, e))?;
+        if checkpoint::load_latest_via(self.storage.as_ref(), dir)?.checkpoint.is_some() {
             return Err(RuntimeError::AlreadyInitialized(dir.to_path_buf()));
         }
-        let (wal, records) = Wal::open(dir)?;
+        let (wal, records) = Wal::open_with(Arc::clone(&self.storage), dir)?;
         if !records.is_empty() {
             return Err(RuntimeError::AlreadyInitialized(dir.to_path_buf()));
         }
@@ -201,6 +263,7 @@ impl RuntimeBuilder {
             clock: self.clock,
             faults: self.faults,
             metrics: self.metrics,
+            storage: self.storage,
             wal,
             db: db.clone(),
             inc,
@@ -224,20 +287,40 @@ impl RuntimeBuilder {
     /// Recovers a runtime from `dir`: newest valid checkpoint, then a
     /// replay of every WAL record past it, recomputing only dirty DP rows
     /// per record. `k` and the map come from the checkpoint (the builder
-    /// config's values are overridden).
+    /// config's values are overridden). Corrupt newer generations are
+    /// skipped — counted as
+    /// [`Counter::GenerationFallbacks`] — and recovery proceeds from the
+    /// newest clean one plus a longer WAL replay.
     ///
     /// # Errors
     /// [`RuntimeError::NoState`] when no valid checkpoint exists;
+    /// [`RuntimeError::CorruptCheckpoint`] when the only clean generation
+    /// predates the WAL's pruned base (its replay suffix is gone, so
+    /// silent divergence is impossible to rule out — fail loudly);
     /// DP/IO errors otherwise.
     pub fn recover(self, dir: &Path) -> Result<(ServiceRuntime, RecoveryReport), RuntimeError> {
-        let Some(ckpt) = checkpoint::load_latest(dir)? else {
+        let outcome = checkpoint::load_latest_via(self.storage.as_ref(), dir)?;
+        if let Some(m) = self.metrics.as_deref() {
+            m.add(Counter::GenerationFallbacks, outcome.skipped.len() as u64);
+        }
+        let Some(ckpt) = outcome.checkpoint else {
             return Err(RuntimeError::NoState(dir.to_path_buf()));
         };
         let Checkpoint { epoch, wal_seq, k, map, db, policy } = ckpt;
         let mut cfg = self.cfg;
         cfg.k = k;
         cfg.map = map;
-        let (wal, records) = Wal::open(dir)?;
+        let (wal, records) = Wal::open_with(Arc::clone(&self.storage), dir)?;
+        if wal.base_seq() > wal_seq {
+            return Err(RuntimeError::CorruptCheckpoint {
+                path: checkpoint::checkpoint_path(dir, wal_seq),
+                message: format!(
+                    "checkpoint at seq {wal_seq} predates the pruned WAL base {}; \
+                     its replay suffix is gone",
+                    wal.base_seq()
+                ),
+            });
+        }
         let tree_cfg = TreeConfig::lazy(TreeKind::Binary, map, k);
         let inc = IncrementalAnonymizer::new(&db, tree_cfg, k)?;
         let mut runtime = ServiceRuntime {
@@ -246,6 +329,7 @@ impl RuntimeBuilder {
             clock: self.clock,
             faults: self.faults,
             metrics: self.metrics,
+            storage: self.storage,
             wal,
             db,
             inc,
@@ -302,6 +386,7 @@ pub struct ServiceRuntime {
     clock: Arc<dyn Clock>,
     faults: FaultPlan,
     metrics: Option<Arc<Metrics>>,
+    storage: Arc<dyn StorageBackend>,
     wal: Wal,
     db: LocationDb,
     inc: IncrementalAnonymizer,
@@ -356,7 +441,42 @@ impl ServiceRuntime {
         }
         let span = self.metrics.as_deref().map(|m| m.start(Stage::WalAppend));
         // lbs-lint: allow(location-taint, reason = "the WAL is the crash-recovery log on local disk, inside the anonymizer's trust boundary; frames never leave the host")
-        let seq = self.wal.append(updates)?;
+        let seq = match self.wal.append(updates) {
+            Ok(seq) => seq,
+            // The ENOSPC ladder: emergency retention GC, one retry, then a
+            // typed shed. The failed append rolled its partial frame back,
+            // so durable state is unchanged on every rung.
+            Err(e) if e.is_storage_full() => {
+                let gc = run_gc(
+                    self.storage.as_ref(),
+                    &self.dir,
+                    &mut self.wal,
+                    self.cfg.retain_checkpoints,
+                    self.metrics.as_deref(),
+                );
+                if let Err(ge) = gc {
+                    if !ge.is_storage_full() {
+                        return Err(ge);
+                    }
+                    // The WAL rewrite itself ran out of space; generation
+                    // removals may still have freed enough for the retry.
+                }
+                // lbs-lint: allow(location-taint, reason = "ENOSPC retry of the same WAL append; the WAL is the crash-recovery log on local disk, inside the anonymizer's trust boundary")
+                match self.wal.append(updates) {
+                    Ok(seq) => seq,
+                    Err(e2) if e2.is_storage_full() => {
+                        drop(span);
+                        self.incr(Counter::EnospcSheds);
+                        return Err(RuntimeError::StorageExhausted {
+                            op: "append",
+                            path: self.wal.path().to_path_buf(),
+                        });
+                    }
+                    Err(e2) => return Err(e2),
+                }
+            }
+            Err(e) => return Err(e),
+        };
         drop(span);
         self.incr(Counter::WalAppends);
         self.db.apply_updates(updates)?;
@@ -478,16 +598,22 @@ impl ServiceRuntime {
         };
         let span = self.metrics.as_deref().map(|m| m.start(Stage::Checkpoint));
         let mut attempt: u32 = 0;
+        let mut enospc_retried = false;
         loop {
             let torn = self.faults.should_crash_checkpoint(ckpt.wal_seq, attempt);
             if torn {
                 self.incr(Counter::FaultsInjected);
             }
-            match checkpoint::write_checkpoint(&self.dir, &ckpt, torn) {
+            match checkpoint::write_checkpoint_via(self.storage.as_ref(), &self.dir, &ckpt, torn) {
                 Ok(path) => {
                     drop(span);
                     self.incr(Counter::CheckpointsWritten);
                     self.commits_since_checkpoint = 0;
+                    // Bounded retention: prune generations and WAL records
+                    // the newly published checkpoint makes redundant.
+                    if self.cfg.retain_checkpoints.is_some() {
+                        self.gc()?;
+                    }
                     return Ok(path);
                 }
                 Err(e) if e.is_transient() => {
@@ -506,12 +632,80 @@ impl ServiceRuntime {
                         attempt - 1,
                     ));
                 }
+                // The ENOSPC ladder: one emergency GC (a no-op under
+                // unbounded retention — the operator chose to keep every
+                // generation), one retry, then a typed shed.
+                Err(e) if e.is_storage_full() && !enospc_retried => {
+                    enospc_retried = true;
+                    let gc = run_gc(
+                        self.storage.as_ref(),
+                        &self.dir,
+                        &mut self.wal,
+                        self.cfg.retain_checkpoints,
+                        self.metrics.as_deref(),
+                    );
+                    if let Err(ge) = gc {
+                        if !ge.is_storage_full() {
+                            drop(span);
+                            return Err(ge);
+                        }
+                    }
+                }
+                Err(e) if e.is_storage_full() => {
+                    drop(span);
+                    self.incr(Counter::EnospcSheds);
+                    return Err(RuntimeError::StorageExhausted {
+                        op: "checkpoint",
+                        path: checkpoint::checkpoint_path(&self.dir, ckpt.wal_seq),
+                    });
+                }
                 Err(e) => {
                     drop(span);
                     return Err(e);
                 }
             }
         }
+    }
+
+    /// Re-verifies the CRC of every checkpoint generation through the
+    /// storage backend and quarantines corrupt files (renamed to
+    /// `*.quarantined`, invisible to recovery, bytes kept for
+    /// forensics). The live in-memory state is untouched; the next
+    /// checkpoint re-establishes a clean newest generation.
+    ///
+    /// # Errors
+    /// I/O failures reading or renaming; corruption itself is reported,
+    /// not an error.
+    pub fn scrub(&mut self) -> Result<ScrubReport, RuntimeError> {
+        let report = scrub_dir(self.storage.as_ref(), &self.dir)?;
+        self.incr(Counter::ScrubsRun);
+        if let Some(m) = self.metrics.as_deref() {
+            m.add(Counter::CorruptFilesQuarantined, report.quarantined.len() as u64);
+        }
+        Ok(report)
+    }
+
+    /// Bounded-retention garbage collection: keeps the newest
+    /// `retain_checkpoints` *verified* generations, removes older
+    /// checkpoint files, and prunes WAL records up to the oldest retained
+    /// generation's sequence — so every retained generation keeps its
+    /// full replay suffix and recovery can fall back across all of them.
+    /// A no-op (empty report) under unbounded retention (`None`).
+    ///
+    /// Corrupt generations inside the retention window are skipped, never
+    /// counted as retained, and left for [`scrub`](Self::scrub) to
+    /// quarantine.
+    ///
+    /// # Errors
+    /// I/O failures listing, reading, removing, or rewriting the WAL.
+    pub fn gc(&mut self) -> Result<GcReport, RuntimeError> {
+        run_gc(
+            self.storage.as_ref(),
+            &self.dir,
+            &mut self.wal,
+            self.cfg.retain_checkpoints,
+            self.metrics.as_deref(),
+        )
     }
 
     /// The database as of the committed sequence number. Checkpoints must
@@ -670,5 +864,10 @@ impl ServiceRuntime {
     /// Runtime directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The storage backend every durable byte flows through.
+    pub fn storage(&self) -> &Arc<dyn StorageBackend> {
+        &self.storage
     }
 }

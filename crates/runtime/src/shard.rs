@@ -30,6 +30,8 @@ use crate::clock::Clock;
 use crate::error::RuntimeError;
 use crate::router::{merge_policies, ShardPlan};
 use crate::runtime::{RecoveryReport, RuntimeBuilder, RuntimeConfig, ServiceRuntime};
+use crate::scrub::{GcReport, ScrubReport};
+use crate::storage::{real_fs, StorageBackend};
 use lbs_geom::{Point, Rect, Region};
 use lbs_metrics::{Counter, Metrics};
 use lbs_model::{BulkPolicy, LocationDb, UserId, UserUpdate};
@@ -57,6 +59,10 @@ pub struct ShardedConfig {
     /// Worker threads for each shard's commit-time refresh (see
     /// [`RuntimeConfig::refresh_workers`]); bit-identical at any value.
     pub refresh_workers: usize,
+    /// Per-shard bounded retention (see
+    /// [`RuntimeConfig::retain_checkpoints`]); `None` keeps every
+    /// generation.
+    pub retain_checkpoints: Option<usize>,
 }
 
 impl ShardedConfig {
@@ -75,6 +81,7 @@ impl ShardedConfig {
             admission_limit: 8192,
             checkpoint_every: 4,
             refresh_workers: 1,
+            retain_checkpoints: None,
         }
     }
 
@@ -82,6 +89,7 @@ impl ShardedConfig {
         let mut rc = RuntimeConfig::new(self.k, region);
         rc.checkpoint_every = self.checkpoint_every;
         rc.refresh_workers = self.refresh_workers;
+        rc.retain_checkpoints = self.retain_checkpoints;
         rc
     }
 }
@@ -93,12 +101,22 @@ pub struct ShardedBuilder {
     clock: Option<Arc<dyn Clock>>,
     metrics: Option<Arc<Metrics>>,
     faults: BTreeMap<usize, FaultPlan>,
+    storage: Option<Arc<dyn StorageBackend>>,
+    shard_storage: BTreeMap<usize, Arc<dyn StorageBackend>>,
 }
 
 impl ShardedBuilder {
-    /// A builder with a system clock and no faults or metrics.
+    /// A builder with a system clock, the real filesystem, and no faults
+    /// or metrics.
     pub fn new(cfg: ShardedConfig) -> Self {
-        ShardedBuilder { cfg, clock: None, metrics: None, faults: BTreeMap::new() }
+        ShardedBuilder {
+            cfg,
+            clock: None,
+            metrics: None,
+            faults: BTreeMap::new(),
+            storage: None,
+            shard_storage: BTreeMap::new(),
+        }
     }
 
     /// Injects a shared time source (tests use one `ManualClock` across
@@ -121,6 +139,25 @@ impl ShardedBuilder {
         self
     }
 
+    /// Injects a storage backend shared by the manifest and every shard
+    /// without its own [`shard_storage`](Self::shard_storage) override.
+    pub fn storage(mut self, storage: Arc<dyn StorageBackend>) -> Self {
+        self.storage = Some(storage);
+        self
+    }
+
+    /// Injects a storage backend on one shard only — the storage-fault
+    /// sweeps point a seeded [`crate::FaultFs`] at a single victim shard
+    /// while the rest of the fleet runs clean.
+    pub fn shard_storage(mut self, shard: usize, storage: Arc<dyn StorageBackend>) -> Self {
+        self.shard_storage.insert(shard, storage);
+        self
+    }
+
+    fn fleet_storage(&self) -> Arc<dyn StorageBackend> {
+        self.storage.clone().unwrap_or_else(real_fs)
+    }
+
     fn shard_builder(&self, region: Rect, shard: usize) -> RuntimeBuilder {
         let mut b = RuntimeBuilder::new(self.cfg.runtime_config(region));
         if let Some(clock) = &self.clock {
@@ -131,6 +168,9 @@ impl ShardedBuilder {
         }
         if let Some(faults) = self.faults.get(&shard) {
             b = b.faults(faults.clone());
+        }
+        if let Some(storage) = self.shard_storage.get(&shard).or(self.storage.as_ref()) {
+            b = b.storage(Arc::clone(storage));
         }
         b
     }
@@ -143,8 +183,9 @@ impl ShardedBuilder {
     /// Plan derivation, per-shard bulk DP, or I/O failures.
     pub fn create(self, dir: &Path, db: &LocationDb) -> Result<ShardedRuntime, RuntimeError> {
         let plan = ShardPlan::plan(db, self.cfg.map, self.cfg.k, self.cfg.shards)?;
-        std::fs::create_dir_all(dir).map_err(|e| crate::error::io_err("create_dir", dir, e))?;
-        plan.store(dir)?;
+        let storage = self.fleet_storage();
+        storage.create_dir_all(dir).map_err(|e| crate::error::io_err("create_dir", dir, e))?;
+        plan.store_via(storage.as_ref(), dir)?;
         let mut slots = Vec::with_capacity(plan.len());
         for (i, region) in plan.regions.iter().enumerate() {
             let rows: Vec<(UserId, Point)> =
@@ -180,7 +221,7 @@ impl ShardedBuilder {
         self,
         dir: &Path,
     ) -> Result<(ShardedRuntime, Vec<RecoveryReport>), RuntimeError> {
-        let plan = ShardPlan::load(dir)?;
+        let plan = ShardPlan::load_via(self.fleet_storage().as_ref(), dir)?;
         let mut slots = Vec::with_capacity(plan.len());
         let mut reports = Vec::with_capacity(plan.len());
         for (i, region) in plan.regions.iter().enumerate() {
@@ -689,6 +730,42 @@ impl ShardedRuntime {
         self.merged_policy().cost_exact().unwrap_or(0)
     }
 
+    /// Scrubs every up shard's checkpoint lineage (CRC re-verification
+    /// plus quarantine); down shards are skipped — their directories are
+    /// scrubbed by the recovery path when they come back. Returns one
+    /// report per shard (`None` for down shards).
+    ///
+    /// # Errors
+    /// I/O failures on any shard (corruption itself is reported, not an
+    /// error).
+    pub fn scrub(&mut self) -> Result<Vec<Option<ScrubReport>>, RuntimeError> {
+        let mut reports = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter_mut() {
+            reports.push(match slot.as_mut() {
+                Some(rt) => Some(rt.scrub()?),
+                None => None,
+            });
+        }
+        Ok(reports)
+    }
+
+    /// Runs bounded-retention GC on every up shard (a per-shard no-op
+    /// under unbounded retention). Returns one report per shard (`None`
+    /// for down shards).
+    ///
+    /// # Errors
+    /// I/O failures on any shard.
+    pub fn gc(&mut self) -> Result<Vec<Option<GcReport>>, RuntimeError> {
+        let mut reports = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter_mut() {
+            reports.push(match slot.as_mut() {
+                Some(rt) => Some(rt.gc()?),
+                None => None,
+            });
+        }
+        Ok(reports)
+    }
+
     /// Whether every shard is up.
     pub fn all_up(&self) -> bool {
         self.slots.iter().all(|s| s.is_some())
@@ -926,6 +1003,50 @@ mod tests {
             encode_policy(plain.committed_policy()),
             "1-shard pipeline must be byte-identical to the plain runtime"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The manifest publish protocol (temp + fsync + rename) means a
+    /// crash mid-store leaves either the old manifest or the new one.
+    /// A leftover `.tmp` next to an intact manifest must not confuse
+    /// recovery; a torn manifest *body* must fail loudly and typed,
+    /// naming the manifest — and restoring the intact bytes heals it.
+    #[test]
+    fn torn_manifest_recovers_or_fails_loud() {
+        let dir = tmp_dir("torn-manifest");
+        let db = seeded_db(33, 96);
+        let rt = builder(2).create(&dir, &db).unwrap();
+        let reference = encode_policy(&rt.merged_policy());
+        drop(rt);
+        let manifest = dir.join(crate::router::MANIFEST_FILE);
+        let intact = std::fs::read(&manifest).unwrap();
+
+        // Crash after writing the temp but before the rename: the old
+        // manifest still routes the fleet; the stale temp is ignored.
+        let tmp = dir.join(format!("{}.tmp", crate::router::MANIFEST_FILE));
+        std::fs::write(&tmp, &intact[..intact.len() / 2]).unwrap();
+        let (rt, reports) = builder(2).recover(&dir).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(encode_policy(&rt.merged_policy()), reference);
+        drop(rt);
+        std::fs::remove_file(&tmp).unwrap();
+
+        // A torn manifest body (truncated mid-line, as a non-atomic
+        // writer would leave it) is a typed error naming the manifest.
+        std::fs::write(&manifest, &intact[..intact.len() / 2]).unwrap();
+        match builder(2).recover(&dir) {
+            Err(RuntimeError::CorruptCheckpoint { path, message }) => {
+                assert_eq!(path, manifest, "error must name the manifest");
+                assert!(message.contains("manifest"), "{message}");
+            }
+            other => panic!("torn manifest must be CorruptCheckpoint, got {other:?}"),
+        }
+
+        // Restoring the intact bytes (what the atomic rename guarantees
+        // survives) heals the fleet completely.
+        std::fs::write(&manifest, &intact).unwrap();
+        let (rt, _) = builder(2).recover(&dir).unwrap();
+        assert_eq!(encode_policy(&rt.merged_policy()), reference);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

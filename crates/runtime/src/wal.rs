@@ -7,21 +7,32 @@
 //! payload = [seq: u64][encode_updates bytes]
 //! ```
 //!
-//! Records carry consecutive sequence numbers starting at 1. On open the
-//! whole log is scanned; the first record that is truncated, fails its
-//! CRC, fails batch decoding, or breaks the sequence ends the valid
-//! prefix, and the file is truncated back to it — a torn tail from a
-//! crash mid-append can never resurrect as data. The log is never rotated
-//! or pruned (compaction is future work), which is what lets recovery
-//! fall back to *any* older checkpoint: the replay suffix is always
-//! present.
+//! Records carry consecutive sequence numbers. A freshly created log is
+//! bare frames starting at sequence 1; once retention GC has pruned it
+//! (see [`Wal::prune_to`]) the file carries a 16-byte header naming the
+//! base sequence — the highest pruned record — and frames continue at
+//! `base + 1`:
+//!
+//! ```text
+//! [magic: u32 = 0x4C42_5357]["base_seq": u64][crc32(magic‖base): u32]
+//! ```
+//!
+//! On open the whole log is scanned; the first record that is truncated,
+//! fails its CRC, fails batch decoding, or breaks the sequence ends the
+//! valid prefix, and the file is truncated back to it — a torn tail from
+//! a crash mid-append can never resurrect as data. Pruning is bounded by
+//! the retention invariant (DESIGN.md §14): only records at or below the
+//! newest *verified* checkpoint's sequence are ever dropped, so the
+//! replay suffix for every retained checkpoint generation is always
+//! present. All I/O flows through a [`StorageBackend`], which is what
+//! makes the disk-fault sweeps deterministic.
 
 use crate::error::{io_err, RuntimeError};
+use crate::storage::{real_fs, StorageBackend, StorageFile};
 use bytes::{Buf, Bytes};
 use lbs_model::{decode_updates, encode_updates, UserUpdate};
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// File name of the log inside a runtime directory.
 pub const WAL_FILE: &str = "wal.log";
@@ -29,6 +40,14 @@ pub const WAL_FILE: &str = "wal.log";
 /// Upper bound on one record's payload, so a corrupt length header can
 /// never drive a multi-gigabyte allocation.
 pub const MAX_RECORD_BYTES: u32 = 16 * 1024 * 1024;
+
+/// Magic prefix of a pruned log's base-sequence header. Distinguishable
+/// from a bare frame because a frame starts with `payload_len`, which is
+/// capped at [`MAX_RECORD_BYTES`] — far below this value.
+const WAL_MAGIC: u32 = 0x4C42_5357;
+
+/// Byte length of the base-sequence header on pruned logs.
+pub const WAL_HEADER_LEN: usize = 16;
 
 /// CRC-32 (IEEE 802.3, reflected 0xEDB88320) — implemented inline because
 /// the workspace vendors no checksum crate.
@@ -52,7 +71,8 @@ pub struct WalRecord {
     /// The churn batch.
     pub updates: Vec<UserUpdate>,
     /// Byte offset one past this record's frame — the log length at which
-    /// exactly records `1..=seq` are durable. Crash sweeps cut here.
+    /// exactly the retained records up to `seq` are durable. Crash sweeps
+    /// cut here.
     pub end_offset: u64,
 }
 
@@ -69,13 +89,42 @@ pub fn encode_frame(seq: u64, updates: &[UserUpdate]) -> Vec<u8> {
     frame
 }
 
-/// Scans raw log bytes into the valid record prefix. Returns the records
-/// and the byte length of the valid prefix; everything past it is torn or
-/// corrupt and must be discarded.
+/// Encodes a pruned log's base-sequence header.
+fn encode_header(base_seq: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(WAL_HEADER_LEN);
+    out.extend_from_slice(&WAL_MAGIC.to_le_bytes());
+    out.extend_from_slice(&base_seq.to_le_bytes());
+    out.extend_from_slice(&crc32(&out[..12]).to_le_bytes());
+    out
+}
+
+/// Decodes a base-sequence header, if `raw` starts with a valid one.
+fn decode_header(raw: &[u8]) -> Option<u64> {
+    if raw.len() < WAL_HEADER_LEN {
+        return None;
+    }
+    if u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]) != WAL_MAGIC {
+        return None;
+    }
+    let want = u32::from_le_bytes([raw[12], raw[13], raw[14], raw[15]]);
+    if crc32(&raw[..12]) != want {
+        return None;
+    }
+    Some(u64::from_le_bytes([raw[4], raw[5], raw[6], raw[7], raw[8], raw[9], raw[10], raw[11]]))
+}
+
+/// Scans raw log bytes into the valid record prefix, understanding both
+/// the bare (base 0) and the pruned (headered) layouts. Returns the
+/// records and the byte length of the valid prefix; everything past it
+/// is torn or corrupt and must be discarded.
 pub fn scan(raw: &[u8]) -> (Vec<WalRecord>, u64) {
+    let (base, start) = match decode_header(raw) {
+        Some(base) => (base, WAL_HEADER_LEN),
+        None => (0, 0),
+    };
     let mut records = Vec::new();
-    let mut offset = 0usize;
-    let mut expected_seq = 1u64;
+    let mut offset = start;
+    let mut expected_seq = base + 1;
     while raw.len() - offset >= 8 {
         let len =
             u32::from_le_bytes([raw[offset], raw[offset + 1], raw[offset + 2], raw[offset + 3]]);
@@ -113,54 +162,153 @@ pub fn scan(raw: &[u8]) -> (Vec<WalRecord>, u64) {
 }
 
 /// Append handle over the log; torn tails were truncated at open.
-#[derive(Debug)]
 pub struct Wal {
-    file: File,
+    storage: Arc<dyn StorageBackend>,
+    file: Box<dyn StorageFile>,
     path: PathBuf,
     next_seq: u64,
+    base_seq: u64,
     len: u64,
+    /// Set when a failed append could not roll its partial frame back;
+    /// every later append fails loudly until the process restarts and
+    /// the reopen truncates the torn tail.
+    poisoned: bool,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("next_seq", &self.next_seq)
+            .field("base_seq", &self.base_seq)
+            .field("len", &self.len)
+            .field("poisoned", &self.poisoned)
+            .finish()
+    }
 }
 
 impl Wal {
-    /// Opens (creating if absent) the log in `dir`, truncates any invalid
-    /// tail, and returns the handle plus the valid records for replay.
+    /// Opens (creating if absent) the log in `dir` on the real
+    /// filesystem. See [`Wal::open_with`].
     ///
     /// # Errors
     /// [`RuntimeError::Io`] on any filesystem failure.
     pub fn open(dir: &Path) -> Result<(Self, Vec<WalRecord>), RuntimeError> {
+        Self::open_with(real_fs(), dir)
+    }
+
+    /// Opens (creating if absent) the log in `dir` through `storage`,
+    /// truncates any invalid tail, and returns the handle plus the valid
+    /// records for replay.
+    ///
+    /// # Errors
+    /// [`RuntimeError::Io`] on any storage failure.
+    pub fn open_with(
+        storage: Arc<dyn StorageBackend>,
+        dir: &Path,
+    ) -> Result<(Self, Vec<WalRecord>), RuntimeError> {
         let path = dir.join(WAL_FILE);
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&path)
-            .map_err(|e| io_err("open", &path, e))?;
-        let mut raw = Vec::new();
-        file.read_to_end(&mut raw).map_err(|e| io_err("read", &path, e))?;
+        let raw = match storage.read(&path) {
+            Ok(raw) => raw,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err("read", &path, e)),
+        };
         let (records, valid_len) = scan(&raw);
+        let base_seq = decode_header(&raw).unwrap_or(0);
+        let mut file = storage.open_append(&path).map_err(|e| io_err("open", &path, e))?;
         if valid_len < raw.len() as u64 {
             file.set_len(valid_len).map_err(|e| io_err("truncate", &path, e))?;
-            file.sync_data().map_err(|e| io_err("sync", &path, e))?;
+            file.sync().map_err(|e| io_err("sync", &path, e))?;
         }
-        file.seek(SeekFrom::Start(valid_len)).map_err(|e| io_err("seek", &path, e))?;
-        let next_seq = records.last().map_or(1, |r| r.seq + 1);
-        Ok((Wal { file, path, next_seq, len: valid_len }, records))
+        let next_seq = records.last().map_or(base_seq + 1, |r| r.seq + 1);
+        Ok((
+            Wal { storage, file, path, next_seq, base_seq, len: valid_len, poisoned: false },
+            records,
+        ))
     }
 
     /// Appends and syncs one churn batch; returns its sequence number.
     /// The batch is durable when this returns.
     ///
+    /// On a failed write or sync the partial frame is rolled back so a
+    /// later retry (the ENOSPC ladder) appends onto a clean tail; if the
+    /// rollback itself fails the log is poisoned and every later append
+    /// fails loudly — never silently — until a restart re-scans it.
+    ///
     /// # Errors
     /// [`RuntimeError::Io`] on write or sync failure.
     pub fn append(&mut self, updates: &[UserUpdate]) -> Result<u64, RuntimeError> {
+        if self.poisoned {
+            return Err(io_err(
+                "append",
+                &self.path,
+                std::io::Error::other(
+                    "wal poisoned: a failed append could not be rolled back; restart required",
+                ),
+            ));
+        }
         let seq = self.next_seq;
         let frame = encode_frame(seq, updates);
-        self.file.write_all(&frame).map_err(|e| io_err("append", &self.path, e))?;
-        self.file.sync_data().map_err(|e| io_err("sync", &self.path, e))?;
+        let wrote = self
+            .file
+            .write_all(&frame)
+            .and_then(|()| self.file.sync())
+            .map_err(|e| io_err("append", &self.path, e));
+        if let Err(e) = wrote {
+            if self.file.set_len(self.len).is_err() {
+                self.poisoned = true;
+            }
+            return Err(e);
+        }
         self.next_seq += 1;
         self.len += frame.len() as u64;
         Ok(seq)
+    }
+
+    /// Prunes every record with sequence `<= upto` by atomically
+    /// rewriting the log as a headered file based at `upto` (temp +
+    /// sync + rename). The caller — retention GC — must only pass a
+    /// sequence at or below the newest **verified** checkpoint, so the
+    /// replay suffix of every retained generation survives. Returns the
+    /// number of records pruned.
+    ///
+    /// # Errors
+    /// [`RuntimeError::Io`] on any storage failure; the original log is
+    /// untouched unless the atomic rename succeeded.
+    pub fn prune_to(&mut self, upto: u64) -> Result<u64, RuntimeError> {
+        let upto = upto.min(self.next_seq.saturating_sub(1));
+        if upto <= self.base_seq {
+            return Ok(0);
+        }
+        let raw = self.storage.read(&self.path).map_err(|e| io_err("read", &self.path, e))?;
+        let (records, _) = scan(&raw);
+        let mut bytes = encode_header(upto);
+        let mut kept_last = upto;
+        let mut pruned = 0u64;
+        for rec in &records {
+            if rec.seq > upto {
+                bytes.extend_from_slice(&encode_frame(rec.seq, &rec.updates));
+                kept_last = rec.seq;
+            } else {
+                pruned += 1;
+            }
+        }
+        let tmp = self.path.with_extension("log.tmp");
+        let mut file = self.storage.create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+        let wrote = file.write_all(&bytes).and_then(|()| file.sync());
+        drop(file);
+        if let Err(e) = wrote {
+            // Best effort: don't leave a half-written tmp consuming space.
+            let _ = self.storage.remove(&tmp);
+            return Err(io_err("write", &tmp, e));
+        }
+        self.storage.rename(&tmp, &self.path).map_err(|e| io_err("rename", &self.path, e))?;
+        self.file =
+            self.storage.open_append(&self.path).map_err(|e| io_err("open", &self.path, e))?;
+        self.base_seq = upto;
+        self.next_seq = kept_last + 1;
+        self.len = bytes.len() as u64;
+        Ok(pruned)
     }
 
     /// Next sequence number to be assigned.
@@ -168,14 +316,20 @@ impl Wal {
         self.next_seq
     }
 
-    /// Current valid byte length of the log.
+    /// Highest pruned sequence number (0 on a never-pruned log); replay
+    /// starts at `base_seq + 1`.
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// Current valid byte length of the log (header included).
     pub fn len(&self) -> u64 {
         self.len
     }
 
-    /// Whether the log holds no records.
+    /// Whether the log holds no replayable records.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.next_seq == self.base_seq + 1
     }
 
     /// Path of the log file.
@@ -314,5 +468,94 @@ mod tests {
     fn crc32_matches_known_vector() {
         // IEEE CRC-32 of "123456789" is 0xCBF43926.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn prune_rewrites_with_a_base_header_and_replay_continues() {
+        let dir = tmp_dir("prune");
+        let (mut wal, _) = Wal::open(&dir).unwrap();
+        for n in 1..=6 {
+            wal.append(&batch(n)).unwrap();
+        }
+        assert_eq!(wal.prune_to(4).unwrap(), 4);
+        assert_eq!(wal.base_seq(), 4);
+        assert_eq!(wal.next_seq(), 7);
+        // Pruning below the base is a no-op.
+        assert_eq!(wal.prune_to(3).unwrap(), 0);
+        // Appends continue the sequence on the pruned file.
+        assert_eq!(wal.append(&batch(7)).unwrap(), 7);
+        drop(wal);
+
+        let (wal, recs) = Wal::open(&dir).unwrap();
+        assert_eq!(wal.base_seq(), 4);
+        assert_eq!(recs.iter().map(|r| r.seq).collect::<Vec<_>>(), [5, 6, 7]);
+        assert_eq!(recs[0].updates, batch(5));
+        assert_eq!(recs[2].updates, batch(7));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pruning_everything_leaves_an_empty_headered_log() {
+        let dir = tmp_dir("prune-all");
+        let (mut wal, _) = Wal::open(&dir).unwrap();
+        for n in 1..=3 {
+            wal.append(&batch(n)).unwrap();
+        }
+        assert_eq!(wal.prune_to(3).unwrap(), 3);
+        assert!(wal.is_empty());
+        assert_eq!(wal.len(), WAL_HEADER_LEN as u64);
+        drop(wal);
+        let (mut wal, recs) = Wal::open(&dir).unwrap();
+        assert!(recs.is_empty());
+        assert_eq!(wal.next_seq(), 4);
+        assert_eq!(wal.append(&batch(4)).unwrap(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_on_a_pruned_log_truncates_to_the_header_boundary() {
+        let dir = tmp_dir("prune-torn");
+        let (mut wal, _) = Wal::open(&dir).unwrap();
+        for n in 1..=4 {
+            wal.append(&batch(n)).unwrap();
+        }
+        wal.prune_to(2).unwrap();
+        drop(wal);
+        let path = dir.join(WAL_FILE);
+        let full = std::fs::read(&path).unwrap();
+        let (records, valid) = scan(&full);
+        assert_eq!(records.iter().map(|r| r.seq).collect::<Vec<_>>(), [3, 4]);
+        assert_eq!(valid, full.len() as u64);
+        // Tear mid-record 3: the valid prefix is exactly the header.
+        std::fs::write(&path, &full[..records[0].end_offset as usize - 3]).unwrap();
+        let (wal, recs) = Wal::open(&dir).unwrap();
+        assert!(recs.is_empty());
+        assert_eq!(wal.next_seq(), 3);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), WAL_HEADER_LEN as u64);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_append_rolls_back_the_partial_frame() {
+        use crate::storage::{DiskFaultPlan, FaultFs};
+        let dir = tmp_dir("rollback");
+        // Fault schedule: create() consumes nothing here (open_append is
+        // the first call); the 2nd write call lands only 5 bytes.
+        let storage: Arc<dyn StorageBackend> =
+            Arc::new(FaultFs::new(DiskFaultPlan::new().short_write(2, 5)));
+        let (mut wal, _) = Wal::open_with(storage, &dir).unwrap();
+        wal.append(&batch(1)).unwrap();
+        let len_before = wal.len();
+        let err = wal.append(&batch(2)).unwrap_err();
+        assert!(format!("{err}").contains("short write"), "{err}");
+        // The partial frame was rolled back: the retry lands cleanly and
+        // a reopen sees a contiguous sequence.
+        assert_eq!(wal.append(&batch(2)).unwrap(), 2);
+        assert!(wal.len() > len_before);
+        drop(wal);
+        let (_, recs) = Wal::open(&dir).unwrap();
+        assert_eq!(recs.iter().map(|r| r.seq).collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(recs[1].updates, batch(2));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -77,6 +77,18 @@ echo "== soak-smoke (budget: 90 s) =="
 #   target/release/lbs soak
 timeout 90 target/release/lbs soak
 
+echo "== storage-fault-smoke (budget: 90 s) =="
+# Deterministic storage-fault sweep, CI-sized: seeded disk-fault plans
+# (short writes, fsync/rename failures, ENOSPC, bit-rot, crash points)
+# driven through the runtime's storage backend with crash-restart lives,
+# plus on-disk rot healed by scrub/GC and per-shard victims. Gates on:
+# every recovery bit-identical to the durable prefix or a loud typed
+# error naming the corrupt artifact — never a silently wrong policy.
+# The full 200-point sweep runs in the workspace tests; this reduced
+# sweep keeps the stage inside its budget. Rerun directly with
+#   target/release/lbs storage-fault-smoke
+timeout 90 target/release/lbs storage-fault-smoke
+
 echo "== bench-smoke (budget: 120 s) =="
 # Perf-regression gate against the committed snapshot BENCH_9.json: runs
 # the seeded smoke tier (10k-user cases: bulk DP at k=10/50, incremental

@@ -553,3 +553,192 @@ proptest! {
         prop_assert!(report.torn_checkpoint_points >= 1);
     }
 }
+
+use lbs_model::UserUpdate;
+
+/// Seeded move batches over the current population of `db`: three users
+/// per round, positions drawn from the same 64 m map.
+fn fault_batches(db: &LocationDb, seed: u64, rounds: u64) -> Vec<Vec<UserUpdate>> {
+    let users: Vec<UserId> = {
+        let mut v: Vec<UserId> = db.users().collect();
+        v.sort_unstable();
+        v
+    };
+    (0..rounds)
+        .map(|round| {
+            let mut batch: Vec<UserUpdate> = Vec::new();
+            for j in 0..3u64 {
+                let pick = lbs_workload::derive_seed(seed, round * 97 + j) as usize % users.len();
+                let user = users[pick];
+                if batch.iter().any(|u| u.user() == user) {
+                    continue;
+                }
+                let x = (lbs_workload::derive_seed(seed, round * 97 + 10 + j) % SIDE as u64) as i64;
+                let y = (lbs_workload::derive_seed(seed, round * 97 + 20 + j) % SIDE as u64) as i64;
+                batch.push(UserUpdate::Move(Move { user, to: Point::new(x, y) }));
+            }
+            batch
+        })
+        .collect()
+}
+
+/// The storage-fault oracle pipeline, reused by the shrinker so a
+/// minimized database fails for the same reason. One clean reference run
+/// captures the committed policy at every durable sequence; the same
+/// batches then replay under a seeded [`DiskFaultPlan`], treating every
+/// storage failure as a process death: the next life recovers (life 0–1
+/// under fresh seeded plans, life 2+ on a repaired disk) and the
+/// recovered policy must be bit-identical to the reference at its
+/// durable sequence — or the error must be loud and typed.
+fn storage_fault_pipeline(
+    db: &LocationDb,
+    fault_seed: u64,
+    k: usize,
+    rounds: u64,
+) -> Result<(), String> {
+    use lbs_runtime::{DiskFaultPlan, FaultFs, RuntimeBuilder, RuntimeConfig};
+    use std::sync::Arc;
+
+    let map = Rect::square(0, 0, SIDE);
+    let batches = fault_batches(db, fault_seed, rounds);
+    let scratch = std::env::temp_dir().join(format!(
+        "lbs-prop-fault-{}-{fault_seed:x}-{}-{k}-{rounds}",
+        std::process::id(),
+        db.len(),
+    ));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let result = (|| {
+        // Clean reference: the committed policy at every durable seq.
+        let mut cfg = RuntimeConfig::new(k, map);
+        cfg.checkpoint_every = 2;
+        let ref_dir = scratch.join("reference");
+        let mut rt = RuntimeBuilder::new(cfg)
+            .create(&ref_dir, db)
+            .map_err(|e| format!("reference create: {e}"))?;
+        let mut per_seq = vec![lbs_model::encode_policy(rt.committed_policy())];
+        for batch in &batches {
+            rt.apply_batch(batch).map_err(|e| format!("reference apply: {e}"))?;
+            rt.commit().map_err(|e| format!("reference commit: {e}"))?;
+            per_seq.push(lbs_model::encode_policy(rt.committed_policy()));
+        }
+        drop(rt);
+
+        // Faulted replay with crash-restart lives.
+        let dir = scratch.join("faulted");
+        let mut created = false;
+        let mut next_round = 0usize;
+        for life in 0..8usize {
+            let storage: Arc<dyn lbs_runtime::StorageBackend> = if life >= 2 {
+                lbs_runtime::real_fs()
+            } else {
+                Arc::new(FaultFs::new(DiskFaultPlan::seeded(lbs_workload::derive_seed(
+                    fault_seed,
+                    life as u64,
+                ))))
+            };
+            let mut cfg = RuntimeConfig::new(k, map);
+            cfg.checkpoint_every = 2;
+            let builder = RuntimeBuilder::new(cfg).storage(storage);
+            let mut rt = if !created {
+                match builder.create(&dir, db) {
+                    Ok(rt) => {
+                        created = true;
+                        rt
+                    }
+                    Err(lbs_runtime::RuntimeError::AlreadyInitialized(_)) => {
+                        created = true;
+                        continue;
+                    }
+                    Err(_) => continue,
+                }
+            } else {
+                match builder.recover(&dir) {
+                    Ok((rt, _)) => {
+                        let durable = rt.durable_seq() as usize;
+                        let expected = per_seq
+                            .get(durable)
+                            .ok_or_else(|| format!("durable seq {durable} past the reference"))?;
+                        if lbs_model::encode_policy(rt.committed_policy()) != *expected {
+                            return Err(format!(
+                                "life {life}: recovered policy NOT bit-identical at seq {durable}"
+                            ));
+                        }
+                        next_round = durable;
+                        rt
+                    }
+                    Err(e) => {
+                        if life >= 2 {
+                            return Err(format!("life {life}: clean recovery failed: {e}"));
+                        }
+                        continue;
+                    }
+                }
+            };
+            let mut died = false;
+            while next_round < batches.len() {
+                if rt.apply_batch(&batches[next_round]).is_err() {
+                    died = true;
+                    break;
+                }
+                match rt.commit() {
+                    Ok(_) => next_round += 1,
+                    // ENOSPC on the checkpoint: the commit landed in
+                    // memory, only the checkpoint was shed.
+                    Err(lbs_runtime::RuntimeError::StorageExhausted { .. }) => next_round += 1,
+                    Err(_) => {
+                        died = true;
+                        break;
+                    }
+                }
+            }
+            if died {
+                continue;
+            }
+            let expected = &per_seq[batches.len()];
+            if lbs_model::encode_policy(rt.committed_policy()) != *expected {
+                return Err(format!("final policy NOT bit-identical after {life} lives"));
+            }
+            return Ok(());
+        }
+        Err("no progress after 8 lives".to_string())
+    })();
+    let _ = std::fs::remove_dir_all(&scratch);
+    result
+}
+
+proptest! {
+    // Each case is two short service runs (one clean, one faulted with
+    // crash-restart lives), so the case budget stays small.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Self-healing durability, over random populations and random
+    /// seeded [`DiskFaultPlan`]s: replaying a service history under
+    /// injected short writes, fsync/rename failures, ENOSPC, bit-rot,
+    /// and crash points must either recover bit-identically to the
+    /// clean reference at the durable sequence or fail loudly with a
+    /// typed error — never serve a silently wrong policy. Failing
+    /// populations are minimized through the 1-minimal shrinker.
+    #[test]
+    fn storage_faults_recover_bit_identically_or_fail_loud(
+        db in arb_db(),
+        fault_seed in 0u64..(1 << 32),
+        k in 2usize..4,
+        rounds in 3u64..6,
+    ) {
+        prop_assume!(db.len() >= k + 2);
+        if let Err(e) = storage_fault_pipeline(&db, fault_seed, k, rounds) {
+            let minimal = shrink_db(&db, |d| {
+                d.len() >= k + 2 && storage_fault_pipeline(d, fault_seed, k, rounds).is_err()
+            });
+            let err = storage_fault_pipeline(&minimal, fault_seed, k, rounds)
+                .err()
+                .unwrap_or(e);
+            prop_assert!(
+                false,
+                "storage-fault pipeline failed (seed {fault_seed:#x}, k {k}, rounds {rounds}): \
+                 {err}\nminimal db: [{}]",
+                render_db(&minimal)
+            );
+        }
+    }
+}
